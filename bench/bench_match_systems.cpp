@@ -1,0 +1,45 @@
+// Figure 3: ParaOPS5 match-parallelism speedups for three match-intensive
+// OPS5 systems on the Encore Multimax (reproduced in the paper from Gupta
+// et al. [9]).
+//
+// Paper shape: Rubik reaches ~9x at 13 match processes, Weaver ~6-7x,
+// Tourney saturates around 2x. The differences come from per-cycle match
+// effort: Rubik's firings touch many productions, Tourney's only a few.
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "spam/minisys.hpp"
+
+using namespace psmsys;
+
+int main() {
+  std::cout << "=== Figure 3: match parallelism on match-intensive systems ===\n\n";
+
+  const std::vector<std::size_t> procs{1, 2, 4, 6, 8, 10, 13};
+  util::Table table({"system", "match%", "m=1", "m=2", "m=4", "m=6", "m=8", "m=10", "m=13"});
+
+  for (const auto& config :
+       {spam::rubik_analog(), spam::weaver_analog(), spam::tourney_analog()}) {
+    const psm::TaskMeasurement run = spam::run_minisystem(config);
+    std::vector<std::string> row{config.name,
+                                 util::Table::fmt(100.0 * run.counters.match_fraction(), 1)};
+    std::vector<std::pair<std::size_t, double>> curve;
+    for (const std::size_t m : procs) {
+      psm::MatchModel model;
+      model.match_processes = m;
+      const double s = psm::speedup(run.cost(), psm::task_cost_with_match(run, model));
+      row.push_back(util::Table::fmt(s, 2));
+      curve.emplace_back(m, s);
+    }
+    table.add_row(std::move(row));
+    bench::plot_curve(std::cout, config.name + " (speedup vs match processes)", curve, 10.0);
+    std::cout << '\n';
+  }
+
+  table.print(std::cout, "Speed-ups varying the number of match processes");
+  std::cout << "\npaper (read off Figure 3): rubik ~9x @13, weaver ~6-7x @13, "
+               "tourney ~2x saturated\n";
+  bench::emit_csv(std::cout, "figure3", table);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Section 9 (future work): "we are currently investigating implementations
+// on message-passing computers". The cited follow-up (Acharya & Tambe 1989)
+// simulated production systems on message-passing machines; here the
+// measured SF Level 3 LCC tasks are scheduled on a message-passing model
+// under static vs dynamic task distribution across message latencies.
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "psm/message_passing.hpp"
+
+using namespace psmsys;
+
+int main() {
+  std::cout << "=== Future work (Section 9): message-passing task distribution ===\n\n";
+
+  const auto measured = bench::measure_lcc(spam::sf_config(), 3);
+  const auto costs = psm::task_costs(measured.tasks);
+
+  psm::TlpConfig one;
+  one.task_processes = 1;
+  const util::WorkUnits base = psm::simulate_tlp(costs, one).makespan;
+  psm::TlpConfig c14;
+  c14.task_processes = 14;
+  const double shared14 = psm::speedup(base, psm::simulate_tlp(costs, c14).makespan);
+
+  util::Table table({"latency (wu)", "static @14", "dynamic @14", "dynamic stall %",
+                     "winner"});
+  for (const util::WorkUnits latency : {30u, 120u, 500u, 2000u, 8000u}) {
+    psm::MessagePassingConfig dynamic;
+    dynamic.workers = 14;
+    dynamic.message_latency = latency;
+    psm::MessagePassingConfig fixed = dynamic;
+    fixed.distribution = psm::Distribution::Static;
+
+    const auto rd = psm::simulate_message_passing(costs, dynamic);
+    const auto rs = psm::simulate_message_passing(costs, fixed);
+    const double sd = psm::speedup(base, rd.makespan);
+    const double ss = psm::speedup(base, rs.makespan);
+    table.add_row({util::Table::fmt(std::uint64_t{latency}), util::Table::fmt(ss, 2),
+                   util::Table::fmt(sd, 2),
+                   util::Table::fmt(100.0 * static_cast<double>(rd.network_stall) /
+                                        static_cast<double>(rd.makespan * 14),
+                                    1),
+                   sd > ss ? "dynamic" : "static"});
+  }
+
+  table.print(std::cout, "SF Level 3 tasks on a 14-node message-passing machine "
+                         "(shared-memory queue reaches " +
+                             util::Table::fmt(shared14, 2) + "x)");
+  std::cout << "\nAt SPAM's task granularity the dynamic (queue-like) distribution\n"
+               "tolerates large message latencies; only when the round trip\n"
+               "approaches the mean task time does static pre-assignment win —\n"
+               "Section 4's granularity tradeoff with a network constant.\n";
+  bench::emit_csv(std::cout, "message_passing", table);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Tables 1-3: per-phase CPU time, production firings, productions/second and
+// hypotheses for the three airports (San Francisco, Washington National,
+// NASA Ames Moffett Field).
+//
+// Paper values (Lisp-based OPS5 on a VAX/785) for orientation:
+//   SF   (Table 1): RTF 1.5 h / LCC 144.5 h / FA 7.3 h / MODEL 0.7 h,
+//                   firings 11274 / 185950 / 10447 / 3085, hyps 466 / 44 / 1
+//   DC   (Table 2): total ~46939 firings
+//   MOFF (Table 3): RTF 0.25 h / LCC 4.12 h / FA 2.33 h / MODEL 0.33 h
+//
+// Our reproduction reports virtual seconds on the ParaOPS5-analog engine
+// (the paper's own C port was 10-20x faster than the Lisp system), so only
+// the per-phase *profile* is comparable: LCC dominates, MODEL is smallest,
+// and hypotheses decrease monotonically through the phases.
+
+#include <iostream>
+
+#include "bench/common.hpp"
+
+using namespace psmsys;
+
+int main() {
+  std::cout << "=== Tables 1-3: interpretation phase statistics ===\n"
+            << "(paper: Lisp OPS5 wall hours; here: engine virtual seconds)\n\n";
+
+  for (const auto& config : spam::all_datasets()) {
+    const spam::Scene scene = spam::generate_scene(config);
+    const spam::PipelineResult result = spam::run_pipeline(scene);
+
+    util::Table table({"SPAM Phase", "CPU Time (s)", "#Firings", "Firings/Second",
+                       "Hypotheses", "Match fraction"});
+    util::WorkCounters total;
+    std::uint64_t total_hyps = 0;
+    for (const auto& phase : result.phases) {
+      const double seconds = util::to_seconds(phase.counters.total_cost());
+      table.add_row({phase.name, util::Table::fmt(seconds, 1),
+                     util::Table::fmt(phase.counters.firings),
+                     util::Table::fmt(seconds > 0 ? phase.counters.firings / seconds : 0.0, 2),
+                     util::Table::fmt(phase.hypotheses),
+                     util::Table::fmt(phase.counters.match_fraction(), 2)});
+      total += phase.counters;
+      total_hyps += phase.hypotheses;
+    }
+    const double total_seconds = util::to_seconds(total.total_cost());
+    table.add_row({"Total", util::Table::fmt(total_seconds, 1), util::Table::fmt(total.firings),
+                   util::Table::fmt(total.firings / total_seconds, 2),
+                   util::Table::fmt(total_hyps), util::Table::fmt(total.match_fraction(), 2)});
+
+    table.print(std::cout, "--- " + config.name + " (" + std::to_string(scene.size()) +
+                               " regions, " + std::to_string(result.fragments.size()) +
+                               " RTF hypotheses) ---");
+    std::cout << '\n';
+    bench::emit_csv(std::cout, "phase_stats_" + config.name, table);
+    std::cout << '\n';
+  }
+
+  std::cout << "Shape checks vs the paper:\n"
+               "  * LCC is by far the most expensive phase on every dataset\n"
+               "  * RTF produces hundreds of hypotheses, FA tens, MODEL exactly 1\n"
+               "  * the whole system spends well under half its time in match\n";
+  return 0;
+}

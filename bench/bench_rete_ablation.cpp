@@ -1,0 +1,67 @@
+// Rete design ablation: the two network optimizations this implementation
+// shares with ParaOPS5 — node sharing between productions with common
+// prefixes, and hash-indexed join memories. Both are toggled off to show
+// their contribution on the DC LCC workload.
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "spam/decomposition.hpp"
+
+using namespace psmsys;
+
+namespace {
+
+util::WorkUnits run_with(const spam::Scene& scene, const std::vector<spam::Fragment>& best,
+                         bool sharing, bool indexed, rete::NetworkStats* stats_out) {
+  const spam::PhaseProgram phase = spam::build_lcc_program();
+  ops5::EngineOptions options;
+  options.rete.node_sharing = sharing;
+  options.rete.indexed_joins = indexed;
+  auto engine = phase.make_engine(scene, options);
+  if (stats_out != nullptr) *stats_out = engine->network().stats();
+
+  spam::seed_fragment_wmes(*engine, best);
+  spam::seed_constraint_wmes(*engine);
+  spam::seed_support_wmes(*engine, best);
+  for (std::size_t i = 0; i < spam::kRegionClassCount; ++i) {
+    engine->make_wme(
+        "lcc-task",
+        {{"level", ops5::Value(4.0)},
+         {"subject-class", ops5::Value(*engine->program().symbols().find(
+                               spam::class_name(static_cast<spam::RegionClass>(i))))}});
+  }
+  (void)engine->run();
+  return engine->counters().match_cost;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Rete ablation: node sharing and hashed join memories ===\n\n";
+
+  const auto scene = spam::generate_scene(spam::dc_config());
+  const auto best = spam::best_fragments(spam::run_rtf(scene, 3).fragments);
+
+  util::Table table({"node sharing", "indexed joins", "match cost (wu)", "vs full",
+                     "alpha patterns", "join nodes"});
+  util::WorkUnits full = 0;
+  for (const bool sharing : {true, false}) {
+    for (const bool indexed : {true, false}) {
+      rete::NetworkStats stats;
+      const util::WorkUnits cost = run_with(scene, best, sharing, indexed, &stats);
+      if (sharing && indexed) full = cost;
+      table.add_row({sharing ? "on" : "off", indexed ? "on" : "off", util::Table::fmt(cost),
+                     util::Table::fmt(static_cast<double>(cost) / static_cast<double>(full), 2) +
+                         "x",
+                     util::Table::fmt(stats.alpha_patterns), util::Table::fmt(stats.join_nodes)});
+    }
+  }
+
+  table.print(std::cout, "Full LCC (Level 4) run on DC under four network configurations");
+  std::cout << "\nBoth optimizations are part of what made ParaOPS5's C implementation\n"
+               "10-20x faster than the Lisp OPS5; indexing dominates on this workload\n"
+               "because LCC's joins are equality-selective (fragment ids, subjects).\n";
+  bench::emit_csv(std::cout, "rete_ablation", table);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Section 7 ablation: the two shared-virtual-memory optimizations the paper
+// describes.
+//
+//  1. False contention: "two or more processes across the Encores contending
+//     for objects located on the same page though not shared between them
+//     ... brought our system to a halt just during the initialization."
+//     We sweep the false-sharing multiplier.
+//  2. Diff shipping: "instead of shipping a full 8K page, the server ships
+//     only small, 64-byte segments of the page that has been modified."
+//     We compare full-page vs diff protocols.
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "svm/svm.hpp"
+
+using namespace psmsys;
+
+int main() {
+  std::cout << "=== SVM ablation: false contention and diff shipping (22 procs) ===\n\n";
+
+  const auto measured = bench::measure_lcc(spam::sf_config(), 3);
+  const auto costs = psm::task_costs(measured.tasks);
+  psm::TlpConfig one;
+  one.task_processes = 1;
+  const util::WorkUnits base = psm::simulate_tlp(costs, one).makespan;
+
+  util::Table table({"false-sharing factor", "protocol", "speedup @22", "remote fault cost (s)",
+                     "fraction of pure TLP"});
+  psm::TlpConfig c22;
+  c22.task_processes = 22;
+  const double tlp22 = psm::speedup(base, psm::simulate_tlp(costs, c22).makespan);
+
+  for (const double factor : {1.0, 5.0, 20.0, 80.0}) {
+    for (const bool diff : {true, false}) {
+      svm::SvmConfig config;
+      config.false_sharing_factor = factor;
+      config.diff_shipping = diff;
+      const auto r = svm::simulate_svm(measured.tasks, 22, config);
+      const double s = psm::speedup(base, r.makespan);
+      table.add_row({util::Table::fmt(factor, 0), diff ? "64B diffs" : "full 8K pages",
+                     util::Table::fmt(s, 2),
+                     util::Table::fmt(util::to_seconds(r.remote_fault_cost), 1),
+                     util::Table::fmt(100.0 * s / tlp22, 0) + "%"});
+    }
+  }
+
+  table.print(std::cout, "SF Level 3, 13 local + 9 remote processes; pure TLP at 22 = " +
+                             util::Table::fmt(tlp22, 2) + "x");
+  std::cout << "\npaper: naive data placement (high false contention, full pages) halted\n"
+               "the system; per-node data layout + diff shipping made \"real speed-ups\"\n"
+               "possible. The factor-80/full-pages row is the halt; factor-1/diffs is\n"
+               "the published Figure 9 configuration.\n";
+  bench::emit_csv(std::cout, "svm_ablation", table);
+  return 0;
+}

@@ -1,0 +1,117 @@
+#pragma once
+
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Every bench prints the rows/series of one table or figure from the paper,
+// with the published numbers alongside, and appends a CSV block so results
+// can be scraped. Speedup "figures" are also rendered as ASCII charts.
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "psm/sim.hpp"
+#include "spam/decomposition.hpp"
+#include "spam/phases.hpp"
+#include "spam/scene_generator.hpp"
+#include "util/table.hpp"
+#include "util/work_units.hpp"
+
+namespace psmsys::bench {
+
+/// A fully measured LCC decomposition for one dataset + level.
+struct MeasuredLcc {
+  spam::DatasetConfig config;
+  std::shared_ptr<spam::Scene> scene;
+  std::vector<spam::Fragment> best;
+  int level = 3;
+  std::vector<psm::TaskMeasurement> tasks;
+
+  [[nodiscard]] util::WorkUnits total_cost() const {
+    util::WorkUnits t = 0;
+    for (const auto& m : tasks) t += m.cost();
+    return t;
+  }
+};
+
+/// Run RTF, decompose LCC at `level`, execute every task on the baseline
+/// (single task process) and return the measurements.
+[[nodiscard]] inline MeasuredLcc measure_lcc(const spam::DatasetConfig& config, int level,
+                                             bool record_cycles = false) {
+  MeasuredLcc out;
+  out.config = config;
+  out.scene = std::make_shared<spam::Scene>(spam::generate_scene(config));
+  out.best = spam::best_fragments(spam::run_rtf(*out.scene, 3).fragments);
+  out.level = level;
+  const auto d = spam::lcc_decomposition(level, *out.scene, out.best, record_cycles);
+  out.tasks = spam::run_baseline(d);
+  return out;
+}
+
+/// Same for the RTF decomposition.
+[[nodiscard]] inline MeasuredLcc measure_rtf(const spam::DatasetConfig& config,
+                                             bool record_cycles = false) {
+  MeasuredLcc out;
+  out.config = config;
+  out.scene = std::make_shared<spam::Scene>(spam::generate_scene(config));
+  out.level = 2;
+  const auto d = spam::rtf_decomposition(*out.scene, 3, record_cycles);
+  out.tasks = spam::run_baseline(d);
+  out.best = spam::best_fragments(
+      spam::run_rtf(*out.scene, 3).fragments);  // for completeness
+  return out;
+}
+
+/// TLP speedup at `procs` from measured task costs.
+[[nodiscard]] inline double tlp_speedup(const std::vector<util::WorkUnits>& costs,
+                                        std::size_t procs,
+                                        psm::SchedulePolicy policy = psm::SchedulePolicy::Fifo) {
+  psm::TlpConfig base_cfg;
+  base_cfg.task_processes = 1;
+  psm::TlpConfig cfg;
+  cfg.task_processes = procs;
+  cfg.policy = policy;
+  const auto base = psm::simulate_tlp(costs, base_cfg);
+  const auto run = psm::simulate_tlp(costs, cfg);
+  return psm::speedup(base.makespan, run.makespan);
+}
+
+/// ASCII rendering of a speedup curve (x = processes, y = speedup).
+inline void plot_curve(std::ostream& os, const std::string& title,
+                       const std::vector<std::pair<std::size_t, double>>& points,
+                       double y_max = 0.0) {
+  double top = y_max;
+  for (const auto& [x, y] : points) top = std::max(top, y);
+  const int height = 12;
+  os << title << '\n';
+  for (int row = height; row >= 1; --row) {
+    const double level = top * row / height;
+    os << (row == height ? '^' : '|');
+    for (const auto& [x, y] : points) {
+      os << (y >= level ? "  *" : "   ");
+    }
+    if (row == height) {
+      os << "   " << util::Table::fmt(top, 1) << "x";
+    }
+    os << '\n';
+  }
+  os << '+';
+  for (std::size_t i = 0; i < points.size(); ++i) os << "---";
+  os << "-> procs\n ";
+  for (const auto& [x, y] : points) {
+    std::string label = std::to_string(x);
+    while (label.size() < 3) label = " " + label;
+    os << label;
+  }
+  os << '\n';
+}
+
+/// CSV trailer, so every bench's data can be scraped mechanically.
+inline void emit_csv(std::ostream& os, const std::string& name, const util::Table& table) {
+  os << "\n--- csv:" << name << " ---\n";
+  table.write_csv(os);
+  os << "--- end csv ---\n";
+}
+
+}  // namespace psmsys::bench

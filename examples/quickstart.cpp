@@ -1,0 +1,65 @@
+// Quickstart: the OPS5 engine in ~60 lines.
+//
+// Parses a small production system, loads working memory, runs the
+// recognize-act loop, and inspects the results — the core API every other
+// part of this repository builds on.
+
+#include <iostream>
+#include <memory>
+
+#include "ops5/engine.hpp"
+#include "ops5/parser.hpp"
+
+int main() {
+  using namespace psmsys;
+
+  // 1. An OPS5 program: WME class declarations plus if-then productions.
+  //    `<x>` is a variable; `-(...)` is a negated condition element;
+  //    `(compute ...)` is RHS arithmetic.
+  const auto program = std::make_shared<const ops5::Program>(ops5::parse_program(R"(
+(literalize region id kind elong)
+(literalize fragment region type)
+
+(p classify-runway
+   (region ^id <r> ^kind linear ^elong > 20)
+   -(fragment ^region <r>)
+   -->
+   (make fragment ^region <r> ^type runway)
+   (write region <r> looks like a runway))
+
+(p classify-road
+   (region ^id <r> ^kind linear ^elong { > 5 <= 20 })
+   -(fragment ^region <r>)
+   -->
+   (make fragment ^region <r> ^type road)
+   (write region <r> looks like a road))
+)"));
+
+  // 2. An engine compiles the program into a Rete network.
+  ops5::Engine engine(program, /*externals=*/nullptr);
+  engine.set_write_handler([](const std::string& line) {
+    std::cout << "  [rules say] " << line << '\n';
+  });
+
+  // 3. Load working memory.
+  using ops5::Value;
+  const Value linear(*program->symbols().find("linear"));
+  engine.make_wme("region", {{"id", Value(1.0)}, {"kind", linear}, {"elong", Value(48.0)}});
+  engine.make_wme("region", {{"id", Value(2.0)}, {"kind", linear}, {"elong", Value(9.0)}});
+  engine.make_wme("region", {{"id", Value(3.0)}, {"kind", linear}, {"elong", Value(2.0)}});
+
+  // 4. Run to quiescence.
+  const ops5::RunResult result = engine.run();
+  std::cout << "fired " << result.firings << " productions in " << result.cycles
+            << " cycles\n";
+
+  // 5. Inspect results and instrumentation.
+  for (const auto* wme : engine.wmes_of_class("fragment")) {
+    const auto& cls = program->wme_class(wme->class_index());
+    std::cout << "  " << wme->to_string(program->symbols(), cls) << '\n';
+  }
+  const auto& counters = engine.counters();
+  std::cout << "match cost " << counters.match_cost << " wu, rhs cost " << counters.rhs_cost
+            << " wu (match fraction " << counters.match_fraction() << ")\n";
+  return 0;
+}

@@ -1,0 +1,138 @@
+// spam_cli: command-line driver over the whole stack.
+//
+//   spam_cli --dataset SF --level 3 --procs 14 --match 2 [--policy lpt]
+//            [--watch 1] [--svm]
+//
+// Runs RTF, decomposes LCC at the chosen level, executes every task on the
+// baseline, and reports the projected speedup for the chosen configuration —
+// a one-command version of what the bench binaries sweep.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "psm/sim.hpp"
+#include "spam/decomposition.hpp"
+#include "spam/scene_generator.hpp"
+#include "svm/svm.hpp"
+#include "util/table.hpp"
+
+using namespace psmsys;
+
+namespace {
+
+struct Options {
+  std::string dataset = "SF";
+  int level = 3;
+  std::size_t procs = 14;
+  std::size_t match = 0;
+  psm::SchedulePolicy policy = psm::SchedulePolicy::Fifo;
+  int watch = 0;
+  bool svm = false;
+};
+
+[[nodiscard]] Options parse_args(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::invalid_argument(arg + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--dataset") {
+      o.dataset = next();
+    } else if (arg == "--level") {
+      o.level = std::stoi(next());
+    } else if (arg == "--procs") {
+      o.procs = std::stoul(next());
+    } else if (arg == "--match") {
+      o.match = std::stoul(next());
+    } else if (arg == "--policy") {
+      const std::string p = next();
+      if (p == "fifo") {
+        o.policy = psm::SchedulePolicy::Fifo;
+      } else if (p == "lpt") {
+        o.policy = psm::SchedulePolicy::LargestFirst;
+      } else {
+        throw std::invalid_argument("policy must be fifo or lpt");
+      }
+    } else if (arg == "--watch") {
+      o.watch = std::stoi(next());
+    } else if (arg == "--svm") {
+      o.svm = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: spam_cli [--dataset SF|DC|MOFF] [--level 1..4] "
+                   "[--procs N] [--match M]\n                [--policy fifo|lpt] "
+                   "[--watch 0..2] [--svm]\n";
+      std::exit(0);
+    } else {
+      throw std::invalid_argument("unknown option " + arg + " (try --help)");
+    }
+  }
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  try {
+    options = parse_args(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "spam_cli: " << e.what() << '\n';
+    return 2;
+  }
+
+  const auto config = spam::dataset_by_name(options.dataset);
+  const auto scene = spam::generate_scene(config);
+  std::cout << "dataset " << config.name << ": " << scene.size() << " regions\n";
+
+  const auto rtf = spam::run_rtf(scene, 3);
+  const auto best = spam::best_fragments(rtf.fragments);
+  std::cout << "RTF: " << rtf.fragments.size() << " hypotheses, " << best.size()
+            << " best fragments\n";
+
+  auto decomposition =
+      spam::lcc_decomposition(options.level, scene, best, options.match > 0);
+  std::cout << "LCC Level " << options.level << ": " << decomposition.tasks.size()
+            << " tasks\n";
+
+  psm::TaskRunner runner(decomposition.factory);
+  if (options.watch > 0) {
+    runner.engine().set_watch(options.watch,
+                              [](const std::string& line) { std::cout << line << '\n'; });
+  }
+  std::vector<psm::TaskMeasurement> measurements;
+  measurements.reserve(decomposition.tasks.size());
+  for (const auto& task : decomposition.tasks) measurements.push_back(runner.run(task));
+
+  util::WorkCounters totals;
+  for (const auto& m : measurements) totals += m.counters;
+  std::cout << "baseline: " << util::Table::fmt(util::to_seconds(totals.total_cost()), 1)
+            << " s, " << totals.firings << " firings, match fraction "
+            << util::Table::fmt(totals.match_fraction(), 2) << "\n";
+
+  const psm::MatchModel match_model{
+      .match_processes = options.match};  // defaults for the other knobs
+  const auto costs = options.match > 0 ? psm::task_costs(measurements, &match_model)
+                                       : psm::task_costs(measurements);
+  psm::TlpConfig one;
+  one.task_processes = 1;
+  const auto baseline = psm::simulate_tlp(psm::task_costs(measurements), one).makespan;
+
+  if (options.svm) {
+    const auto r = svm::simulate_svm(measurements, options.procs, svm::SvmConfig{});
+    std::cout << "SVM cluster @" << options.procs << " procs: "
+              << util::Table::fmt(psm::speedup(baseline, r.makespan), 2) << "x speedup, "
+              << r.remote_faults << " remote faults\n";
+  } else {
+    psm::TlpConfig cfg;
+    cfg.task_processes = options.procs;
+    cfg.policy = options.policy;
+    const auto r = psm::simulate_tlp(costs, cfg);
+    std::cout << options.procs << " task processes x " << options.match
+              << " match processes: " << util::Table::fmt(psm::speedup(baseline, r.makespan), 2)
+              << "x speedup, utilization " << util::Table::fmt(r.utilization(), 2) << "\n";
+  }
+  return 0;
+}

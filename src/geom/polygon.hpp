@@ -1,0 +1,83 @@
+#pragma once
+
+// Simple polygons (convex or concave, non-self-intersecting) representing
+// image regions in the synthetic SPAM scenes. All the spatial reasoning SPAM
+// performs in its RHS external computations (Section 2.2) bottoms out here.
+
+#include <span>
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace psmsys::geom {
+
+struct Segment {
+  Vec2 a;
+  Vec2 b;
+};
+
+/// Do two closed segments intersect (including touching)?
+[[nodiscard]] bool segments_intersect(const Segment& s, const Segment& t) noexcept;
+
+/// Euclidean distance from point p to the closed segment s.
+[[nodiscard]] double point_segment_distance(Vec2 p, const Segment& s) noexcept;
+
+/// Minimum distance between two closed segments (0 if they intersect).
+[[nodiscard]] double segment_segment_distance(const Segment& s, const Segment& t) noexcept;
+
+struct BoundingBox {
+  Vec2 lo;
+  Vec2 hi;
+  [[nodiscard]] constexpr bool overlaps(const BoundingBox& o) const noexcept {
+    return lo.x <= o.hi.x && o.lo.x <= hi.x && lo.y <= o.hi.y && o.lo.y <= hi.y;
+  }
+  [[nodiscard]] constexpr Vec2 center() const noexcept { return (lo + hi) * 0.5; }
+};
+
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<Vec2> vertices);
+
+  /// Axis-aligned rectangle.
+  [[nodiscard]] static Polygon rectangle(Vec2 lo, Vec2 hi);
+
+  /// Rectangle of given width/length centred at `center`, rotated by `angle`.
+  [[nodiscard]] static Polygon oriented_rectangle(Vec2 center, double length, double width,
+                                                  double angle);
+
+  /// Regular n-gon; used to approximate blobby regions (grass, tarmac).
+  [[nodiscard]] static Polygon regular(Vec2 center, double radius, int sides, double phase = 0.0);
+
+  [[nodiscard]] std::span<const Vec2> vertices() const noexcept { return vertices_; }
+  [[nodiscard]] std::size_t size() const noexcept { return vertices_.size(); }
+  [[nodiscard]] Segment edge(std::size_t i) const noexcept;
+
+  /// Signed area (positive if counter-clockwise).
+  [[nodiscard]] double signed_area() const noexcept;
+  [[nodiscard]] double area() const noexcept;
+  [[nodiscard]] double perimeter() const noexcept;
+  [[nodiscard]] Vec2 centroid() const noexcept;
+  [[nodiscard]] BoundingBox bounds() const noexcept;
+
+  /// Length of the longest edge and its direction; SPAM uses elongation and
+  /// orientation as classification features in the RTF phase.
+  [[nodiscard]] double elongation() const noexcept;  ///< bbox long side / short side
+  [[nodiscard]] double orientation_angle() const noexcept;  ///< radians of longest edge
+
+  [[nodiscard]] bool contains(Vec2 p) const noexcept;
+
+ private:
+  std::vector<Vec2> vertices_;
+};
+
+/// Do two polygon boundaries/interiors intersect (share any point)?
+[[nodiscard]] bool polygons_intersect(const Polygon& p, const Polygon& q) noexcept;
+
+/// Minimum distance between two polygons (0 if they intersect).
+[[nodiscard]] double polygon_distance(const Polygon& p, const Polygon& q) noexcept;
+
+/// Is every vertex of `inner` inside `outer` (and no boundary crossing)?
+[[nodiscard]] bool polygon_contains(const Polygon& outer, const Polygon& inner) noexcept;
+
+}  // namespace psmsys::geom

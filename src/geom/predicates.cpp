@@ -1,0 +1,96 @@
+#include "geom/predicates.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace psmsys::geom {
+
+namespace {
+
+// Flop accounting: each segment pair test is ~12 arithmetic ops; each
+// point-in-polygon crossing test ~6; distances ~14. Weights only need to be
+// proportional to real work so that large regions cost more to check.
+[[nodiscard]] std::uint64_t pairwise(const Polygon& a, const Polygon& b,
+                                     std::uint64_t per_pair) noexcept {
+  return static_cast<std::uint64_t>(a.size()) * b.size() * per_pair;
+}
+
+}  // namespace
+
+PredicateResult intersects(const Polygon& a, const Polygon& b) noexcept {
+  const bool bb = a.bounds().overlaps(b.bounds());
+  if (!bb) return {false, 8};
+  return {polygons_intersect(a, b), 8 + pairwise(a, b, 12)};
+}
+
+PredicateResult adjacent_to(const Polygon& a, const Polygon& b, double gap) noexcept {
+  const auto inter = intersects(a, b);
+  if (inter.value) return {false, inter.flops};
+  const double d = polygon_distance(a, b);
+  return {d <= gap, inter.flops + pairwise(a, b, 14)};
+}
+
+PredicateResult contains_region(const Polygon& a, const Polygon& b) noexcept {
+  return {polygon_contains(a, b),
+          static_cast<std::uint64_t>(b.size()) * a.size() * 6 + pairwise(a, b, 12)};
+}
+
+PredicateResult near(const Polygon& a, const Polygon& b, double radius) noexcept {
+  const double d = distance(a.centroid(), b.centroid());
+  return {d <= radius, 4 * (a.size() + b.size()) + 6};
+}
+
+namespace {
+
+[[nodiscard]] double axis_angle_delta(const Polygon& a, const Polygon& b) noexcept {
+  double d = std::abs(a.orientation_angle() - b.orientation_angle());
+  if (d > std::numbers::pi / 2.0) d = std::numbers::pi - d;
+  return d;
+}
+
+}  // namespace
+
+PredicateResult aligned_with(const Polygon& a, const Polygon& b, double tolerance) noexcept {
+  return {axis_angle_delta(a, b) <= tolerance, 10 * (a.size() + b.size())};
+}
+
+PredicateResult perpendicular_to(const Polygon& a, const Polygon& b, double tolerance) noexcept {
+  const double d = axis_angle_delta(a, b);
+  return {std::abs(d - std::numbers::pi / 2.0) <= tolerance, 10 * (a.size() + b.size())};
+}
+
+PredicateResult leads_to(const Polygon& a, const Polygon& b, double reach) noexcept {
+  const Vec2 c = a.centroid();
+  const double angle = a.orientation_angle();
+  const Vec2 dir = {std::cos(angle), std::sin(angle)};
+  const Segment forward{c, c + dir * reach};
+  const Segment backward{c, c - dir * reach};
+  std::uint64_t flops = 10 * a.size();
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    flops += 24;
+    if (segments_intersect(forward, b.edge(i)) || segments_intersect(backward, b.edge(i))) {
+      return {true, flops};
+    }
+  }
+  // The probe ray may terminate inside b without crossing an edge.
+  flops += 6 * b.size();
+  return {b.contains(forward.b) || b.contains(backward.b), flops};
+}
+
+PredicateResult flanked_by(const Polygon& a, const Polygon& b, double gap) noexcept {
+  const Vec2 c = a.centroid();
+  const double angle = a.orientation_angle();
+  const Vec2 side = {-std::sin(angle), std::cos(angle)};
+  const Vec2 bc = b.centroid();
+  std::uint64_t flops = 10 * (a.size() + b.size());
+  // b's centroid must project mostly to the side of a's axis, within gap.
+  const Vec2 rel = bc - c;
+  const double lateral = std::abs(dot(rel, side));
+  const double axial = std::abs(dot(rel, {std::cos(angle), std::sin(angle)}));
+  const double d = polygon_distance(a, b);
+  flops += pairwise(a, b, 14);
+  return {lateral >= axial * 0.5 && d <= gap, flops};
+}
+
+}  // namespace psmsys::geom

@@ -1,0 +1,53 @@
+#pragma once
+
+// Named spatial predicates — the geometric consistency knowledge of SPAM's
+// LCC phase (Section 2.2: "runways intersect taxiways", "terminal buildings
+// are adjacent to parking apron", "access roads lead to terminal buildings").
+//
+// Each predicate reports both its truth value and the number of elementary
+// geometry operations ("flops") it performed. The OPS5 engine charges these
+// flops to RHS cost, which is how the paper's large non-match computation
+// (50-70% of LCC time outside match) arises in our reproduction.
+
+#include <cstdint>
+
+#include "geom/polygon.hpp"
+
+namespace psmsys::geom {
+
+struct PredicateResult {
+  bool value = false;
+  std::uint64_t flops = 0;
+};
+
+/// Regions share at least one boundary/interior point.
+[[nodiscard]] PredicateResult intersects(const Polygon& a, const Polygon& b) noexcept;
+
+/// Regions are within `gap` of each other but do not overlap.
+[[nodiscard]] PredicateResult adjacent_to(const Polygon& a, const Polygon& b,
+                                          double gap) noexcept;
+
+/// Region `a` wholly contains region `b`.
+[[nodiscard]] PredicateResult contains_region(const Polygon& a, const Polygon& b) noexcept;
+
+/// Centroids within `radius`.
+[[nodiscard]] PredicateResult near(const Polygon& a, const Polygon& b, double radius) noexcept;
+
+/// Long axes within `tolerance` radians of parallel (mod pi).
+[[nodiscard]] PredicateResult aligned_with(const Polygon& a, const Polygon& b,
+                                           double tolerance) noexcept;
+
+/// Long axes within `tolerance` of perpendicular.
+[[nodiscard]] PredicateResult perpendicular_to(const Polygon& a, const Polygon& b,
+                                               double tolerance) noexcept;
+
+/// Extending `a` along its long axis (both ways, up to `reach`) hits `b`:
+/// the "access roads lead to terminal buildings" relation.
+[[nodiscard]] PredicateResult leads_to(const Polygon& a, const Polygon& b,
+                                       double reach) noexcept;
+
+/// `a` is flanked by `b`: b lies to the side of a's long axis within `gap`.
+[[nodiscard]] PredicateResult flanked_by(const Polygon& a, const Polygon& b,
+                                         double gap) noexcept;
+
+}  // namespace psmsys::geom

@@ -1,0 +1,54 @@
+#pragma once
+
+// Minimal 2-D vector algebra for the scene-interpretation geometry.
+
+#include <cmath>
+#include <compare>
+
+namespace psmsys::geom {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) noexcept { return {a.x + b.x, a.y + b.y}; }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) noexcept { return {a.x - b.x, a.y - b.y}; }
+  friend constexpr Vec2 operator*(Vec2 a, double s) noexcept { return {a.x * s, a.y * s}; }
+  friend constexpr Vec2 operator*(double s, Vec2 a) noexcept { return a * s; }
+  friend constexpr Vec2 operator/(Vec2 a, double s) noexcept { return {a.x / s, a.y / s}; }
+  friend constexpr bool operator==(Vec2 a, Vec2 b) noexcept = default;
+};
+
+[[nodiscard]] constexpr double dot(Vec2 a, Vec2 b) noexcept { return a.x * b.x + a.y * b.y; }
+
+/// z-component of the 3-D cross product; sign gives turn direction.
+[[nodiscard]] constexpr double cross(Vec2 a, Vec2 b) noexcept { return a.x * b.y - a.y * b.x; }
+
+[[nodiscard]] inline double length(Vec2 a) noexcept { return std::sqrt(dot(a, a)); }
+
+[[nodiscard]] constexpr double length_sq(Vec2 a) noexcept { return dot(a, a); }
+
+[[nodiscard]] inline double distance(Vec2 a, Vec2 b) noexcept { return length(b - a); }
+
+[[nodiscard]] inline Vec2 normalized(Vec2 a) noexcept {
+  const double len = length(a);
+  return len > 0.0 ? a / len : Vec2{};
+}
+
+/// Rotate a vector counter-clockwise by `radians`.
+[[nodiscard]] inline Vec2 rotated(Vec2 a, double radians) noexcept {
+  const double c = std::cos(radians);
+  const double s = std::sin(radians);
+  return {a.x * c - a.y * s, a.x * s + a.y * c};
+}
+
+/// Orientation of the triple (a, b, c): >0 counter-clockwise, <0 clockwise,
+/// 0 collinear (within eps).
+[[nodiscard]] constexpr int orientation(Vec2 a, Vec2 b, Vec2 c, double eps = 1e-12) noexcept {
+  const double v = cross(b - a, c - a);
+  if (v > eps) return 1;
+  if (v < -eps) return -1;
+  return 0;
+}
+
+}  // namespace psmsys::geom

@@ -1,0 +1,93 @@
+#include "ops5/bindings.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace psmsys::ops5 {
+
+namespace {
+
+void collect_rhs_vars(const Expr& expr, std::vector<VariableId>& out) {
+  if (const auto* v = std::get_if<VarRef>(&expr.node)) {
+    out.push_back(v->var);
+  } else if (const auto* c = std::get_if<CallExpr>(&expr.node)) {
+    for (const auto& a : c->args) collect_rhs_vars(a, out);
+  }
+}
+
+}  // namespace
+
+BindingAnalysis analyze_bindings(const Production& production) {
+  BindingAnalysis analysis;
+  std::uint32_t positive_ordinal = 0;
+  const auto lhs = production.lhs();
+  for (std::uint32_t pos = 0; pos < lhs.size(); ++pos) {
+    const auto& ce = lhs[pos];
+    for (const auto& test : ce.tests) {
+      if (!test.is_variable) continue;
+      if (analysis.sites.contains(test.var)) continue;  // already bound: a test
+      bool local_to_this_negative = false;
+      if (ce.negated) {
+        auto& locals = analysis.negative_locals[pos];
+        bool already_local = false;
+        for (auto v : locals) {
+          if (v == test.var) {
+            already_local = true;
+            break;
+          }
+        }
+        if (!already_local) {
+          if (test.pred != Predicate::Eq) {
+            throw std::invalid_argument(
+                "first occurrence of a variable in a negated CE must be an equality test");
+          }
+          locals.push_back(test.var);
+        }
+        local_to_this_negative = true;
+      }
+      if (!local_to_this_negative) {
+        if (test.pred != Predicate::Eq) {
+          throw std::invalid_argument("first occurrence of a variable must be an equality test");
+        }
+        analysis.sites.emplace(test.var, BindingSite{positive_ordinal, test.slot});
+      }
+    }
+    if (!ce.negated) ++positive_ordinal;
+  }
+
+  // Validate RHS variable uses: every variable read on the RHS must be bound
+  // by a positive CE or by an earlier (bind) action.
+  std::vector<VariableId> bound_by_actions;
+  for (const auto& action : production.rhs()) {
+    std::vector<VariableId> used;
+    std::visit(
+        [&](const auto& a) {
+          using T = std::decay_t<decltype(a)>;
+          if constexpr (std::is_same_v<T, MakeAction> || std::is_same_v<T, ModifyAction>) {
+            for (const auto& [slot, expr] : a.sets) collect_rhs_vars(expr, used);
+          } else if constexpr (std::is_same_v<T, BindAction>) {
+            collect_rhs_vars(a.expr, used);
+          } else if constexpr (std::is_same_v<T, WriteAction>) {
+            for (const auto& e : a.exprs) collect_rhs_vars(e, used);
+          }
+        },
+        action);
+    for (auto v : used) {
+      const bool ok = analysis.sites.contains(v) ||
+                      std::find(bound_by_actions.begin(), bound_by_actions.end(), v) !=
+                          bound_by_actions.end();
+      if (!ok) throw std::invalid_argument("RHS uses unbound variable");
+    }
+    if (const auto* b = std::get_if<BindAction>(&action)) bound_by_actions.push_back(b->var);
+  }
+  return analysis;
+}
+
+Value binding_value(const BindingAnalysis& analysis, VariableId var,
+                    std::span<const Wme* const> wmes) {
+  const auto site = analysis.site(var);
+  if (!site) throw std::logic_error("variable has no binding site");
+  return wmes[site->positive_ce]->slot(site->slot);
+}
+
+}  // namespace psmsys::ops5

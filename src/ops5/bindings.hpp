@@ -1,0 +1,50 @@
+#pragma once
+
+// Static analysis of variable bindings in a production's LHS.
+//
+// OPS5 semantics: a variable's first *equality* occurrence in a positive CE
+// binds it; every other occurrence (any predicate, any CE) tests against that
+// binding. Variables first occurring in a negated CE are local to that CE.
+// The Rete builder turns non-binding occurrences into join tests; the naive
+// matcher and the RHS evaluator use the binding map directly.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "ops5/production.hpp"
+
+namespace psmsys::ops5 {
+
+/// Where a variable is bound: ordinal of the positive CE (0-based, counting
+/// positive CEs only) and the slot within the matched WME.
+struct BindingSite {
+  std::uint32_t positive_ce = 0;
+  SlotIndex slot = 0;
+};
+
+struct BindingAnalysis {
+  /// Binding site for every variable bound by a positive CE.
+  std::unordered_map<VariableId, BindingSite> sites;
+
+  /// Variables local to each negated CE (first occurrence inside it),
+  /// keyed by LHS position of the negated CE.
+  std::unordered_map<std::uint32_t, std::vector<VariableId>> negative_locals;
+
+  [[nodiscard]] std::optional<BindingSite> site(VariableId v) const {
+    if (const auto it = sites.find(v); it != sites.end()) return it->second;
+    return std::nullopt;
+  }
+};
+
+/// Analyze a production. Throws std::invalid_argument on semantic errors:
+/// a non-equality first occurrence, or an RHS variable never bound.
+[[nodiscard]] BindingAnalysis analyze_bindings(const Production& production);
+
+/// Value of a variable under an instantiation's WME list (positive CEs, in
+/// order). The binding must exist.
+[[nodiscard]] Value binding_value(const BindingAnalysis& analysis, VariableId var,
+                                  std::span<const Wme* const> wmes);
+
+}  // namespace psmsys::ops5

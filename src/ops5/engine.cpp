@@ -1,0 +1,337 @@
+#include "ops5/engine.hpp"
+
+#include <bit>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace psmsys::ops5 {
+
+Engine::Engine(std::shared_ptr<const Program> program, const ExternalRegistry* externals,
+               EngineOptions options)
+    : program_(std::move(program)), externals_(externals), options_(options) {
+  if (program_ == nullptr) throw std::invalid_argument("engine needs a program");
+  rete::MatchListener& listener = *this;  // private base: convert in member scope
+  network_ = std::make_unique<rete::Network>(*program_, listener, counters_, options_.costs,
+                                             options_.rete);
+}
+
+Engine::~Engine() = default;
+
+// ---------------------------------------------------------------------------
+// Working memory
+// ---------------------------------------------------------------------------
+
+const Wme& Engine::make_wme(ClassIndex cls, std::vector<std::pair<SlotIndex, Value>> sets) {
+  const WmeClass& decl = program_->wme_class(cls);
+  std::vector<Value> slots(decl.arity());
+  for (auto& [slot, value] : sets) {
+    if (slot >= slots.size()) throw std::out_of_range("make_wme: slot out of range");
+    slots[slot] = value;
+  }
+  auto wme = std::make_unique<Wme>(cls, decl.name(), std::move(slots), next_timetag_++);
+  Wme& ref = *wme;
+  wm_.emplace(ref.timetag(), std::move(wme));
+  ++counters_.wmes_added;
+  if (watch_level_ >= 2) {
+    watch_sink_("=>WM: " + std::to_string(ref.timetag()) + ": " +
+                ref.to_string(program_->symbols(), decl));
+  }
+  network_->add_wme(ref);
+  return ref;
+}
+
+const Wme& Engine::make_wme(std::string_view class_name,
+                            std::vector<std::pair<std::string_view, Value>> sets) {
+  const auto cls_sym = program_->symbols().find(class_name);
+  if (!cls_sym) throw std::invalid_argument("unknown class: " + std::string(class_name));
+  const auto cls = program_->class_index(*cls_sym);
+  if (!cls) throw std::invalid_argument("not a WME class: " + std::string(class_name));
+  const WmeClass& decl = program_->wme_class(*cls);
+  std::vector<std::pair<SlotIndex, Value>> resolved;
+  resolved.reserve(sets.size());
+  for (auto& [attr, value] : sets) {
+    const auto attr_sym = program_->symbols().find(attr);
+    if (!attr_sym) throw std::invalid_argument("unknown attribute: " + std::string(attr));
+    const SlotIndex slot = decl.slot_of(*attr_sym);
+    if (slot == kInvalidSlot) {
+      throw std::invalid_argument("class has no attribute ^" + std::string(attr));
+    }
+    resolved.emplace_back(slot, value);
+  }
+  return make_wme(*cls, std::move(resolved));
+}
+
+void Engine::remove_wme(const Wme& wme) {
+  const auto it = wm_.find(wme.timetag());
+  if (it == wm_.end() || it->second.get() != &wme) {
+    throw std::logic_error("removing WME not in working memory");
+  }
+  ++counters_.wmes_removed;
+  if (watch_level_ >= 2) {
+    watch_sink_("<=WM: " + std::to_string(wme.timetag()) + ": " +
+                wme.to_string(program_->symbols(), program_->wme_class(wme.class_index())));
+  }
+  network_->remove_wme(wme);
+  wm_.erase(it);
+}
+
+std::size_t Engine::wm_size() const noexcept { return wm_.size(); }
+
+void Engine::set_watch(int level, std::function<void(const std::string&)> sink) {
+  if (level < 0 || level > 2) throw std::invalid_argument("watch level must be 0..2");
+  watch_level_ = level;
+  watch_sink_ = std::move(sink);
+  if (watch_level_ > 0 && !watch_sink_) {
+    throw std::invalid_argument("watch level > 0 needs a sink");
+  }
+}
+
+std::vector<const Wme*> Engine::wmes_of_class(ClassIndex cls) const {
+  std::vector<const Wme*> out;
+  for (const auto& [tag, wme] : wm_) {
+    if (wme->class_index() == cls) out.push_back(wme.get());
+  }
+  return out;
+}
+
+std::vector<const Wme*> Engine::wmes_of_class(std::string_view class_name) const {
+  const auto sym = program_->symbols().find(class_name);
+  if (!sym) return {};
+  const auto cls = program_->class_index(*sym);
+  if (!cls) return {};
+  return wmes_of_class(*cls);
+}
+
+// ---------------------------------------------------------------------------
+// Match listener
+// ---------------------------------------------------------------------------
+
+void Engine::on_activate(const Production& production, std::span<const Wme* const> wmes) {
+  conflict_set_.add(production, std::vector<const Wme*>(wmes.begin(), wmes.end()));
+}
+
+void Engine::on_deactivate(const Production& production, std::span<const Wme* const> wmes) {
+  conflict_set_.remove(production, wmes);
+}
+
+// ---------------------------------------------------------------------------
+// RHS evaluation
+// ---------------------------------------------------------------------------
+
+struct Engine::FiringEnv {
+  // Slot values of the matched WMEs, snapshotted at fire start: OPS5 variable
+  // bindings are fixed at match time, and the underlying WMEs may be removed
+  // by earlier actions of the same firing.
+  std::vector<std::vector<Value>> wme_slots;
+  const BindingAnalysis& bindings;
+  std::unordered_map<VariableId, Value> bound;  // from (bind ...) actions
+};
+
+Value Engine::eval(const Expr& expr, FiringEnv& env) {
+  counters_.rhs_cost += 1;
+  if (const auto* lit = std::get_if<Value>(&expr.node)) return *lit;
+  if (const auto* ref = std::get_if<VarRef>(&expr.node)) {
+    if (const auto it = env.bound.find(ref->var); it != env.bound.end()) return it->second;
+    const auto site = env.bindings.site(ref->var);
+    if (!site) throw std::logic_error("variable has no binding site");
+    return env.wme_slots[site->positive_ce][site->slot];
+  }
+  const auto& call = std::get<CallExpr>(expr.node);
+  std::vector<Value> args;
+  args.reserve(call.args.size());
+  for (const auto& a : call.args) args.push_back(eval(a, env));
+  if (externals_ != nullptr) {
+    if (const ExternalFn* fn = externals_->find(call.function)) {
+      ExternalContext ctx(counters_, options_.costs, user_data_);
+      return (*fn)(args, ctx);
+    }
+  }
+  // Arithmetic builtins used by (compute ...) are always available.
+  const std::string& name = program_->symbols().name(call.function);
+  const auto binary = [&](auto op) {
+    if (args.size() != 2 || !args[0].is_number() || !args[1].is_number()) {
+      throw std::logic_error("builtin " + name + " needs two numeric arguments");
+    }
+    return Value(op(args[0].number(), args[1].number()));
+  };
+  if (name == "+") return binary([](double a, double b) { return a + b; });
+  if (name == "-") return binary([](double a, double b) { return a - b; });
+  if (name == "*") return binary([](double a, double b) { return a * b; });
+  if (name == "//") {
+    return binary([](double a, double b) {
+      if (b == 0.0) throw std::domain_error("division by zero in //");
+      return std::trunc(a / b);
+    });
+  }
+  if (name == "mod") {
+    return binary([](double a, double b) {
+      if (b == 0.0) throw std::domain_error("division by zero in mod");
+      return a - b * std::floor(a / b);
+    });
+  }
+  throw std::logic_error("unknown external function: " + name);
+}
+
+std::vector<Value> Engine::build_slots(ClassIndex cls,
+                                       std::span<const std::pair<SlotIndex, Expr>> sets,
+                                       FiringEnv& env, const std::vector<Value>* base) {
+  const WmeClass& decl = program_->wme_class(cls);
+  std::vector<Value> slots = base != nullptr ? *base : std::vector<Value>(decl.arity());
+  for (const auto& [slot, expr] : sets) slots[slot] = eval(expr, env);
+  return slots;
+}
+
+void Engine::fire(const Production& production, std::vector<const Wme*> matched) {
+  FiringEnv env{{}, network_->bindings(production), {}};
+  env.wme_slots.reserve(matched.size());
+  for (const Wme* w : matched) {
+    env.wme_slots.emplace_back(w->slots().begin(), w->slots().end());
+  }
+  ++counters_.firings;
+
+  // Map 1-based positive-CE index -> live WME (updated by modify/remove).
+  std::vector<const Wme*> ce_wme = std::move(matched);
+
+  for (const auto& action : production.rhs()) {
+    counters_.rhs_cost += options_.costs.rhs_action;
+    std::visit(
+        [&](const auto& a) {
+          using T = std::decay_t<decltype(a)>;
+          if constexpr (std::is_same_v<T, MakeAction>) {
+            ++counters_.rhs_actions;
+            make_wme(a.cls, [&] {
+              std::vector<std::pair<SlotIndex, Value>> sets;
+              sets.reserve(a.sets.size());
+              for (const auto& [slot, expr] : a.sets) sets.emplace_back(slot, eval(expr, env));
+              return sets;
+            }());
+          } else if constexpr (std::is_same_v<T, ModifyAction>) {
+            ++counters_.rhs_actions;
+            const Wme* target = ce_wme.at(a.ce_index - 1);
+            if (target == nullptr) {
+              throw std::logic_error("modify of a WME already removed in this firing");
+            }
+            const std::vector<Value> base(target->slots().begin(), target->slots().end());
+            std::vector<Value> slots = build_slots(target->class_index(), a.sets, env, &base);
+            const ClassIndex cls = target->class_index();
+            remove_wme(*target);
+            // The same WME may be matched at several CE positions.
+            for (auto& slot_wme : ce_wme) {
+              if (slot_wme == target) slot_wme = nullptr;
+            }
+            std::vector<std::pair<SlotIndex, Value>> sets;
+            sets.reserve(slots.size());
+            for (SlotIndex i = 0; i < slots.size(); ++i) sets.emplace_back(i, slots[i]);
+            const Wme& replacement = make_wme(cls, std::move(sets));
+            ce_wme[a.ce_index - 1] = &replacement;
+          } else if constexpr (std::is_same_v<T, RemoveAction>) {
+            ++counters_.rhs_actions;
+            const Wme* target = ce_wme.at(a.ce_index - 1);
+            if (target == nullptr) {
+              throw std::logic_error("remove of a WME already removed in this firing");
+            }
+            remove_wme(*target);
+            for (auto& slot_wme : ce_wme) {
+              if (slot_wme == target) slot_wme = nullptr;
+            }
+          } else if constexpr (std::is_same_v<T, BindAction>) {
+            env.bound[a.var] = eval(a.expr, env);
+          } else if constexpr (std::is_same_v<T, WriteAction>) {
+            ++counters_.rhs_actions;
+            if (write_handler_) {
+              std::ostringstream os;
+              for (std::size_t i = 0; i < a.exprs.size(); ++i) {
+                if (i) os << ' ';
+                os << eval(a.exprs[i], env).to_string(program_->symbols());
+              }
+              write_handler_(os.str());
+            } else {
+              for (const auto& e : a.exprs) (void)eval(e, env);
+            }
+          } else if constexpr (std::is_same_v<T, HaltAction>) {
+            halted_ = true;
+          }
+        },
+        action);
+    if (halted_) break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The recognize-act cycle
+// ---------------------------------------------------------------------------
+
+bool Engine::step() {
+  if (halted_) return false;
+
+  // Match: the network processed WM deltas eagerly; collect this cycle's
+  // chunks (the work a parallel matcher would distribute).
+  std::vector<util::WorkUnits> chunks = network_->take_chunks();
+
+  // Resolve: the ordered conflict set selects in O(log n); charge that.
+  const util::WorkUnits resolve_cost =
+      options_.costs.resolve_per_inst *
+      static_cast<util::WorkUnits>(1 + std::bit_width(conflict_set_.size() + 1));
+  counters_.resolve_cost += resolve_cost;
+  const Instantiation* winner = conflict_set_.select();
+  if (winner == nullptr) {
+    if (options_.record_cycles && !chunks.empty()) {
+      CycleRecord rec;
+      rec.match_chunks = std::move(chunks);
+      rec.resolve_cost = resolve_cost;
+      cycles_.push_back(std::move(rec));
+    }
+    return false;
+  }
+
+  // Act. Copy the winner's identity first: firing can retract the winning
+  // instantiation itself (removing a matched WME destroys the entry).
+  const Production& production = *winner->production;
+  std::vector<const Wme*> matched = winner->wmes;
+  if (watch_level_ >= 1) {
+    std::string line = std::to_string(counters_.cycles + 1) + ". " +
+                       program_->symbols().name(production.name());
+    for (const Wme* w : matched) line += " " + std::to_string(w->timetag());
+    watch_sink_(line);
+  }
+  const util::WorkUnits rhs_before = counters_.rhs_cost;
+  fire(production, std::move(matched));
+  ++counters_.cycles;
+
+  if (options_.record_cycles) {
+    CycleRecord rec;
+    rec.match_chunks = std::move(chunks);
+    rec.resolve_cost = resolve_cost;
+    rec.rhs_cost = counters_.rhs_cost - rhs_before;
+    cycles_.push_back(std::move(rec));
+  }
+  return true;
+}
+
+RunResult Engine::run() {
+  RunResult result;
+  while (true) {
+    if (counters_.cycles >= options_.max_cycles) {
+      result.cycle_limited = true;
+      break;
+    }
+    if (!step()) break;
+  }
+  result.firings = counters_.firings;
+  result.cycles = counters_.cycles;
+  result.halted = halted_;
+  return result;
+}
+
+void Engine::reset() {
+  network_->clear();
+  conflict_set_.clear();
+  wm_.clear();
+  cycles_.clear();
+  counters_ = util::WorkCounters{};
+  next_timetag_ = 1;
+  halted_ = false;
+}
+
+}  // namespace psmsys::ops5

@@ -1,0 +1,155 @@
+#pragma once
+
+// The OPS5 recognize-act interpreter — our analog of ParaOPS5's sequential
+// core. Each PSM task process owns one Engine; the engine owns a Rete
+// network, working memory, and conflict set, and exposes the instrumentation
+// (work counters, per-cycle match chunks) the psm virtual-time models consume.
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ops5/conflict.hpp"
+#include "ops5/external.hpp"
+#include "ops5/production.hpp"
+#include "ops5/wme.hpp"
+#include "rete/network.hpp"
+#include "util/counters.hpp"
+
+namespace psmsys::ops5 {
+
+struct EngineOptions {
+  Strategy strategy = Strategy::Lex;
+  /// Safety valve against runaway rule bases.
+  std::uint64_t max_cycles = 1'000'000;
+  /// Record per-cycle match chunks and cost splits (needed by the
+  /// match-parallelism model; adds memory proportional to cycles).
+  bool record_cycles = false;
+  util::CostModel costs;
+  rete::NetworkOptions rete;
+};
+
+/// Per recognize-act cycle: the independently-schedulable match chunk costs
+/// (what ParaOPS5 distributes over match processes) and the sequential
+/// resolve + RHS costs.
+struct CycleRecord {
+  std::vector<util::WorkUnits> match_chunks;
+  util::WorkUnits resolve_cost = 0;
+  util::WorkUnits rhs_cost = 0;
+
+  [[nodiscard]] util::WorkUnits match_cost() const noexcept {
+    util::WorkUnits total = 0;
+    for (auto c : match_chunks) total += c;
+    return total;
+  }
+  [[nodiscard]] util::WorkUnits total_cost() const noexcept {
+    return match_cost() + resolve_cost + rhs_cost;
+  }
+};
+
+struct RunResult {
+  std::uint64_t firings = 0;
+  std::uint64_t cycles = 0;
+  bool halted = false;        ///< stopped by (halt) rather than quiescence
+  bool cycle_limited = false; ///< hit max_cycles
+};
+
+class Engine final : private rete::MatchListener {
+ public:
+  /// The program must be frozen. `externals` may be nullptr if the program
+  /// uses no (call ...) expressions; it must outlive the engine.
+  Engine(std::shared_ptr<const Program> program, const ExternalRegistry* externals,
+         EngineOptions options = {});
+  ~Engine() override;
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // ------------------------------ working memory --------------------------
+
+  /// Create a WME of `cls` with the given slot values (missing slots nil).
+  /// Returns a reference valid until the WME is removed or reset() is called.
+  const Wme& make_wme(ClassIndex cls, std::vector<std::pair<SlotIndex, Value>> sets);
+
+  /// Convenience: class and attributes by name. Names must already be
+  /// interned (the program is frozen).
+  const Wme& make_wme(std::string_view class_name,
+                      std::vector<std::pair<std::string_view, Value>> sets);
+
+  void remove_wme(const Wme& wme);
+
+  [[nodiscard]] std::size_t wm_size() const noexcept;
+
+  /// All live WMEs of a class (unspecified order).
+  [[nodiscard]] std::vector<const Wme*> wmes_of_class(ClassIndex cls) const;
+  [[nodiscard]] std::vector<const Wme*> wmes_of_class(std::string_view class_name) const;
+
+  // --------------------------------- running -------------------------------
+
+  /// Run recognize-act cycles until quiescence, (halt), or max_cycles.
+  RunResult run();
+
+  /// Execute one cycle. Returns false if the conflict set offers nothing.
+  bool step();
+
+  /// Clear working memory, conflict set, counters, cycle records, and
+  /// timetags. The compiled network is retained — this is what a PSM task
+  /// process does between tasks.
+  void reset();
+
+  // ------------------------------ inspection ------------------------------
+
+  [[nodiscard]] const Program& program() const noexcept { return *program_; }
+  [[nodiscard]] const util::WorkCounters& counters() const noexcept { return counters_; }
+  [[nodiscard]] std::span<const CycleRecord> cycle_records() const noexcept { return cycles_; }
+  [[nodiscard]] const rete::Network& network() const noexcept { return *network_; }
+  [[nodiscard]] std::size_t conflict_set_size() const noexcept { return conflict_set_.size(); }
+
+  /// Sink for (write ...) output; defaults to discarding. The string is one
+  /// whole write action's output.
+  void set_write_handler(std::function<void(const std::string&)> handler) {
+    write_handler_ = std::move(handler);
+  }
+
+  /// Opaque pointer surfaced to external functions via ExternalContext.
+  void set_user_data(void* p) noexcept { user_data_ = p; }
+
+  /// OPS5-style watch tracing: level 0 = off, 1 = production firings,
+  /// 2 = firings plus working-memory changes. Lines go to `sink`.
+  void set_watch(int level, std::function<void(const std::string&)> sink);
+  [[nodiscard]] int watch_level() const noexcept { return watch_level_; }
+
+ private:
+  void on_activate(const Production& production, std::span<const Wme* const> wmes) override;
+  void on_deactivate(const Production& production, std::span<const Wme* const> wmes) override;
+
+  void fire(const Production& production, std::vector<const Wme*> matched);
+
+  struct FiringEnv;
+  [[nodiscard]] Value eval(const Expr& expr, FiringEnv& env);
+  [[nodiscard]] std::vector<Value> build_slots(ClassIndex cls,
+                                               std::span<const std::pair<SlotIndex, Expr>> sets,
+                                               FiringEnv& env,
+                                               const std::vector<Value>* base);
+
+  std::shared_ptr<const Program> program_;
+  const ExternalRegistry* externals_;
+  EngineOptions options_;
+  util::WorkCounters counters_;
+  ConflictSet conflict_set_{options_.strategy};
+  std::unique_ptr<rete::Network> network_;
+  std::vector<CycleRecord> cycles_;
+
+  std::unordered_map<TimeTag, std::unique_ptr<Wme>> wm_;
+  TimeTag next_timetag_ = 1;
+  bool halted_ = false;
+
+  std::function<void(const std::string&)> write_handler_;
+  void* user_data_ = nullptr;
+  int watch_level_ = 0;
+  std::function<void(const std::string&)> watch_sink_;
+};
+
+}  // namespace psmsys::ops5

@@ -1,0 +1,51 @@
+#pragma once
+
+// Parser for an OPS5-style rule language.
+//
+// Supported forms:
+//
+//   (literalize region id class area elong)
+//   (p classify-runway
+//      (region ^class linear ^elong > 6 ^id <r>)
+//      -(fragment ^region <r>)
+//      -->
+//      (make fragment ^region <r> ^type runway)
+//      (write matched <r>))
+//
+// LHS attribute tests: constant, <variable>, predicate+operand
+// (^a > 5, ^a <> nil, ^a <= <x>), and conjunctive braces (^a { > 0 < 10 }).
+// RHS actions: make, modify, remove, bind, write, halt. Expressions may be
+// constants, variables, (compute e op e ...) with + - * // mod, or
+// (call fn-name args...) invoking a registered external function.
+//
+// The SPAM rule generators emit this textual language and the benchmarks
+// parse it, so every benchmark run exercises the full front end.
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "ops5/production.hpp"
+
+namespace psmsys::ops5 {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::string message, int line)
+      : std::runtime_error("parse error (line " + std::to_string(line) + "): " + message),
+        line_(line) {}
+  [[nodiscard]] int line() const noexcept { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Parse OPS5 source into an existing (unfrozen) Program. Multiple sources
+/// may be parsed into one Program; later sources can reference earlier
+/// literalize declarations.
+void parse_into(Program& program, std::string_view source);
+
+/// Convenience: parse a standalone source into a fresh frozen Program.
+[[nodiscard]] Program parse_program(std::string_view source);
+
+}  // namespace psmsys::ops5

@@ -1,0 +1,65 @@
+#include "ops5/value.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace psmsys::ops5 {
+
+SymbolTable::SymbolTable() {
+  names_.emplace_back("nil");
+  ids_.emplace("nil", kNilSymbol);
+}
+
+Symbol SymbolTable::intern(std::string_view name) {
+  if (auto it = ids_.find(std::string(name)); it != ids_.end()) return it->second;
+  if (frozen_) {
+    throw std::logic_error("SymbolTable frozen; cannot intern new symbol: " + std::string(name));
+  }
+  const auto id = static_cast<Symbol>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(std::string(name), id);
+  return id;
+}
+
+std::optional<Symbol> SymbolTable::find(std::string_view name) const {
+  if (auto it = ids_.find(std::string(name)); it != ids_.end()) return it->second;
+  return std::nullopt;
+}
+
+const std::string& SymbolTable::name(Symbol s) const {
+  const auto i = index_of(s);
+  if (i >= names_.size()) throw std::out_of_range("unknown symbol id");
+  return names_[i];
+}
+
+std::string Value::to_string(const SymbolTable& symbols) const {
+  switch (kind_) {
+    case Kind::Nil: return "nil";
+    case Kind::Sym: return symbols.name(sym_);
+    case Kind::Num: {
+      std::ostringstream os;
+      const double n = num_;
+      if (n == static_cast<double>(static_cast<long long>(n))) {
+        os << static_cast<long long>(n);
+      } else {
+        os << n;
+      }
+      return os.str();
+    }
+  }
+  return "?";
+}
+
+std::string_view predicate_name(Predicate p) noexcept {
+  switch (p) {
+    case Predicate::Eq: return "=";
+    case Predicate::Ne: return "<>";
+    case Predicate::Lt: return "<";
+    case Predicate::Le: return "<=";
+    case Predicate::Gt: return ">";
+    case Predicate::Ge: return ">=";
+  }
+  return "?";
+}
+
+}  // namespace psmsys::ops5

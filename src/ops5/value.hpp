@@ -1,0 +1,134 @@
+#pragma once
+
+// OPS5 scalar values and interned symbols.
+//
+// OPS5 working-memory slots hold either symbolic atoms or numbers. Symbols
+// are interned once in a SymbolTable so that all match-time comparisons are
+// integer compares, as in ParaOPS5's C implementation.
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace psmsys::ops5 {
+
+/// Interned symbol id. Id 0 is reserved for "nil".
+enum class Symbol : std::uint32_t {};
+
+inline constexpr Symbol kNilSymbol{0};
+
+[[nodiscard]] constexpr std::uint32_t index_of(Symbol s) noexcept {
+  return static_cast<std::uint32_t>(s);
+}
+
+/// Two-way string <-> Symbol map. Interning is only legal while unfrozen;
+/// after freeze() the table is immutable and safe to share across threads
+/// (each PSM task process holds a shared_ptr to the frozen Program).
+class SymbolTable {
+ public:
+  SymbolTable();
+
+  /// Intern (or look up) a symbol. Throws if frozen and the name is new.
+  Symbol intern(std::string_view name);
+
+  /// Look up without interning.
+  [[nodiscard]] std::optional<Symbol> find(std::string_view name) const;
+
+  [[nodiscard]] const std::string& name(Symbol s) const;
+  [[nodiscard]] std::size_t size() const noexcept { return names_.size(); }
+
+  void freeze() noexcept { frozen_ = true; }
+  [[nodiscard]] bool frozen() const noexcept { return frozen_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, Symbol> ids_;
+  bool frozen_ = false;
+};
+
+/// An OPS5 value: nil, symbol, or (double) number.
+class Value {
+ public:
+  enum class Kind : std::uint8_t { Nil, Sym, Num };
+
+  constexpr Value() noexcept : kind_(Kind::Nil), sym_(kNilSymbol) {}
+  constexpr explicit Value(Symbol s) noexcept : kind_(Kind::Sym), sym_(s) {}
+  constexpr explicit Value(double n) noexcept : kind_(Kind::Num), num_(n) {}
+  constexpr explicit Value(int n) noexcept : Value(static_cast<double>(n)) {}
+
+  [[nodiscard]] constexpr Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] constexpr bool is_nil() const noexcept { return kind_ == Kind::Nil; }
+  [[nodiscard]] constexpr bool is_symbol() const noexcept { return kind_ == Kind::Sym; }
+  [[nodiscard]] constexpr bool is_number() const noexcept { return kind_ == Kind::Num; }
+
+  [[nodiscard]] constexpr Symbol symbol() const noexcept { return sym_; }
+  [[nodiscard]] constexpr double number() const noexcept { return num_; }
+
+  [[nodiscard]] constexpr bool operator==(const Value& o) const noexcept {
+    if (kind_ != o.kind_) return false;
+    switch (kind_) {
+      case Kind::Nil: return true;
+      case Kind::Sym: return sym_ == o.sym_;
+      case Kind::Num: return num_ == o.num_;
+    }
+    return false;
+  }
+
+  /// Numeric ordering; symbols are unordered (predicates <,> on symbols are
+  /// false, matching OPS5 semantics where they only apply to numbers).
+  [[nodiscard]] constexpr bool less_than(const Value& o) const noexcept {
+    return is_number() && o.is_number() && num_ < o.num_;
+  }
+
+  [[nodiscard]] std::string to_string(const SymbolTable& symbols) const;
+
+  [[nodiscard]] std::size_t hash() const noexcept {
+    switch (kind_) {
+      case Kind::Nil: return 0x9e3779b9;
+      case Kind::Sym: return 0x85ebca6b ^ (static_cast<std::size_t>(index_of(sym_)) * 0xc2b2ae35);
+      case Kind::Num: {
+        const double n = num_ == 0.0 ? 0.0 : num_;  // collapse -0.0 with +0.0
+        std::size_t h = 0;
+        static_assert(sizeof(h) >= sizeof(n));
+        __builtin_memcpy(&h, &n, sizeof(n));
+        return h * 0x9e3779b97f4a7c15ULL;
+      }
+    }
+    return 0;
+  }
+
+ private:
+  Kind kind_;
+  union {
+    Symbol sym_;
+    double num_;
+  };
+};
+
+struct ValueHash {
+  [[nodiscard]] std::size_t operator()(const Value& v) const noexcept { return v.hash(); }
+};
+
+/// Comparison predicates available in LHS attribute tests.
+enum class Predicate : std::uint8_t { Eq, Ne, Lt, Le, Gt, Ge };
+
+[[nodiscard]] constexpr bool apply_predicate(Predicate p, const Value& lhs,
+                                             const Value& rhs) noexcept {
+  switch (p) {
+    case Predicate::Eq: return lhs == rhs;
+    case Predicate::Ne: return !(lhs == rhs);
+    case Predicate::Lt: return lhs.less_than(rhs);
+    case Predicate::Le: return lhs.less_than(rhs) || lhs == rhs;
+    case Predicate::Gt: return rhs.less_than(lhs);
+    case Predicate::Ge: return rhs.less_than(lhs) || lhs == rhs;
+  }
+  return false;
+}
+
+[[nodiscard]] std::string_view predicate_name(Predicate p) noexcept;
+
+}  // namespace psmsys::ops5

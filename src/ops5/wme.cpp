@@ -1,0 +1,31 @@
+#include "ops5/wme.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace psmsys::ops5 {
+
+WmeClass::WmeClass(Symbol name, std::vector<Symbol> attributes)
+    : name_(name), attributes_(std::move(attributes)) {
+  if (attributes_.empty()) throw std::invalid_argument("WME class needs >= 1 attribute");
+}
+
+SlotIndex WmeClass::slot_of(Symbol attribute) const noexcept {
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i] == attribute) return static_cast<SlotIndex>(i);
+  }
+  return kInvalidSlot;
+}
+
+std::string Wme::to_string(const SymbolTable& symbols, const WmeClass& cls) const {
+  std::ostringstream os;
+  os << '(' << symbols.name(class_name_);
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].is_nil()) continue;
+    os << " ^" << symbols.name(cls.attributes()[i]) << ' ' << slots_[i].to_string(symbols);
+  }
+  os << ')';
+  return os.str();
+}
+
+}  // namespace psmsys::ops5

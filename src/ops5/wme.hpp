@@ -1,0 +1,66 @@
+#pragma once
+
+// Working memory elements and class (literalize) declarations.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ops5/value.hpp"
+
+namespace psmsys::ops5 {
+
+/// Index of a WME class within a Program's declaration list.
+using ClassIndex = std::uint32_t;
+
+/// Slot index within a WME of a given class.
+using SlotIndex = std::uint32_t;
+
+inline constexpr SlotIndex kInvalidSlot = static_cast<SlotIndex>(-1);
+
+/// A `(literalize class attr...)` declaration: fixed attribute layout.
+class WmeClass {
+ public:
+  WmeClass(Symbol name, std::vector<Symbol> attributes);
+
+  [[nodiscard]] Symbol name() const noexcept { return name_; }
+  [[nodiscard]] std::span<const Symbol> attributes() const noexcept { return attributes_; }
+  [[nodiscard]] std::size_t arity() const noexcept { return attributes_.size(); }
+
+  /// Slot of an attribute, or kInvalidSlot if the class lacks it.
+  [[nodiscard]] SlotIndex slot_of(Symbol attribute) const noexcept;
+
+ private:
+  Symbol name_;
+  std::vector<Symbol> attributes_;
+};
+
+/// Monotonically increasing creation stamp; drives conflict-resolution
+/// recency ordering (LEX / MEA).
+using TimeTag = std::uint64_t;
+
+/// A working memory element: class + slot values + timetag. Instances are
+/// owned by the Engine's WorkingMemory and referenced (never owned) by the
+/// matcher and by conflict-set instantiations.
+class Wme {
+ public:
+  Wme(ClassIndex cls, Symbol class_name, std::vector<Value> slots, TimeTag tag)
+      : slots_(std::move(slots)), tag_(tag), class_(cls), class_name_(class_name) {}
+
+  [[nodiscard]] ClassIndex class_index() const noexcept { return class_; }
+  [[nodiscard]] Symbol class_name() const noexcept { return class_name_; }
+  [[nodiscard]] TimeTag timetag() const noexcept { return tag_; }
+  [[nodiscard]] std::span<const Value> slots() const noexcept { return slots_; }
+  [[nodiscard]] const Value& slot(SlotIndex i) const { return slots_.at(i); }
+
+  [[nodiscard]] std::string to_string(const SymbolTable& symbols, const WmeClass& cls) const;
+
+ private:
+  std::vector<Value> slots_;
+  TimeTag tag_;
+  ClassIndex class_;
+  Symbol class_name_;
+};
+
+}  // namespace psmsys::ops5

@@ -1,0 +1,67 @@
+#include "psm/message_passing.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace psmsys::psm {
+
+double MessagePassingResult::utilization() const noexcept {
+  if (makespan == 0 || busy.empty()) return 0.0;
+  double total = 0.0;
+  for (auto b : busy) total += static_cast<double>(b);
+  return total / (static_cast<double>(makespan) * static_cast<double>(busy.size()));
+}
+
+MessagePassingResult simulate_message_passing(std::span<const util::WorkUnits> task_costs,
+                                              const MessagePassingConfig& config) {
+  if (config.workers == 0) throw std::invalid_argument("need >= 1 worker");
+
+  MessagePassingResult result;
+  result.busy.assign(config.workers, 0);
+
+  // Per-task fixed messaging work seen by the worker.
+  const util::WorkUnits result_send =
+      config.marshal_cost + (config.async_results ? 0 : config.message_latency);
+
+  if (config.distribution == Distribution::Static) {
+    // Round-robin pre-assignment: one bulk task-list message per worker up
+    // front (latency paid once, overlapped across workers), then each node
+    // runs its share and sends results.
+    std::vector<util::WorkUnits> finish(config.workers, config.message_latency +
+                                                            config.marshal_cost);
+    for (std::size_t i = 0; i < task_costs.size(); ++i) {
+      const std::size_t w = i % config.workers;
+      finish[w] += task_costs[i] + result_send;
+      result.busy[w] += task_costs[i] + result_send;
+      ++result.messages;
+    }
+    result.messages += config.workers;  // the initial assignment messages
+    for (const auto f : finish) result.makespan = std::max(result.makespan, f);
+    return result;
+  }
+
+  // Dynamic: a request/reply round trip fetches each task from the control
+  // node. The worker stalls for 2 x latency + marshalling per fetch.
+  const util::WorkUnits fetch_stall =
+      2 * config.message_latency + 2 * config.marshal_cost;
+  using Slot = std::pair<util::WorkUnits, std::size_t>;
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> free_at;
+  for (std::size_t w = 0; w < config.workers; ++w) free_at.emplace(0, w);
+
+  for (const util::WorkUnits cost : task_costs) {
+    auto [t, w] = free_at.top();
+    free_at.pop();
+    result.busy[w] += cost + result_send;
+    result.network_stall += fetch_stall;
+    result.messages += config.async_results ? 3 : 3;  // request, reply, result
+    free_at.emplace(t + fetch_stall + cost + result_send, w);
+  }
+  while (!free_at.empty()) {
+    result.makespan = std::max(result.makespan, free_at.top().first);
+    free_at.pop();
+  }
+  return result;
+}
+
+}  // namespace psmsys::psm

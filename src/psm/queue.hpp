@@ -1,0 +1,43 @@
+#pragma once
+
+// The central task queue of SPAM/PSM (Figure 5). One producer (the control
+// process, which enqueues everything up front) and N consumer task
+// processes. Contention on this queue was measured to be "minimal"
+// (Section 7, observation 4); the queue also counts pops so the benchmarks
+// can report queue-management overhead.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "psm/task.hpp"
+
+namespace psmsys::psm {
+
+class TaskQueue {
+ public:
+  /// Load the full task list (control process, before forking workers).
+  explicit TaskQueue(std::vector<Task> tasks) : tasks_(std::move(tasks)) {}
+
+  /// Pop the next task, or nullopt when the queue is exhausted.
+  /// Thread-safe; tasks are handed out in queue order.
+  [[nodiscard]] std::optional<Task> pop() {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= tasks_.size()) return std::nullopt;
+    ++pops_;
+    return tasks_[i];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
+  [[nodiscard]] std::uint64_t pops() const noexcept { return pops_.load(); }
+
+ private:
+  std::vector<Task> tasks_;
+  std::atomic<std::size_t> next_{0};
+  std::atomic<std::uint64_t> pops_{0};
+};
+
+}  // namespace psmsys::psm

@@ -1,0 +1,50 @@
+#include "psm/task.hpp"
+
+#include <stdexcept>
+
+namespace psmsys::psm {
+
+util::WorkCounters counters_delta(const util::WorkCounters& before,
+                                  const util::WorkCounters& after) noexcept {
+  util::WorkCounters d;
+  d.match_cost = after.match_cost - before.match_cost;
+  d.alpha_tests = after.alpha_tests - before.alpha_tests;
+  d.alpha_activations = after.alpha_activations - before.alpha_activations;
+  d.join_probes = after.join_probes - before.join_probes;
+  d.tokens_created = after.tokens_created - before.tokens_created;
+  d.tokens_deleted = after.tokens_deleted - before.tokens_deleted;
+  d.resolve_cost = after.resolve_cost - before.resolve_cost;
+  d.rhs_cost = after.rhs_cost - before.rhs_cost;
+  d.firings = after.firings - before.firings;
+  d.rhs_actions = after.rhs_actions - before.rhs_actions;
+  d.wmes_added = after.wmes_added - before.wmes_added;
+  d.wmes_removed = after.wmes_removed - before.wmes_removed;
+  d.cycles = after.cycles - before.cycles;
+  return d;
+}
+
+TaskRunner::TaskRunner(const TaskProcessFactory& factory) {
+  if (!factory.make_engine) throw std::invalid_argument("factory needs make_engine");
+  engine_ = factory.make_engine();
+  if (factory.base_init) factory.base_init(*engine_);
+  // Base-WM loading is initialization, not task work; its cycle records (none
+  // should exist, the engine has not run) and counters are excluded by the
+  // per-task delta measurement.
+  cycle_offset_ = engine_->cycle_records().size();
+}
+
+TaskMeasurement TaskRunner::run(const Task& task) {
+  const util::WorkCounters before = engine_->counters();
+  task.inject(*engine_);
+  (void)engine_->run();
+
+  TaskMeasurement m;
+  m.task_id = task.id;
+  m.counters = counters_delta(before, engine_->counters());
+  const auto records = engine_->cycle_records();
+  m.cycles.assign(records.begin() + static_cast<std::ptrdiff_t>(cycle_offset_), records.end());
+  cycle_offset_ = records.size();
+  return m;
+}
+
+}  // namespace psmsys::psm

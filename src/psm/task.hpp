@@ -1,0 +1,66 @@
+#pragma once
+
+// SPAM/PSM task abstraction (Section 5.1).
+//
+// A task "is just a working memory element, which initializes the production
+// system of the process": here, an inject function that adds the task WME(s)
+// to a task process's engine. A task process is an Engine plus the base
+// working memory copied from the control process; it executes tasks one
+// after another, measuring each task's work-unit cost and per-cycle records.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ops5/engine.hpp"
+#include "util/counters.hpp"
+
+namespace psmsys::psm {
+
+struct Task {
+  std::uint64_t id = 0;        ///< dense index; also the FIFO queue position
+  std::string label;
+  std::function<void(ops5::Engine&)> inject;
+};
+
+/// What executing one task cost (deltas over the task process's engine).
+struct TaskMeasurement {
+  std::uint64_t task_id = 0;
+  util::WorkCounters counters;                ///< cost/ops delta for this task
+  std::vector<ops5::CycleRecord> cycles;      ///< per-cycle records (if enabled)
+
+  [[nodiscard]] util::WorkUnits cost() const noexcept { return counters.total_cost(); }
+};
+
+[[nodiscard]] util::WorkCounters counters_delta(const util::WorkCounters& before,
+                                                const util::WorkCounters& after) noexcept;
+
+/// Builds engines for task processes. The engine must come preconfigured
+/// (program, externals, user data); `base_init` loads the control process's
+/// initial working memory. Both run at task-process startup — the paper's
+/// measurement interval starts only after "all the task processes have
+/// performed their initializations" (Section 5.2), and ours does too.
+struct TaskProcessFactory {
+  std::function<std::unique_ptr<ops5::Engine>()> make_engine;
+  std::function<void(ops5::Engine&)> base_init;
+};
+
+/// One task process: engine + base WM, executing tasks sequentially.
+class TaskRunner {
+ public:
+  explicit TaskRunner(const TaskProcessFactory& factory);
+
+  /// Inject the task, run to quiescence, and return the measured deltas.
+  TaskMeasurement run(const Task& task);
+
+  [[nodiscard]] ops5::Engine& engine() noexcept { return *engine_; }
+  [[nodiscard]] const ops5::Engine& engine() const noexcept { return *engine_; }
+
+ private:
+  std::unique_ptr<ops5::Engine> engine_;
+  std::size_t cycle_offset_ = 0;
+};
+
+}  // namespace psmsys::psm

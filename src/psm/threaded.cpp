@@ -1,0 +1,59 @@
+#include "psm/threaded.hpp"
+
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "psm/queue.hpp"
+
+namespace psmsys::psm {
+
+ThreadedRunResult run_threaded(const TaskProcessFactory& factory, std::vector<Task> tasks,
+                               std::size_t task_processes, const CollectFn& collect) {
+  if (task_processes == 0) throw std::invalid_argument("need at least one task process");
+  const std::size_t n_tasks = tasks.size();
+  for (std::size_t i = 0; i < n_tasks; ++i) {
+    if (tasks[i].id != i) throw std::invalid_argument("task ids must be dense 0..n-1");
+  }
+
+  ThreadedRunResult result;
+  result.measurements.resize(n_tasks);
+  result.executed_by.assign(n_tasks, 0);
+  result.tasks_per_process.assign(task_processes, 0);
+
+  TaskQueue queue(std::move(tasks));
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  const auto start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::jthread> workers;
+    workers.reserve(task_processes);
+    for (std::size_t p = 0; p < task_processes; ++p) {
+      workers.emplace_back([&, p] {
+        try {
+          TaskRunner runner(factory);  // initialization: untimed, per process
+          while (auto task = queue.pop()) {
+            const std::uint64_t id = task->id;
+            TaskMeasurement m = runner.run(*task);
+            // Distinct slots per task: no lock needed.
+            result.measurements[id] = std::move(m);
+            result.executed_by[id] = p;
+            ++result.tasks_per_process[p];
+          }
+          if (collect) collect(p, runner.engine());
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+  }  // jthreads join here
+  result.wall = std::chrono::steady_clock::now() - start;
+
+  if (first_error) std::rethrow_exception(first_error);
+  return result;
+}
+
+}  // namespace psmsys::psm

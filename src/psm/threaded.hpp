@@ -1,0 +1,45 @@
+#pragma once
+
+// Real multithreaded execution of a PSM task decomposition.
+//
+// This is the correctness side of the reproduction: each task process is an
+// independent engine (asynchronous production firing, WME distribution) fed
+// from the shared task queue, exactly the paper's architecture. Tests verify
+// that results are identical for any number of task processes — the property
+// that makes the decomposition legal. Wall-clock speedups are NOT measured
+// here (the benchmark host has one core); the virtual-time models in
+// sim.hpp produce the speedup curves from the measured task costs.
+
+#include <chrono>
+#include <cstddef>
+#include <vector>
+
+#include "psm/task.hpp"
+
+namespace psmsys::psm {
+
+struct ThreadedRunResult {
+  /// Measurement for every task, indexed by task id.
+  std::vector<TaskMeasurement> measurements;
+  /// Which task process executed each task (by task id).
+  std::vector<std::size_t> executed_by;
+  /// Tasks executed per process.
+  std::vector<std::size_t> tasks_per_process;
+  std::chrono::nanoseconds wall{};
+};
+
+/// Called once per task process after the queue is drained, from that
+/// worker's thread, so the control process can collect results from the
+/// process's working memory (Section 5.1: the control process "collects
+/// from them the results"). Must synchronize its own sink.
+using CollectFn = std::function<void(std::size_t process, ops5::Engine& engine)>;
+
+/// Fork `task_processes` workers over a FIFO queue of `tasks`. Each worker
+/// builds its own engine via `factory` (initialization, untimed), then
+/// drains the queue. Throws if any worker throws.
+[[nodiscard]] ThreadedRunResult run_threaded(const TaskProcessFactory& factory,
+                                             std::vector<Task> tasks,
+                                             std::size_t task_processes,
+                                             const CollectFn& collect = {});
+
+}  // namespace psmsys::psm

@@ -1,0 +1,42 @@
+#pragma once
+
+// Matcher abstraction: the engine drives any matcher (Rete or the naive
+// oracle) through this interface, and the matcher reports conflict-set
+// changes through MatchListener.
+
+#include <span>
+
+#include "ops5/production.hpp"
+#include "ops5/wme.hpp"
+
+namespace psmsys::rete {
+
+/// Receives conflict-set deltas from a matcher.
+class MatchListener {
+ public:
+  virtual ~MatchListener() = default;
+
+  /// A production became satisfied by `wmes` (positive CEs, in order).
+  virtual void on_activate(const ops5::Production& production,
+                           std::span<const ops5::Wme* const> wmes) = 0;
+
+  /// A previously reported match is no longer satisfied.
+  virtual void on_deactivate(const ops5::Production& production,
+                             std::span<const ops5::Wme* const> wmes) = 0;
+};
+
+class Matcher {
+ public:
+  virtual ~Matcher() = default;
+
+  /// Incorporate a new WME. The WME must outlive its presence in the matcher.
+  virtual void add_wme(const ops5::Wme& wme) = 0;
+
+  /// Retract a WME previously added.
+  virtual void remove_wme(const ops5::Wme& wme) = 0;
+
+  /// Forget all WMEs (between PSM tasks); the network structure is retained.
+  virtual void clear() = 0;
+};
+
+}  // namespace psmsys::rete

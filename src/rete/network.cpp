@@ -1,0 +1,807 @@
+#include "rete/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace psmsys::rete {
+
+namespace {
+
+using ops5::ClassIndex;
+using ops5::Predicate;
+using ops5::SlotIndex;
+using ops5::Value;
+using ops5::Wme;
+
+// ---------------------------------------------------------------------------
+// Network data structures
+// ---------------------------------------------------------------------------
+
+struct AlphaMemory;
+struct JoinNode;
+struct BetaNode;
+
+struct NegJoinResult {
+  struct Token* owner = nullptr;
+  const Wme* wme = nullptr;
+};
+
+struct Token {
+  Token* parent = nullptr;
+  const Wme* wme = nullptr;  // null for the dummy token and neg-after-neg tokens
+  BetaNode* node = nullptr;
+  std::vector<Token*> children;
+  std::vector<NegJoinResult*> join_results;  // only for tokens owned by negative nodes
+};
+
+/// One constant test in the alpha network.
+struct ConstTest {
+  SlotIndex slot = 0;
+  Predicate pred = Predicate::Eq;
+  Value value;
+  [[nodiscard]] bool operator==(const ConstTest&) const = default;
+};
+
+/// Intra-CE variable test: wme.slot PRED wme.other_slot.
+struct IntraTest {
+  SlotIndex slot = 0;
+  Predicate pred = Predicate::Eq;
+  SlotIndex other_slot = 0;
+  [[nodiscard]] bool operator==(const IntraTest&) const = default;
+};
+
+/// OPS5 value disjunction: wme.slot must equal one of `values`.
+struct DisjTest {
+  SlotIndex slot = 0;
+  std::vector<Value> values;
+  [[nodiscard]] bool operator==(const DisjTest&) const = default;
+};
+
+/// Join test: wme.wme_slot PRED chain-wme(levels_up).token_slot.
+struct JoinTest {
+  SlotIndex wme_slot = 0;
+  Predicate pred = Predicate::Eq;
+  std::uint32_t levels_up = 0;
+  SlotIndex token_slot = 0;
+  [[nodiscard]] bool operator==(const JoinTest&) const = default;
+};
+
+struct AlphaMemory {
+  std::vector<const Wme*> items;
+  std::vector<JoinNode*> join_successors;
+  std::vector<BetaNode*> negative_successors;
+};
+
+struct AlphaPattern {
+  ClassIndex cls = 0;
+  std::vector<ConstTest> const_tests;
+  std::vector<IntraTest> intra_tests;
+  std::vector<DisjTest> disj_tests;
+  AlphaMemory* memory = nullptr;
+};
+
+enum class BetaKind : std::uint8_t { Memory, Negative, Production };
+
+struct BetaNode {
+  BetaKind kind = BetaKind::Memory;
+  std::vector<Token*> tokens;
+
+  // Negative nodes only:
+  AlphaMemory* amem = nullptr;
+  std::vector<JoinTest> tests;
+  // Hashed memories for negative nodes, symmetric with JoinNode.
+  int index_test = -1;
+  std::unordered_map<Value, std::vector<const Wme*>, ops5::ValueHash> right_index;
+  std::unordered_map<Value, std::vector<Token*>, ops5::ValueHash> left_index;
+
+  // Token stores (Memory / Negative): downstream consumers.
+  std::vector<JoinNode*> join_children;
+  std::vector<BetaNode*> left_children;  // NEG->NEG, NEG->P chains
+
+  // Production nodes only:
+  const ops5::Production* production = nullptr;
+};
+
+struct JoinNode {
+  BetaNode* parent = nullptr;  // token store
+  AlphaMemory* amem = nullptr;
+  std::vector<JoinTest> tests;
+  std::vector<BetaNode*> children;
+
+  // Hashed-memory optimization (ParaOPS5): when the join has an equality
+  // test and its parent is a plain memory, both sides are indexed by that
+  // test's value so an activation probes only matching candidates.
+  int index_test = -1;  // -1: unindexed (scan)
+  std::unordered_map<Value, std::vector<const Wme*>, ops5::ValueHash> right_index;
+  std::unordered_map<Value, std::vector<Token*>, ops5::ValueHash> left_index;
+};
+
+template <typename T>
+void erase_one(std::vector<T>& v, const T& x) {
+  const auto it = std::find(v.begin(), v.end(), x);
+  if (it == v.end()) throw std::logic_error("rete invariant violated: element not found");
+  *it = v.back();
+  v.pop_back();
+}
+
+[[nodiscard]] const Wme* wme_up(const Token* t, std::uint32_t levels_up) noexcept {
+  const Token* cur = t;
+  for (std::uint32_t i = 0; i < levels_up; ++i) cur = cur->parent;
+  return cur->wme;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Impl
+// ---------------------------------------------------------------------------
+
+struct Network::Impl {
+  const ops5::Program& program;
+  MatchListener& listener;
+  util::WorkCounters& counters;
+  util::CostModel costs;
+  NetworkOptions options;
+
+  // Ownership pools. Nodes are created at compile time and never destroyed
+  // until the network dies; tokens and join results churn at match time.
+  std::deque<AlphaPattern> patterns;
+  std::deque<AlphaMemory> alpha_memories;
+  std::deque<BetaNode> beta_nodes;
+  std::deque<JoinNode> join_nodes;
+
+  std::vector<Token*> token_free_list;
+  std::deque<Token> token_pool;
+  std::vector<NegJoinResult*> jr_free_list;
+  std::deque<NegJoinResult> jr_pool;
+
+  /// Alpha patterns indexed by WME class for O(per-class) dispatch.
+  std::vector<std::vector<AlphaPattern*>> patterns_by_class;
+
+  /// Side data per live WME.
+  struct WmeData {
+    std::vector<AlphaMemory*> alpha_mems;
+    std::vector<Token*> tokens;
+    std::vector<NegJoinResult*> neg_results;
+  };
+  std::unordered_map<const Wme*, WmeData> wme_data;
+
+  BetaNode* dummy_store = nullptr;
+  Token* dummy_token = nullptr;
+
+  std::unordered_map<const ops5::Production*, ops5::BindingAnalysis> bindings;
+
+  std::vector<util::WorkUnits> chunks;
+
+  Impl(const ops5::Program& prog, MatchListener& lst, util::WorkCounters& ctr,
+       const util::CostModel& cm, const NetworkOptions& opt)
+      : program(prog), listener(lst), counters(ctr), costs(cm), options(opt) {}
+
+  // ------------------------------- allocation -----------------------------
+
+  Token* new_token(Token* parent, const Wme* wme, BetaNode* node) {
+    Token* t = nullptr;
+    if (!token_free_list.empty()) {
+      t = token_free_list.back();
+      token_free_list.pop_back();
+      *t = Token{};
+    } else {
+      t = &token_pool.emplace_back();
+    }
+    t->parent = parent;
+    t->wme = wme;
+    t->node = node;
+    if (parent != nullptr) parent->children.push_back(t);
+    if (wme != nullptr) wme_data.at(wme).tokens.push_back(t);
+    ++counters.tokens_created;
+    counters.match_cost += costs.token_op;
+    return t;
+  }
+
+  void free_token(Token* t) {
+    ++counters.tokens_deleted;
+    counters.match_cost += costs.token_op;
+    token_free_list.push_back(t);
+  }
+
+  NegJoinResult* new_jr(Token* owner, const Wme* wme) {
+    NegJoinResult* jr = nullptr;
+    if (!jr_free_list.empty()) {
+      jr = jr_free_list.back();
+      jr_free_list.pop_back();
+    } else {
+      jr = &jr_pool.emplace_back();
+    }
+    jr->owner = owner;
+    jr->wme = wme;
+    counters.match_cost += costs.negative_op;
+    return jr;
+  }
+
+  void free_jr(NegJoinResult* jr) {
+    counters.match_cost += costs.negative_op;
+    jr_free_list.push_back(jr);
+  }
+
+  // ------------------------------- matching -------------------------------
+
+  [[nodiscard]] bool alpha_passes(const AlphaPattern& p, const Wme& w) {
+    for (const auto& t : p.const_tests) {
+      ++counters.alpha_tests;
+      counters.match_cost += costs.alpha_test;
+      if (!apply_predicate(t.pred, w.slot(t.slot), t.value)) return false;
+    }
+    for (const auto& t : p.intra_tests) {
+      ++counters.alpha_tests;
+      counters.match_cost += costs.alpha_test;
+      if (!apply_predicate(t.pred, w.slot(t.slot), w.slot(t.other_slot))) return false;
+    }
+    for (const auto& t : p.disj_tests) {
+      ++counters.alpha_tests;
+      counters.match_cost += costs.alpha_test * static_cast<util::WorkUnits>(t.values.size());
+      bool any = false;
+      for (const auto& v : t.values) {
+        if (w.slot(t.slot) == v) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool join_passes(std::span<const JoinTest> tests, const Token* t, const Wme& w) {
+    ++counters.join_probes;
+    counters.match_cost += costs.join_probe +
+                           costs.join_test * static_cast<util::WorkUnits>(tests.size());
+    for (const auto& test : tests) {
+      const Wme* bound = wme_up(t, test.levels_up);
+      assert(bound != nullptr);
+      if (!apply_predicate(test.pred, w.slot(test.wme_slot), bound->slot(test.token_slot))) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  template <typename Fn>
+  void for_each_active_token(BetaNode& store, Fn&& fn) {
+    // Iterate over a snapshot: activations may append to the store.
+    const std::vector<Token*> snapshot = store.tokens;
+    for (Token* t : snapshot) {
+      if (store.kind == BetaKind::Negative && !t->join_results.empty()) continue;
+      fn(t);
+    }
+  }
+
+  // ------------------------- hashed join memories -------------------------
+
+  [[nodiscard]] static Value token_key(const JoinNode& j, const Token* t) {
+    const JoinTest& test = j.tests[static_cast<std::size_t>(j.index_test)];
+    return wme_up(t, test.levels_up)->slot(test.token_slot);
+  }
+
+  [[nodiscard]] static Value wme_key(const JoinNode& j, const Wme& w) {
+    const JoinTest& test = j.tests[static_cast<std::size_t>(j.index_test)];
+    return w.slot(test.wme_slot);
+  }
+
+  void index_token(JoinNode& j, Token* t) {
+    counters.match_cost += costs.join_test;
+    j.left_index[token_key(j, t)].push_back(t);
+  }
+
+  void unindex_token(JoinNode& j, Token* t) {
+    counters.match_cost += costs.join_test;
+    erase_one(j.left_index.at(token_key(j, t)), t);
+  }
+
+  void left_activate(BetaNode& node, Token* parent, const Wme* wme) {
+    switch (node.kind) {
+      case BetaKind::Memory: {
+        Token* t = new_token(parent, wme, &node);
+        node.tokens.push_back(t);
+        for (JoinNode* j : node.join_children) {
+          if (j->index_test >= 0) index_token(*j, t);
+        }
+        for (JoinNode* j : node.join_children) join_left_activate(*j, t);
+        break;
+      }
+      case BetaKind::Negative: {
+        Token* t = new_token(parent, wme, &node);
+        node.tokens.push_back(t);
+        // Compute blockers against the negative CE's alpha memory.
+        std::vector<const Wme*> candidates;
+        if (node.index_test >= 0) {
+          counters.match_cost += costs.join_test;
+          const JoinTest& key = node.tests[static_cast<std::size_t>(node.index_test)];
+          node.left_index[wme_up(t, key.levels_up)->slot(key.token_slot)].push_back(t);
+          const auto it = node.right_index.find(wme_up(t, key.levels_up)->slot(key.token_slot));
+          if (it != node.right_index.end()) candidates = it->second;
+        } else {
+          candidates = node.amem->items;
+        }
+        for (const Wme* w2 : candidates) {
+          if (join_passes(node.tests, t, *w2)) {
+            NegJoinResult* jr = new_jr(t, w2);
+            t->join_results.push_back(jr);
+            wme_data.at(w2).neg_results.push_back(jr);
+          }
+        }
+        if (t->join_results.empty()) emit_from_store(node, t);
+        break;
+      }
+      case BetaKind::Production: {
+        Token* t = new_token(parent, wme, &node);
+        node.tokens.push_back(t);
+        counters.match_cost += costs.conflict_set_op;
+        listener.on_activate(*node.production, wmes_of(t));
+        break;
+      }
+    }
+  }
+
+  /// Propagate a store token downstream (new BM token is handled inside
+  /// Memory's case; this is for negative-node unblocking and NEG chains).
+  void emit_from_store(BetaNode& store, Token* t) {
+    for (JoinNode* j : store.join_children) join_left_activate(*j, t);
+    for (BetaNode* c : store.left_children) left_activate(*c, t, nullptr);
+  }
+
+  void join_left_activate(JoinNode& j, Token* t) {
+    // Snapshot: children activations can insert WMEs only via the engine
+    // (never re-entrant here), but keep iteration stable anyway.
+    std::vector<const Wme*> items;
+    if (j.index_test >= 0) {
+      counters.match_cost += costs.join_test;  // hash lookup
+      const auto it = j.right_index.find(token_key(j, t));
+      if (it != j.right_index.end()) items = it->second;
+    } else {
+      items = j.amem->items;
+    }
+    for (const Wme* w : items) {
+      if (join_passes(j.tests, t, *w)) {
+        for (BetaNode* c : j.children) left_activate(*c, t, w);
+      }
+    }
+  }
+
+  void join_right_activate(JoinNode& j, const Wme& w) {
+    if (j.index_test >= 0) {
+      counters.match_cost += costs.join_test;  // hash lookup
+      const auto it = j.left_index.find(wme_key(j, w));
+      if (it == j.left_index.end()) return;
+      const std::vector<Token*> snapshot = it->second;
+      for (Token* t : snapshot) {
+        if (join_passes(j.tests, t, w)) {
+          for (BetaNode* c : j.children) left_activate(*c, t, &w);
+        }
+      }
+      return;
+    }
+    for_each_active_token(*j.parent, [&](Token* t) {
+      if (join_passes(j.tests, t, w)) {
+        for (BetaNode* c : j.children) left_activate(*c, t, &w);
+      }
+    });
+  }
+
+  void negative_right_activate(BetaNode& neg, const Wme& w) {
+    std::vector<Token*> snapshot;
+    if (neg.index_test >= 0) {
+      counters.match_cost += costs.join_test;
+      const JoinTest& key = neg.tests[static_cast<std::size_t>(neg.index_test)];
+      const auto it = neg.left_index.find(w.slot(key.wme_slot));
+      if (it != neg.left_index.end()) snapshot = it->second;
+    } else {
+      snapshot = neg.tokens;
+    }
+    for (Token* t : snapshot) {
+      if (join_passes(neg.tests, t, w)) {
+        if (t->join_results.empty()) delete_descendents(t);  // now blocked
+        NegJoinResult* jr = new_jr(t, &w);
+        t->join_results.push_back(jr);
+        wme_data.at(&w).neg_results.push_back(jr);
+      }
+    }
+  }
+
+  [[nodiscard]] std::vector<const Wme*> wmes_of(const Token* t) const {
+    std::vector<const Wme*> out;
+    for (const Token* cur = t; cur != nullptr; cur = cur->parent) {
+      if (cur->wme != nullptr) out.push_back(cur->wme);
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+  }
+
+  void delete_descendents(Token* t) {
+    while (!t->children.empty()) delete_token_and_descendents(t->children.back());
+  }
+
+  void delete_token_and_descendents(Token* t) {
+    delete_descendents(t);
+    BetaNode& node = *t->node;
+    if (node.kind == BetaKind::Memory) {
+      for (JoinNode* j : node.join_children) {
+        if (j->index_test >= 0) unindex_token(*j, t);
+      }
+    }
+    if (node.kind == BetaKind::Production) {
+      counters.match_cost += costs.conflict_set_op;
+      listener.on_deactivate(*node.production, wmes_of(t));
+    }
+    if (node.kind == BetaKind::Negative) {
+      for (NegJoinResult* jr : t->join_results) {
+        erase_one(wme_data.at(jr->wme).neg_results, jr);
+        free_jr(jr);
+      }
+      t->join_results.clear();
+      if (node.index_test >= 0) {
+        counters.match_cost += costs.join_test;
+        const JoinTest& key = node.tests[static_cast<std::size_t>(node.index_test)];
+        erase_one(node.left_index.at(wme_up(t, key.levels_up)->slot(key.token_slot)), t);
+      }
+    }
+    erase_one(node.tokens, t);
+    if (t->wme != nullptr) erase_one(wme_data.at(t->wme).tokens, t);
+    if (t->parent != nullptr) erase_one(t->parent->children, t);
+    free_token(t);
+  }
+
+  void add_wme(const Wme& w) {
+    const auto [it, inserted] = wme_data.try_emplace(&w);
+    if (!inserted) throw std::logic_error("WME added twice to Rete network");
+    if (w.class_index() >= patterns_by_class.size()) return;
+    for (AlphaPattern* p : patterns_by_class[w.class_index()]) {
+      const util::WorkUnits before = counters.match_cost;
+      if (alpha_passes(*p, w)) {
+        ++counters.alpha_activations;
+        counters.match_cost += costs.alpha_mem_insert;
+        p->memory->items.push_back(&w);
+        it->second.alpha_mems.push_back(p->memory);
+        for (JoinNode* j : p->memory->join_successors) {
+          if (j->index_test >= 0) {
+            counters.match_cost += costs.join_test;
+            j->right_index[wme_key(*j, w)].push_back(&w);
+          }
+        }
+        for (BetaNode* neg : p->memory->negative_successors) {
+          if (neg->index_test >= 0) {
+            counters.match_cost += costs.join_test;
+            const JoinTest& key = neg->tests[static_cast<std::size_t>(neg->index_test)];
+            neg->right_index[w.slot(key.wme_slot)].push_back(&w);
+          }
+        }
+        for (BetaNode* neg : p->memory->negative_successors) negative_right_activate(*neg, w);
+        for (JoinNode* j : p->memory->join_successors) join_right_activate(*j, w);
+      }
+      if (options.record_chunks) chunks.push_back(counters.match_cost - before);
+    }
+  }
+
+  void remove_wme(const Wme& w) {
+    const auto it = wme_data.find(&w);
+    if (it == wme_data.end()) throw std::logic_error("removing WME not in Rete network");
+    WmeData& data = it->second;
+
+    const util::WorkUnits before = counters.match_cost;
+    for (AlphaMemory* am : data.alpha_mems) {
+      counters.match_cost += costs.alpha_mem_insert;
+      erase_one(am->items, &w);
+      for (JoinNode* j : am->join_successors) {
+        if (j->index_test >= 0) {
+          counters.match_cost += costs.join_test;
+          erase_one(j->right_index.at(wme_key(*j, w)), &w);
+        }
+      }
+      for (BetaNode* neg : am->negative_successors) {
+        if (neg->index_test >= 0) {
+          counters.match_cost += costs.join_test;
+          const JoinTest& key = neg->tests[static_cast<std::size_t>(neg->index_test)];
+          erase_one(neg->right_index.at(w.slot(key.wme_slot)), &w);
+        }
+      }
+    }
+    data.alpha_mems.clear();
+
+    while (!data.tokens.empty()) delete_token_and_descendents(data.tokens.back());
+
+    while (!data.neg_results.empty()) {
+      NegJoinResult* jr = data.neg_results.back();
+      data.neg_results.pop_back();
+      Token* owner = jr->owner;
+      erase_one(owner->join_results, jr);
+      free_jr(jr);
+      if (owner->join_results.empty()) emit_from_store(*owner->node, owner);  // unblocked
+    }
+
+    wme_data.erase(it);
+    if (options.record_chunks) chunks.push_back(counters.match_cost - before);
+  }
+
+  void clear() {
+    // Structural teardown of all match state; no listener callbacks (the
+    // engine resets its conflict set alongside).
+    for (auto& node : beta_nodes) {
+      for (Token* t : node.tokens) {
+        t->join_results.clear();
+        free_token(t);
+      }
+      node.tokens.clear();
+      node.left_index.clear();
+      node.right_index.clear();
+    }
+    for (auto& am : alpha_memories) am.items.clear();
+    for (auto& j : join_nodes) {
+      j.left_index.clear();
+      j.right_index.clear();
+    }
+    wme_data.clear();
+    jr_free_list.clear();
+    jr_pool.clear();
+    // Restore the dummy token.
+    dummy_store->tokens.push_back(dummy_token);
+    dummy_token->children.clear();
+    erase_one(token_free_list, dummy_token);
+    chunks.clear();
+  }
+
+  // ------------------------------- compilation ----------------------------
+
+  AlphaPattern* build_or_share_alpha(ClassIndex cls, std::vector<ConstTest> const_tests,
+                                     std::vector<IntraTest> intra_tests,
+                                     std::vector<DisjTest> disj_tests) {
+    // Canonical order for sharing.
+    std::sort(const_tests.begin(), const_tests.end(), [](const ConstTest& a, const ConstTest& b) {
+      if (a.slot != b.slot) return a.slot < b.slot;
+      return static_cast<int>(a.pred) < static_cast<int>(b.pred);
+    });
+    std::sort(intra_tests.begin(), intra_tests.end(), [](const IntraTest& a, const IntraTest& b) {
+      if (a.slot != b.slot) return a.slot < b.slot;
+      return a.other_slot < b.other_slot;
+    });
+    std::sort(disj_tests.begin(), disj_tests.end(),
+              [](const DisjTest& a, const DisjTest& b) { return a.slot < b.slot; });
+    if (options.node_sharing) {
+      for (AlphaPattern* p : patterns_by_class[cls]) {
+        if (p->const_tests == const_tests && p->intra_tests == intra_tests &&
+            p->disj_tests == disj_tests) {
+          return p;
+        }
+      }
+    }
+    AlphaPattern& p = patterns.emplace_back();
+    p.cls = cls;
+    p.const_tests = std::move(const_tests);
+    p.intra_tests = std::move(intra_tests);
+    p.disj_tests = std::move(disj_tests);
+    p.memory = &alpha_memories.emplace_back();
+    patterns_by_class[cls].push_back(&p);
+    return &p;
+  }
+
+  BetaNode* build_or_share_memory(JoinNode& parent) {
+    if (options.node_sharing) {
+      for (BetaNode* c : parent.children) {
+        if (c->kind == BetaKind::Memory) return c;
+      }
+    } else {
+      // Even without sharing, a join has at most one memory child.
+      for (BetaNode* c : parent.children) {
+        if (c->kind == BetaKind::Memory) return c;
+      }
+    }
+    BetaNode& bm = beta_nodes.emplace_back();
+    bm.kind = BetaKind::Memory;
+    parent.children.push_back(&bm);
+    return &bm;
+  }
+
+  JoinNode* build_or_share_join(BetaNode& store, AlphaMemory& amem,
+                                std::vector<JoinTest> tests) {
+    if (options.node_sharing) {
+      for (JoinNode* j : store.join_children) {
+        if (j->amem == &amem && j->tests == tests) return j;
+      }
+    }
+    JoinNode& j = join_nodes.emplace_back();
+    j.parent = &store;
+    j.amem = &amem;
+    j.tests = std::move(tests);
+    if (options.indexed_joins && store.kind == BetaKind::Memory) {
+      for (std::size_t i = 0; i < j.tests.size(); ++i) {
+        if (j.tests[i].pred == Predicate::Eq) {
+          j.index_test = static_cast<int>(i);
+          break;
+        }
+      }
+    }
+    store.join_children.push_back(&j);
+    amem.join_successors.push_back(&j);
+    return &j;
+  }
+
+  BetaNode* build_negative(JoinNode* join_parent, BetaNode* store_parent, AlphaMemory& amem,
+                           std::vector<JoinTest> tests) {
+    if (options.node_sharing) {
+      const auto match = [&](BetaNode* c) {
+        return c->kind == BetaKind::Negative && c->amem == &amem && c->tests == tests;
+      };
+      if (join_parent != nullptr) {
+        for (BetaNode* c : join_parent->children) {
+          if (match(c)) return c;
+        }
+      } else {
+        for (BetaNode* c : store_parent->left_children) {
+          if (match(c)) return c;
+        }
+      }
+    }
+    BetaNode& neg = beta_nodes.emplace_back();
+    neg.kind = BetaKind::Negative;
+    neg.amem = &amem;
+    neg.tests = std::move(tests);
+    if (options.indexed_joins) {
+      for (std::size_t i = 0; i < neg.tests.size(); ++i) {
+        if (neg.tests[i].pred == Predicate::Eq) {
+          neg.index_test = static_cast<int>(i);
+          break;
+        }
+      }
+    }
+    if (join_parent != nullptr) {
+      join_parent->children.push_back(&neg);
+    } else {
+      store_parent->left_children.push_back(&neg);
+    }
+    amem.negative_successors.push_back(&neg);
+    return &neg;
+  }
+
+  void compile(const ops5::Production& production, NetworkStats& stats) {
+    bindings.emplace(&production, ops5::analyze_bindings(production));
+
+    struct BoundVar {
+      std::uint32_t depth;  // chain depth of the token carrying the binding
+      SlotIndex slot;
+    };
+    std::unordered_map<ops5::VariableId, BoundVar> bound;
+
+    BetaNode* current_store = dummy_store;
+    JoinNode* pending_join = nullptr;
+    std::uint32_t chain_depth = 0;
+
+    for (const auto& ce : production.lhs()) {
+      // Split this CE's tests into alpha-level and join-level tests.
+      std::vector<ConstTest> const_tests;
+      std::vector<IntraTest> intra_tests;
+      std::vector<DisjTest> disj_tests;
+      std::unordered_map<ops5::VariableId, SlotIndex> ce_local;
+      struct PendingJoinTest {
+        SlotIndex wme_slot;
+        Predicate pred;
+        std::uint32_t binding_depth;
+        SlotIndex token_slot;
+      };
+      std::vector<PendingJoinTest> join_tests_raw;
+
+      for (const auto& test : ce.tests) {
+        if (test.is_disjunction()) {
+          disj_tests.push_back({test.slot, test.disjunction});
+          continue;
+        }
+        if (!test.is_variable) {
+          const_tests.push_back({test.slot, test.pred, test.constant});
+          continue;
+        }
+        if (const auto it = bound.find(test.var); it != bound.end()) {
+          join_tests_raw.push_back({test.slot, test.pred, it->second.depth, it->second.slot});
+        } else if (const auto lc = ce_local.find(test.var); lc != ce_local.end()) {
+          intra_tests.push_back({test.slot, test.pred, lc->second});
+        } else {
+          ce_local.emplace(test.var, test.slot);  // binding occurrence
+        }
+      }
+
+      AlphaPattern* alpha = build_or_share_alpha(ce.cls, std::move(const_tests),
+                                                 std::move(intra_tests), std::move(disj_tests));
+
+      if (!ce.negated) {
+        if (pending_join != nullptr) {
+          current_store = build_or_share_memory(*pending_join);
+          ++chain_depth;
+          pending_join = nullptr;
+        }
+        // Candidate tokens at this join have depth == chain_depth.
+        std::vector<JoinTest> tests;
+        tests.reserve(join_tests_raw.size());
+        for (const auto& r : join_tests_raw) {
+          tests.push_back({r.wme_slot, r.pred, chain_depth - r.binding_depth, r.token_slot});
+        }
+        pending_join = build_or_share_join(*current_store, *alpha->memory, std::move(tests));
+        // This CE's wme lands in the next token-creating node: depth+1.
+        for (const auto& [var, slot] : ce_local) {
+          bound.emplace(var, BoundVar{chain_depth + 1, slot});
+        }
+      } else {
+        // Negative node tokens have depth chain_depth + 1.
+        std::vector<JoinTest> tests;
+        tests.reserve(join_tests_raw.size());
+        for (const auto& r : join_tests_raw) {
+          tests.push_back({r.wme_slot, r.pred, chain_depth + 1 - r.binding_depth, r.token_slot});
+        }
+        BetaNode* neg = build_negative(pending_join, current_store, *alpha->memory,
+                                       std::move(tests));
+        pending_join = nullptr;
+        current_store = neg;
+        ++chain_depth;
+      }
+    }
+
+    BetaNode& pnode = beta_nodes.emplace_back();
+    pnode.kind = BetaKind::Production;
+    pnode.production = &production;
+    if (pending_join != nullptr) {
+      pending_join->children.push_back(&pnode);
+    } else {
+      current_store->left_children.push_back(&pnode);
+    }
+    ++stats.production_nodes;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Public interface
+// ---------------------------------------------------------------------------
+
+Network::Network(const ops5::Program& program, MatchListener& listener,
+                 util::WorkCounters& counters, const util::CostModel& costs,
+                 const NetworkOptions& options)
+    : impl_(std::make_unique<Impl>(program, listener, counters, costs, options)) {
+  if (!program.frozen()) throw std::invalid_argument("Rete requires a frozen Program");
+  impl_->patterns_by_class.resize(program.class_count());
+
+  // Dummy top store with its dummy token.
+  impl_->dummy_store = &impl_->beta_nodes.emplace_back();
+  impl_->dummy_store->kind = BetaKind::Memory;
+  impl_->dummy_token = &impl_->token_pool.emplace_back();
+  impl_->dummy_token->node = impl_->dummy_store;
+  impl_->dummy_store->tokens.push_back(impl_->dummy_token);
+
+  for (const auto& p : program.productions()) impl_->compile(p, stats_);
+
+  stats_.alpha_patterns = impl_->patterns.size();
+  stats_.alpha_memories = impl_->alpha_memories.size();
+  stats_.join_nodes = impl_->join_nodes.size();
+  std::size_t memories = 0;
+  std::size_t negatives = 0;
+  for (const auto& n : impl_->beta_nodes) {
+    if (n.kind == BetaKind::Memory) ++memories;
+    if (n.kind == BetaKind::Negative) ++negatives;
+  }
+  stats_.beta_memories = memories - 1;  // exclude the dummy store
+  stats_.negative_nodes = negatives;
+}
+
+Network::~Network() = default;
+
+void Network::add_wme(const ops5::Wme& wme) { impl_->add_wme(wme); }
+
+void Network::remove_wme(const ops5::Wme& wme) { impl_->remove_wme(wme); }
+
+void Network::clear() { impl_->clear(); }
+
+std::vector<util::WorkUnits> Network::take_chunks() {
+  return std::exchange(impl_->chunks, {});
+}
+
+const ops5::BindingAnalysis& Network::bindings(const ops5::Production& p) const {
+  return impl_->bindings.at(&p);
+}
+
+}  // namespace psmsys::rete

@@ -1,0 +1,89 @@
+#pragma once
+
+// A from-scratch Rete match network (Forgy 1982, in the style of Doorenbos'
+// "Production Matching for Large Learning Systems"), the algorithm ParaOPS5
+// parallelizes (Section 3.1 of the paper).
+//
+// Structure:
+//   alpha network — per-class list of AlphaPatterns (constant tests plus
+//     intra-CE variable-equality tests) feeding AlphaMemories;
+//   beta network — BetaMemory / JoinNode / NegativeNode / ProductionNode
+//     chains with token-tree removal and optional node sharing.
+//
+// Instrumentation: every elementary operation charges the engine's
+// WorkCounters via the CostModel, and each (WME-change × alpha-pattern)
+// cascade is recorded as one *match chunk*. Chunks are the unit ParaOPS5
+// distributes over dedicated match processes (its subtasks "execute only
+// about 100 instructions"), so the psm match-parallelism model bin-packs
+// exactly these chunk costs.
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "ops5/bindings.hpp"
+#include "ops5/production.hpp"
+#include "ops5/wme.hpp"
+#include "rete/matcher.hpp"
+#include "util/counters.hpp"
+
+namespace psmsys::rete {
+
+struct NetworkOptions {
+  /// Share alpha memories and beta-level nodes between productions with
+  /// common prefixes (standard Rete sharing; disable for the ablation bench).
+  bool node_sharing = true;
+  /// Record per-chunk match costs (needed by the match-parallelism model).
+  bool record_chunks = true;
+  /// Hash-index join memories on their first equality test (ParaOPS5's
+  /// hashed-memory optimization): a join activation probes only candidates
+  /// whose key matches instead of scanning the whole opposite memory.
+  /// Disable for the ablation bench.
+  bool indexed_joins = true;
+};
+
+/// Summary of the compiled network shape (for tests and DESIGN docs).
+struct NetworkStats {
+  std::size_t alpha_patterns = 0;
+  std::size_t alpha_memories = 0;
+  std::size_t beta_memories = 0;
+  std::size_t join_nodes = 0;
+  std::size_t negative_nodes = 0;
+  std::size_t production_nodes = 0;
+};
+
+class Network final : public Matcher {
+ public:
+  /// Compiles the network for all productions in `program`. The program must
+  /// be frozen and must outlive the network. Costs are charged to `counters`.
+  Network(const ops5::Program& program, MatchListener& listener,
+          util::WorkCounters& counters, const util::CostModel& costs = {},
+          const NetworkOptions& options = {});
+  ~Network() override;
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  void add_wme(const ops5::Wme& wme) override;
+  void remove_wme(const ops5::Wme& wme) override;
+  void clear() override;
+
+  [[nodiscard]] NetworkStats stats() const noexcept { return stats_; }
+
+  /// Match chunks recorded since the last take_chunks() call. Each entry is
+  /// the work-unit cost of one independent alpha-pattern cascade.
+  [[nodiscard]] std::vector<util::WorkUnits> take_chunks();
+
+  /// Binding analysis computed during compilation, exposed for RHS evaluation.
+  [[nodiscard]] const ops5::BindingAnalysis& bindings(const ops5::Production& p) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  NetworkStats stats_;
+};
+
+}  // namespace psmsys::rete

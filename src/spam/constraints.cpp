@@ -1,0 +1,112 @@
+#include "spam/constraints.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace psmsys::spam {
+
+namespace {
+
+using RC = RegionClass;
+using PK = PredicateKind;
+
+[[nodiscard]] std::vector<Constraint> make_catalog() {
+  std::vector<Constraint> catalog;
+  std::uint32_t next_id = 0;
+  const auto add = [&](std::string name, RC subject, RC object, PK kind, double param,
+                       bool swapped = false) {
+    catalog.push_back({next_id++, std::move(name), subject, object, kind, param, swapped});
+  };
+
+  // Runway.
+  add("runway-intersects-taxiway", RC::Runway, RC::Taxiway, PK::Intersects, 0.0);
+  add("runway-flanked-by-grass", RC::Runway, RC::GrassyArea, PK::FlankedBy, 250.0);
+  add("runway-aligned-with-runway", RC::Runway, RC::Runway, PK::AlignedWith, 0.1);
+
+  // Taxiway.
+  add("taxiway-intersects-runway", RC::Taxiway, RC::Runway, PK::Intersects, 0.0);
+  add("taxiway-aligned-with-taxiway", RC::Taxiway, RC::Taxiway, PK::AlignedWith, 0.1);
+  add("taxiway-near-apron", RC::Taxiway, RC::ParkingApron, PK::Near, 2500.0);
+  add("taxiway-near-tarmac", RC::Taxiway, RC::Tarmac, PK::Near, 2500.0);
+
+  // Terminal building.
+  add("terminal-adjacent-to-apron", RC::TerminalBuilding, RC::ParkingApron, PK::AdjacentTo,
+      250.0);
+  add("terminal-near-parking-lot", RC::TerminalBuilding, RC::ParkingLot, PK::Near, 600.0);
+  add("access-road-leads-to-terminal", RC::TerminalBuilding, RC::AccessRoad, PK::LeadsTo,
+      1600.0, /*swapped=*/true);
+  add("terminal-near-terminal", RC::TerminalBuilding, RC::TerminalBuilding, PK::Near, 2000.0);
+
+  // Parking apron.
+  add("apron-adjacent-to-terminal", RC::ParkingApron, RC::TerminalBuilding, PK::AdjacentTo,
+      250.0);
+  add("apron-near-taxiway", RC::ParkingApron, RC::Taxiway, PK::Near, 2500.0);
+  add("apron-near-apron", RC::ParkingApron, RC::ParkingApron, PK::Near, 2500.0);
+
+  // Hangar.
+  add("hangar-adjacent-to-tarmac", RC::Hangar, RC::Tarmac, PK::AdjacentTo, 250.0);
+  add("hangar-near-hangar", RC::Hangar, RC::Hangar, PK::Near, 2000.0);
+  add("hangar-near-taxiway", RC::Hangar, RC::Taxiway, PK::Near, 3000.0);
+
+  // Access road.
+  add("road-leads-to-terminal", RC::AccessRoad, RC::TerminalBuilding, PK::LeadsTo, 1600.0);
+  add("road-leads-to-parking-lot", RC::AccessRoad, RC::ParkingLot, PK::LeadsTo, 1200.0);
+  add("road-aligned-with-road", RC::AccessRoad, RC::AccessRoad, PK::AlignedWith, 0.15);
+
+  // Grassy area.
+  add("grass-adjacent-to-runway", RC::GrassyArea, RC::Runway, PK::AdjacentTo, 300.0);
+  add("grass-near-grass", RC::GrassyArea, RC::GrassyArea, PK::Near, 1500.0);
+  add("grass-near-taxiway", RC::GrassyArea, RC::Taxiway, PK::Near, 1500.0);
+  add("grass-near-tarmac", RC::GrassyArea, RC::Tarmac, PK::Near, 1500.0);
+
+  // Tarmac.
+  add("tarmac-adjacent-to-hangar", RC::Tarmac, RC::Hangar, PK::AdjacentTo, 350.0);
+  add("tarmac-near-apron", RC::Tarmac, RC::ParkingApron, PK::Near, 4000.0);
+  add("tarmac-near-tarmac", RC::Tarmac, RC::Tarmac, PK::Near, 1500.0);
+
+  // Parking lot.
+  add("lot-near-terminal", RC::ParkingLot, RC::TerminalBuilding, PK::Near, 600.0);
+  add("road-leads-to-lot", RC::ParkingLot, RC::AccessRoad, PK::LeadsTo, 1200.0,
+      /*swapped=*/true);
+  add("lot-near-lot", RC::ParkingLot, RC::ParkingLot, PK::Near, 1200.0);
+
+  return catalog;
+}
+
+}  // namespace
+
+std::span<const Constraint> constraint_catalog() {
+  static const std::vector<Constraint> catalog = make_catalog();
+  return catalog;
+}
+
+std::vector<const Constraint*> constraints_for(RegionClass subject) {
+  std::vector<const Constraint*> out;
+  for (const auto& c : constraint_catalog()) {
+    if (c.subject == subject) out.push_back(&c);
+  }
+  return out;
+}
+
+geom::PredicateResult evaluate_constraint(const Constraint& constraint, const Scene& scene,
+                                          std::uint32_t subject_region,
+                                          std::uint32_t object_region) {
+  const geom::Polygon& s = scene.at(subject_region).polygon;
+  const geom::Polygon& o = scene.at(object_region).polygon;
+  const geom::Polygon& a = constraint.swapped ? o : s;
+  const geom::Polygon& b = constraint.swapped ? s : o;
+  switch (constraint.kind) {
+    case PredicateKind::Intersects: return geom::intersects(a, b);
+    case PredicateKind::AdjacentTo: return geom::adjacent_to(a, b, constraint.param);
+    case PredicateKind::ContainsRegion: return geom::contains_region(a, b);
+    case PredicateKind::Near: return geom::near(a, b, constraint.param);
+    case PredicateKind::AlignedWith: return geom::aligned_with(a, b, constraint.param);
+    case PredicateKind::PerpendicularTo:
+      return geom::perpendicular_to(a, b, constraint.param);
+    case PredicateKind::LeadsTo: return geom::leads_to(a, b, constraint.param);
+    case PredicateKind::FlankedBy: return geom::flanked_by(a, b, constraint.param);
+  }
+  throw std::logic_error("unknown predicate kind");
+}
+
+}  // namespace psmsys::spam

@@ -1,0 +1,59 @@
+#pragma once
+
+// The LCC constraint catalog: geometric consistency knowledge of the airport
+// domain (Section 2.2: "runways intersect taxiways", "terminal buildings are
+// adjacent to parking apron", "access roads lead to terminal buildings").
+//
+// Each constraint relates a subject class to an object class through one of
+// the named spatial predicates. Applying one constraint to one subject
+// against one candidate object is a Level 1 task; the higher decomposition
+// levels aggregate over constraints, objects, and classes (Section 4).
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "geom/predicates.hpp"
+#include "spam/scene.hpp"
+
+namespace psmsys::spam {
+
+enum class PredicateKind : std::uint8_t {
+  Intersects,
+  AdjacentTo,
+  ContainsRegion,
+  Near,
+  AlignedWith,
+  PerpendicularTo,
+  LeadsTo,
+  FlankedBy,
+};
+
+struct Constraint {
+  std::uint32_t id = 0;          ///< stable index into the catalog
+  std::string name;              ///< e.g. "runway-intersects-taxiway"
+  RegionClass subject;
+  RegionClass object;
+  PredicateKind kind;
+  double param = 0.0;            ///< gap / radius / tolerance / reach
+  /// When true the geometric predicate is evaluated as p(object, subject) —
+  /// e.g. "access roads lead to terminal buildings" with subject = terminal.
+  bool swapped = false;
+};
+
+/// The full catalog (every subject class has 3-4 constraints; 9 classes, the
+/// paper's 9 Level 4 tasks).
+[[nodiscard]] std::span<const Constraint> constraint_catalog();
+
+/// Constraints whose subject class is `subject`.
+[[nodiscard]] std::vector<const Constraint*> constraints_for(RegionClass subject);
+
+/// Evaluate a constraint between two regions of the scene. Returns the truth
+/// value plus the geometry flops spent (charged to RHS cost by the engine's
+/// external function).
+[[nodiscard]] geom::PredicateResult evaluate_constraint(const Constraint& constraint,
+                                                        const Scene& scene,
+                                                        std::uint32_t subject_region,
+                                                        std::uint32_t object_region);
+
+}  // namespace psmsys::spam

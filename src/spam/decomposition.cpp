@@ -1,0 +1,156 @@
+#include "spam/decomposition.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+namespace psmsys::spam {
+
+namespace {
+
+using ops5::Engine;
+using ops5::Value;
+
+[[nodiscard]] Value sym_value(const Engine& engine, std::string_view name) {
+  const auto sym = engine.program().symbols().find(name);
+  if (!sym) throw std::logic_error("symbol not in program: " + std::string(name));
+  return Value(*sym);
+}
+
+/// Factory for LCC task processes: each owns an engine with the fragment +
+/// constraint base WM ("a copy of the initial working memory supplied by the
+/// control process", Section 5.1).
+[[nodiscard]] psm::TaskProcessFactory lcc_factory(const Scene& scene,
+                                                  std::shared_ptr<const std::vector<Fragment>> fragments,
+                                                  bool record_cycles) {
+  // One shared compiled program bundle; engines are per process.
+  auto phase = std::make_shared<const PhaseProgram>(build_lcc_program());
+  psm::TaskProcessFactory factory;
+  factory.make_engine = [phase, &scene, record_cycles] {
+    ops5::EngineOptions options;
+    options.record_cycles = record_cycles;
+    return phase->make_engine(scene, options);
+  };
+  factory.base_init = [fragments](Engine& engine) {
+    seed_fragment_wmes(engine, *fragments);
+    seed_constraint_wmes(engine);
+    seed_support_wmes(engine, *fragments);
+  };
+  return factory;
+}
+
+void push_task(std::vector<psm::Task>& tasks, std::string label,
+               std::function<void(Engine&)> inject) {
+  psm::Task t;
+  t.id = tasks.size();
+  t.label = std::move(label);
+  t.inject = std::move(inject);
+  tasks.push_back(std::move(t));
+}
+
+}  // namespace
+
+Decomposition lcc_decomposition(int level, const Scene& scene,
+                                std::vector<Fragment> best_fragments, bool record_cycles) {
+  if (level < 1 || level > 4) throw std::invalid_argument("LCC level must be 1..4");
+
+  // FIFO order: fragments by id (== region order; giants last).
+  std::sort(best_fragments.begin(), best_fragments.end(),
+            [](const Fragment& a, const Fragment& b) { return a.id < b.id; });
+  auto fragments = std::make_shared<const std::vector<Fragment>>(std::move(best_fragments));
+
+  Decomposition d;
+  d.factory = lcc_factory(scene, fragments, record_cycles);
+
+  const auto num = [](auto v) { return Value(static_cast<double>(v)); };
+
+  switch (level) {
+    case 4:
+      for (std::size_t i = 0; i < kRegionClassCount; ++i) {
+        const auto cls = static_cast<RegionClass>(i);
+        push_task(d.tasks, "L4 " + std::string(class_name(cls)), [cls, num](Engine& e) {
+          e.make_wme("lcc-task", {{"level", Value(4.0)},
+                                  {"subject-class", sym_value(e, class_name(cls))}});
+        });
+      }
+      break;
+
+    case 3:
+      for (const auto& f : *fragments) {
+        push_task(d.tasks, "L3 subj=" + std::to_string(f.id), [id = f.id, num](Engine& e) {
+          e.make_wme("lcc-task", {{"level", Value(3.0)}, {"subject", num(id)}});
+        });
+      }
+      break;
+
+    case 2:
+      for (const auto& f : *fragments) {
+        for (const Constraint* c : constraints_for(f.cls)) {
+          push_task(d.tasks, "L2 subj=" + std::to_string(f.id) + " k=" + c->name,
+                    [id = f.id, k = c->id, num](Engine& e) {
+                      e.make_wme("lcc-task", {{"level", Value(2.0)},
+                                              {"subject", num(id)},
+                                              {"constraint", num(k)}});
+                    });
+        }
+      }
+      break;
+
+    case 1:
+      for (const auto& f : *fragments) {
+        for (const Constraint* c : constraints_for(f.cls)) {
+          for (const auto& other : *fragments) {
+            if (other.id == f.id || other.cls != c->object) continue;
+            push_task(d.tasks,
+                      "L1 subj=" + std::to_string(f.id) + " k=" + std::to_string(c->id) +
+                          " obj=" + std::to_string(other.id),
+                      [id = f.id, k = c->id, obj = other.id, num](Engine& e) {
+                        e.make_wme("lcc-task", {{"level", Value(1.0)},
+                                                {"subject", num(id)},
+                                                {"constraint", num(k)},
+                                                {"object", num(obj)}});
+                      });
+          }
+        }
+      }
+      break;
+
+    default:
+      break;
+  }
+  return d;
+}
+
+Decomposition rtf_decomposition(const Scene& scene, int group_size, bool record_cycles) {
+  if (group_size < 1) throw std::invalid_argument("group_size must be >= 1");
+
+  auto phase = std::make_shared<const PhaseProgram>(build_rtf_program());
+  Decomposition d;
+  d.factory.make_engine = [phase, &scene, record_cycles] {
+    ops5::EngineOptions options;
+    options.record_cycles = record_cycles;
+    return phase->make_engine(scene, options);
+  };
+  d.factory.base_init = [&scene, group_size](Engine& engine) {
+    seed_region_wmes(engine, scene, group_size);
+  };
+
+  const std::size_t groups =
+      (scene.size() + static_cast<std::size_t>(group_size) - 1) / group_size;
+  for (std::size_t g = 0; g < groups; ++g) {
+    push_task(d.tasks, "RTF group " + std::to_string(g), [g](Engine& e) {
+      e.make_wme("rtf-task", {{"group", Value(static_cast<double>(g))}});
+    });
+  }
+  return d;
+}
+
+std::vector<psm::TaskMeasurement> run_baseline(const Decomposition& decomposition) {
+  psm::TaskRunner runner(decomposition.factory);
+  std::vector<psm::TaskMeasurement> out;
+  out.reserve(decomposition.tasks.size());
+  for (const auto& task : decomposition.tasks) out.push_back(runner.run(task));
+  return out;
+}
+
+}  // namespace psmsys::spam

@@ -1,0 +1,44 @@
+#pragma once
+
+// Fragment hypotheses: the product of the RTF phase and the input of LCC.
+
+#include <cstdint>
+#include <vector>
+
+#include "spam/scene.hpp"
+
+namespace psmsys::spam {
+
+/// Fragment ids encode (region, class): id = region * 16 + class ordinal + 1.
+/// The rule bases compute them with (compute <r> * 16 + ord); these helpers
+/// keep the C++ side in sync.
+[[nodiscard]] constexpr std::uint32_t fragment_id(std::uint32_t region, RegionClass cls) noexcept {
+  return region * 16 + static_cast<std::uint32_t>(cls) + 1;
+}
+
+[[nodiscard]] constexpr std::uint32_t fragment_region(std::uint32_t fragment_id) noexcept {
+  return fragment_id / 16;
+}
+
+[[nodiscard]] constexpr RegionClass fragment_class(std::uint32_t fragment_id) noexcept {
+  return static_cast<RegionClass>(fragment_id % 16 - 1);
+}
+
+/// One fragment hypothesis extracted from RTF's working memory.
+struct Fragment {
+  std::uint32_t id = 0;
+  std::uint32_t region = 0;
+  RegionClass cls = RegionClass::Runway;
+  double score = 0.0;
+  bool best = false;  ///< winner of per-region disambiguation
+};
+
+[[nodiscard]] inline std::vector<Fragment> best_fragments(const std::vector<Fragment>& all) {
+  std::vector<Fragment> out;
+  for (const auto& f : all) {
+    if (f.best) out.push_back(f);
+  }
+  return out;
+}
+
+}  // namespace psmsys::spam

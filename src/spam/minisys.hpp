@@ -1,0 +1,53 @@
+#pragma once
+
+// Match-intensive mini production systems — analogs of Rubik, Weaver and
+// Tourney, the three OPS5 systems whose ParaOPS5 match speedups the paper
+// reproduces in Figure 3 (from Gupta et al. [9]).
+//
+// Each system is a rule ring: production k fires on a token at position k,
+// advances the token, and churns `cell` WMEs. Match effort per cycle — the
+// quantity that determines how much match parallelism is available — is
+// controlled by the ring width, the cell memory sizes (join fan-in), and the
+// join depth:
+//
+//   rubik analog:   wide ring, large memories, 3-way joins  -> high per-cycle
+//                   match effort, near-linear match speedup (~8-9x);
+//   weaver analog:  mid-sized                              -> ~5-6x;
+//   tourney analog: narrow ring, small memories             -> little match
+//                   effort per cycle, speedup stuck near 2x.
+//
+// All three are >90% match (they do almost nothing on their RHS), like the
+// originals.
+
+#include <memory>
+#include <string>
+
+#include "ops5/engine.hpp"
+#include "psm/task.hpp"
+
+namespace psmsys::spam {
+
+struct MiniSystemConfig {
+  std::string name;
+  int ring_size = 16;       ///< number of productions
+  int cells_per_key = 8;    ///< WMEs per alpha memory (join fan-in)
+  int value_range = 4;      ///< join selectivity: ~cells/value matches per probe
+  int join_depth = 2;       ///< extra cell CEs per production
+  int steps = 300;          ///< recognize-act cycles to run
+};
+
+[[nodiscard]] MiniSystemConfig rubik_analog();
+[[nodiscard]] MiniSystemConfig weaver_analog();
+[[nodiscard]] MiniSystemConfig tourney_analog();
+
+/// OPS5 source for a configuration (exposed for tests).
+[[nodiscard]] std::string minisystem_source(const MiniSystemConfig& config);
+
+[[nodiscard]] std::shared_ptr<const ops5::Program> build_minisystem(
+    const MiniSystemConfig& config);
+
+/// Seed working memory and run to completion with per-cycle recording;
+/// the returned measurement feeds the match-parallelism model directly.
+[[nodiscard]] psm::TaskMeasurement run_minisystem(const MiniSystemConfig& config);
+
+}  // namespace psmsys::spam

@@ -1,0 +1,367 @@
+#include "spam/phases.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace psmsys::spam {
+
+namespace {
+
+using ops5::Engine;
+using ops5::Value;
+
+/// Cached slot lookups for reading WMEs of a class back out of an engine.
+class SlotReader {
+ public:
+  SlotReader(const ops5::Program& program, std::string_view class_name) {
+    const auto cls_sym = program.symbols().find(class_name);
+    if (!cls_sym) throw std::logic_error("program lacks class " + std::string(class_name));
+    cls_ = *program.class_index(*cls_sym);
+    decl_ = &program.wme_class(cls_);
+    symbols_ = &program.symbols();
+  }
+
+  [[nodiscard]] ops5::SlotIndex slot(std::string_view attr) const {
+    const auto sym = symbols_->find(attr);
+    if (!sym) throw std::logic_error("unknown attribute " + std::string(attr));
+    const auto s = decl_->slot_of(*sym);
+    if (s == ops5::kInvalidSlot) throw std::logic_error("class lacks ^" + std::string(attr));
+    return s;
+  }
+
+  [[nodiscard]] ops5::ClassIndex cls() const noexcept { return cls_; }
+
+ private:
+  ops5::ClassIndex cls_ = 0;
+  const ops5::WmeClass* decl_ = nullptr;
+  const ops5::SymbolTable* symbols_ = nullptr;
+};
+
+[[nodiscard]] Value sym_value(const Engine& engine, std::string_view name) {
+  const auto sym = engine.program().symbols().find(name);
+  if (!sym) throw std::logic_error("symbol not in program: " + std::string(name));
+  return Value(*sym);
+}
+
+[[nodiscard]] RegionClass class_of_value(const Engine& engine, const Value& v) {
+  const auto name = engine.program().symbols().name(v.symbol());
+  const auto cls = class_from_name(name);
+  if (!cls) throw std::logic_error("not a region class: " + name);
+  return *cls;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Seeding
+// ---------------------------------------------------------------------------
+
+void seed_region_wmes(Engine& engine, const Scene& scene, int group_size) {
+  if (group_size < 1) throw std::invalid_argument("group_size must be >= 1");
+  for (const auto& r : scene.regions()) {
+    const double group = std::floor(static_cast<double>(r.id - 1) / group_size);
+    engine.make_wme("region", {
+        {"id", Value(static_cast<double>(r.id))},
+        {"group", Value(group)},
+        {"texture", sym_value(engine, texture_name(r.texture))},
+        {"area", Value(std::round(r.area))},
+        {"elong", Value(std::round(r.elongation * 10.0) / 10.0)},
+        {"compact", Value(std::round(r.compactness * 100.0) / 100.0)},
+        {"orient", Value(std::round(r.orientation * 100.0) / 100.0)},
+    });
+  }
+}
+
+void seed_fragment_wmes(Engine& engine, std::span<const Fragment> fragments) {
+  const Value yes = sym_value(engine, "yes");
+  for (const auto& f : fragments) {
+    std::vector<std::pair<std::string_view, Value>> sets{
+        {"id", Value(static_cast<double>(f.id))},
+        {"region", Value(static_cast<double>(f.region))},
+        {"class", sym_value(engine, class_name(f.cls))},
+        {"score", Value(f.score)},
+    };
+    if (f.best) sets.emplace_back("best", yes);
+    engine.make_wme("fragment", std::move(sets));
+  }
+}
+
+void seed_constraint_wmes(Engine& engine) {
+  for (const auto& c : constraint_catalog()) {
+    engine.make_wme("constraint", {
+        {"id", Value(static_cast<double>(c.id))},
+        {"name", sym_value(engine, c.name)},
+        {"subject-class", sym_value(engine, class_name(c.subject))},
+        {"object-class", sym_value(engine, class_name(c.object))},
+    });
+  }
+}
+
+void seed_support_wmes(Engine& engine, std::span<const Fragment> fragments) {
+  for (const auto& f : fragments) {
+    engine.make_wme("support", {
+        {"subject", Value(static_cast<double>(f.id))},
+        {"count", Value(0.0)},
+    });
+  }
+}
+
+void seed_context_wmes(Engine& engine, std::span<const Context> contexts) {
+  for (const auto& c : contexts) {
+    engine.make_wme("context", {
+        {"subject", Value(static_cast<double>(c.subject))},
+        {"class", sym_value(engine, class_name(c.cls))},
+        {"strength", Value(c.strength)},
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Extraction
+// ---------------------------------------------------------------------------
+
+std::vector<Fragment> extract_fragments(const Engine& engine) {
+  const SlotReader reader(engine.program(), "fragment");
+  const auto id = reader.slot("id");
+  const auto region = reader.slot("region");
+  const auto cls = reader.slot("class");
+  const auto score = reader.slot("score");
+  const auto best = reader.slot("best");
+
+  std::vector<Fragment> out;
+  for (const auto* w : engine.wmes_of_class(reader.cls())) {
+    Fragment f;
+    f.id = static_cast<std::uint32_t>(w->slot(id).number());
+    f.region = static_cast<std::uint32_t>(w->slot(region).number());
+    f.cls = class_of_value(engine, w->slot(cls));
+    f.score = w->slot(score).number();
+    f.best = !w->slot(best).is_nil();
+    out.push_back(f);
+  }
+  // Deterministic order regardless of WM hash iteration.
+  std::sort(out.begin(), out.end(),
+            [](const Fragment& a, const Fragment& b) { return a.id < b.id; });
+
+  // Control-process disambiguation: highest score per region wins (ties go
+  // to the lowest fragment id thanks to the sort above). Pre-marked bests
+  // (WMEs seeded with ^best yes, as in LCC engines) are left untouched.
+  bool any_marked = false;
+  for (const auto& f : out) any_marked |= f.best;
+  if (!any_marked) {
+    std::unordered_map<std::uint32_t, Fragment*> winner;
+    for (auto& f : out) {
+      auto [it, inserted] = winner.try_emplace(f.region, &f);
+      if (!inserted && f.score > it->second->score) it->second = &f;
+    }
+    for (auto& [region, frag] : winner) frag->best = true;
+  }
+  return out;
+}
+
+std::vector<Context> extract_contexts(const Engine& engine) {
+  const SlotReader reader(engine.program(), "context");
+  const auto subject = reader.slot("subject");
+  const auto cls = reader.slot("class");
+  const auto strength = reader.slot("strength");
+
+  std::vector<Context> out;
+  for (const auto* w : engine.wmes_of_class(reader.cls())) {
+    Context c;
+    c.subject = static_cast<std::uint32_t>(w->slot(subject).number());
+    c.cls = class_of_value(engine, w->slot(cls));
+    c.strength = w->slot(strength).number();
+    out.push_back(c);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Context& a, const Context& b) { return a.subject < b.subject; });
+  return out;
+}
+
+std::vector<ConsistencyRecord> extract_consistency(const Engine& engine) {
+  const SlotReader reader(engine.program(), "consistency");
+  const auto constraint = reader.slot("constraint");
+  const auto subject = reader.slot("subject");
+  const auto object = reader.slot("object");
+  const auto result = reader.slot("result");
+
+  std::vector<ConsistencyRecord> out;
+  for (const auto* w : engine.wmes_of_class(reader.cls())) {
+    ConsistencyRecord r;
+    r.constraint = static_cast<std::uint32_t>(w->slot(constraint).number());
+    r.subject = static_cast<std::uint32_t>(w->slot(subject).number());
+    r.object = static_cast<std::uint32_t>(w->slot(object).number());
+    r.result = w->slot(result) == Value(1.0);
+    out.push_back(r);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Context> contexts_from_consistency(std::span<const ConsistencyRecord> records,
+                                               std::span<const Fragment> fragments) {
+  std::unordered_map<std::uint32_t, std::size_t> positives;
+  for (const auto& r : records) {
+    if (r.result) ++positives[r.subject];
+  }
+  std::unordered_map<std::uint32_t, RegionClass> class_of;
+  for (const auto& f : fragments) class_of.emplace(f.id, f.cls);
+
+  std::vector<Context> out;
+  for (const auto& [subject, count] : positives) {
+    if (count < 2) continue;
+    const auto it = class_of.find(subject);
+    if (it == class_of.end()) continue;
+    out.push_back(Context{subject, it->second, static_cast<double>(count)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Context& a, const Context& b) { return a.subject < b.subject; });
+  return out;
+}
+
+std::size_t count_positive_consistency(const Engine& engine) {
+  const SlotReader reader(engine.program(), "consistency");
+  const auto result = reader.slot("result");
+  std::size_t n = 0;
+  for (const auto* w : engine.wmes_of_class(reader.cls())) {
+    if (w->slot(result) == Value(1.0)) ++n;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Sequential phase runs
+// ---------------------------------------------------------------------------
+
+RtfRun run_rtf(const Scene& scene, int group_size) {
+  const PhaseProgram phase = build_rtf_program();
+  auto engine = phase.make_engine(scene);
+  seed_region_wmes(*engine, scene, group_size);
+
+  const std::size_t groups =
+      (scene.size() + static_cast<std::size_t>(group_size) - 1) / group_size;
+  for (std::size_t g = 0; g < groups; ++g) {
+    engine->make_wme("rtf-task", {{"group", Value(static_cast<double>(g))}});
+  }
+
+  RtfRun out;
+  out.report.name = "RTF";
+  out.report.run = engine->run();
+  out.report.counters = engine->counters();
+  out.fragments = extract_fragments(*engine);
+  out.report.hypotheses = out.fragments.size();
+  out.task_count = groups;
+  return out;
+}
+
+LccRun run_lcc(const Scene& scene, std::span<const Fragment> fragments) {
+  const PhaseProgram phase = build_lcc_program();
+  auto engine = phase.make_engine(scene);
+  seed_fragment_wmes(*engine, fragments);
+  seed_constraint_wmes(*engine);
+  seed_support_wmes(*engine, fragments);
+  for (std::size_t i = 0; i < kRegionClassCount; ++i) {
+    engine->make_wme("lcc-task", {
+        {"level", Value(4.0)},
+        {"subject-class", sym_value(*engine, class_name(static_cast<RegionClass>(i)))},
+    });
+  }
+
+  LccRun out;
+  out.report.name = "LCC";
+  out.report.run = engine->run();
+  out.report.counters = engine->counters();
+  out.contexts = extract_contexts(*engine);
+  out.positive_consistency = count_positive_consistency(*engine);
+  out.report.hypotheses = out.contexts.size();
+  return out;
+}
+
+FaRun run_fa(const Scene& scene, std::span<const Fragment> fragments,
+             std::span<const Context> contexts) {
+  const PhaseProgram phase = build_fa_program();
+  auto engine = phase.make_engine(scene);
+  seed_fragment_wmes(*engine, fragments);
+  seed_context_wmes(*engine, contexts);
+  for (std::size_t i = 0; i < kRegionClassCount; ++i) {
+    engine->make_wme("fa-task", {
+        {"class", sym_value(*engine, class_name(static_cast<RegionClass>(i)))},
+    });
+  }
+
+  FaRun out;
+  out.report.name = "FA";
+  out.report.run = engine->run();
+  out.report.counters = engine->counters();
+
+  // Member counts live in fa-size WMEs (keyed by area id).
+  const SlotReader size_reader(engine->program(), "fa-size");
+  const auto size_fa = size_reader.slot("fa");
+  const auto size_count = size_reader.slot("count");
+  std::unordered_map<std::uint32_t, double> sizes;
+  for (const auto* w : engine->wmes_of_class(size_reader.cls())) {
+    sizes[static_cast<std::uint32_t>(w->slot(size_fa).number())] = w->slot(size_count).number();
+  }
+
+  const SlotReader reader(engine->program(), "functional-area");
+  const auto id = reader.slot("id");
+  const auto region = reader.slot("region");
+  const auto cls = reader.slot("class");
+  for (const auto* w : engine->wmes_of_class(reader.cls())) {
+    FunctionalArea fa;
+    fa.id = static_cast<std::uint32_t>(w->slot(id).number());
+    fa.region = static_cast<std::uint32_t>(w->slot(region).number());
+    fa.cls = class_of_value(*engine, w->slot(cls));
+    const auto it = sizes.find(fa.id);
+    fa.size = it != sizes.end() ? it->second : 1.0;
+    out.areas.push_back(fa);
+  }
+  std::sort(out.areas.begin(), out.areas.end(),
+            [](const FunctionalArea& a, const FunctionalArea& b) { return a.id < b.id; });
+  out.report.hypotheses = out.areas.size();
+  return out;
+}
+
+PhaseReport run_model(const Scene& scene, std::span<const FunctionalArea> areas) {
+  const PhaseProgram phase = build_model_program();
+  auto engine = phase.make_engine(scene);
+  for (const auto& fa : areas) {
+    engine->make_wme("functional-area", {
+        {"id", Value(static_cast<double>(fa.id))},
+        {"region", Value(static_cast<double>(fa.region))},
+        {"class", sym_value(*engine, class_name(fa.cls))},
+        {"size", Value(fa.size)},
+    });
+  }
+  engine->make_wme("model-task", {{"go", sym_value(*engine, "yes")}});
+
+  PhaseReport report;
+  report.name = "MODEL";
+  report.run = engine->run();
+  report.counters = engine->counters();
+  report.hypotheses = engine->wmes_of_class("model").size();
+  return report;
+}
+
+PipelineResult run_pipeline(const Scene& scene, int rtf_group_size) {
+  PipelineResult result;
+
+  RtfRun rtf = run_rtf(scene, rtf_group_size);
+  result.fragments = rtf.fragments;
+  result.phases.push_back(std::move(rtf.report));
+
+  const std::vector<Fragment> best = best_fragments(result.fragments);
+  LccRun lcc = run_lcc(scene, best);
+  result.contexts = lcc.contexts;
+  result.phases.push_back(std::move(lcc.report));
+
+  FaRun fa = run_fa(scene, best, result.contexts);
+  result.phases.push_back(std::move(fa.report));
+
+  PhaseReport model = run_model(scene, fa.areas);
+  result.phases.push_back(std::move(model));
+
+  return result;
+}
+
+}  // namespace psmsys::spam

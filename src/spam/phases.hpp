@@ -1,0 +1,142 @@
+#pragma once
+
+// Phase execution: seeding working memory from scenes/fragments, running the
+// four interpretation phases, and extracting their products. This is the
+// "control process" side of SPAM/PSM — everything here is also reused by the
+// task decompositions (decomposition.hpp) that split LCC and RTF into
+// parallel tasks.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ops5/engine.hpp"
+#include "spam/constraints.hpp"
+#include "spam/fragment.hpp"
+#include "spam/programs.hpp"
+#include "spam/scene.hpp"
+
+namespace psmsys::spam {
+
+/// An interpretation context produced by LCC (a consistent hypothesis with
+/// spatial support, Section 2.2).
+struct Context {
+  std::uint32_t subject = 0;  ///< fragment id
+  RegionClass cls = RegionClass::Runway;
+  double strength = 0.0;
+};
+
+// ---------------------------------------------------------------------------
+// Working-memory seeding (the control process's "copy of the initial working
+// memory supplied to each task process", Section 5.1)
+// ---------------------------------------------------------------------------
+
+/// Add one region WME per scene region. `group_size` consecutive ids share a
+/// ^group value — the RTF task decomposition unit.
+void seed_region_wmes(ops5::Engine& engine, const Scene& scene, int group_size);
+
+/// Add one fragment WME per hypothesis.
+void seed_fragment_wmes(ops5::Engine& engine, std::span<const Fragment> fragments);
+
+/// Add one constraint WME per catalog entry.
+void seed_constraint_wmes(ops5::Engine& engine);
+
+/// Add one zero-count support WME per fragment (LCC base WM).
+void seed_support_wmes(ops5::Engine& engine, std::span<const Fragment> fragments);
+
+/// Add context WMEs (input of FA).
+void seed_context_wmes(ops5::Engine& engine, std::span<const Context> contexts);
+
+// ---------------------------------------------------------------------------
+// Extraction
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] std::vector<Fragment> extract_fragments(const ops5::Engine& engine);
+[[nodiscard]] std::vector<Context> extract_contexts(const ops5::Engine& engine);
+
+/// One constraint application result (what LCC task processes hand back to
+/// the control process).
+struct ConsistencyRecord {
+  std::uint32_t constraint = 0;
+  std::uint32_t subject = 0;  ///< fragment id
+  std::uint32_t object = 0;   ///< fragment id
+  bool result = false;
+
+  [[nodiscard]] auto operator<=>(const ConsistencyRecord&) const = default;
+};
+
+/// Sorted consistency records from an engine's working memory.
+[[nodiscard]] std::vector<ConsistencyRecord> extract_consistency(const ops5::Engine& engine);
+
+/// Count of consistency WMEs with ^result 1 (for result-equivalence checks
+/// between sequential and parallel runs).
+[[nodiscard]] std::size_t count_positive_consistency(const ops5::Engine& engine);
+
+/// Control-process context formation from merged task results: a fragment
+/// with >= 2 positive consistencies becomes a context of its class with
+/// strength = positive count. Sequential Level-4 in-engine contexts must
+/// equal this (property-tested); parallel runs at finer levels need it
+/// because support counting spans task boundaries.
+[[nodiscard]] std::vector<Context> contexts_from_consistency(
+    std::span<const ConsistencyRecord> records, std::span<const Fragment> fragments);
+
+// ---------------------------------------------------------------------------
+// Sequential phase runs
+// ---------------------------------------------------------------------------
+
+struct PhaseReport {
+  std::string name;
+  ops5::RunResult run;
+  util::WorkCounters counters;
+  std::uint64_t hypotheses = 0;  ///< fragments / contexts / areas / models
+};
+
+struct RtfRun {
+  PhaseReport report;
+  std::vector<Fragment> fragments;
+  std::size_t task_count = 0;
+};
+
+struct LccRun {
+  PhaseReport report;
+  std::vector<Context> contexts;
+  std::size_t positive_consistency = 0;
+};
+
+/// Run RTF for a scene as one engine run over all region groups.
+[[nodiscard]] RtfRun run_rtf(const Scene& scene, int group_size = 3);
+
+/// Run LCC for the best fragments as one engine run (Level 4 tasks for all
+/// nine classes).
+[[nodiscard]] LccRun run_lcc(const Scene& scene, std::span<const Fragment> fragments);
+
+/// A functional area assembled by the FA phase.
+struct FunctionalArea {
+  std::uint32_t id = 0;      ///< seed fragment id
+  std::uint32_t region = 0;  ///< seed region
+  RegionClass cls = RegionClass::Runway;
+  double size = 0.0;         ///< member count
+};
+
+struct FaRun {
+  PhaseReport report;
+  std::vector<FunctionalArea> areas;
+};
+
+/// Run FA over contexts; hypotheses = functional areas created.
+[[nodiscard]] FaRun run_fa(const Scene& scene, std::span<const Fragment> fragments,
+                           std::span<const Context> contexts);
+
+/// Run MODEL over functional areas; hypotheses = models (1).
+[[nodiscard]] PhaseReport run_model(const Scene& scene, std::span<const FunctionalArea> areas);
+
+/// The complete four-phase pipeline for Tables 1-3 and the examples.
+struct PipelineResult {
+  std::vector<PhaseReport> phases;  // RTF, LCC, FA, MODEL in order
+  std::vector<Fragment> fragments;
+  std::vector<Context> contexts;
+};
+
+[[nodiscard]] PipelineResult run_pipeline(const Scene& scene, int rtf_group_size = 3);
+
+}  // namespace psmsys::spam

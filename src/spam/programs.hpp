@@ -1,0 +1,46 @@
+#pragma once
+
+// OPS5 rule bases for the four SPAM phases.
+//
+// The rule bases are emitted as OPS5 source text and run through the full
+// parser, exactly as SPAM's productions were OPS5 source. RTF performs
+// heuristic classification through intermediate abstractions
+// (region -> linear/blob/building -> fragment); LCC performs
+// constraint-satisfaction by calling the geometry externals; FA aggregates
+// consistent contexts into functional areas; MODEL assembles functional
+// areas into a scene model.
+
+#include <memory>
+#include <string>
+
+#include "ops5/engine.hpp"
+#include "ops5/external.hpp"
+#include "ops5/parser.hpp"
+#include "spam/scene.hpp"
+
+namespace psmsys::spam {
+
+/// A parsed phase program together with its external-function registry.
+/// Engines built from it must set_user_data(&scene) so externals can reach
+/// the polygons.
+struct PhaseProgram {
+  std::shared_ptr<const ops5::Program> program;
+  std::shared_ptr<const ops5::ExternalRegistry> externals;
+
+  /// Convenience: construct a ready engine bound to `scene`.
+  [[nodiscard]] std::unique_ptr<ops5::Engine> make_engine(const Scene& scene,
+                                                          ops5::EngineOptions options = {}) const;
+};
+
+/// OPS5 source text of each phase (exposed for tests and documentation).
+[[nodiscard]] std::string rtf_source();
+[[nodiscard]] std::string lcc_source();
+[[nodiscard]] std::string fa_source();
+[[nodiscard]] std::string model_source();
+
+[[nodiscard]] PhaseProgram build_rtf_program();
+[[nodiscard]] PhaseProgram build_lcc_program();
+[[nodiscard]] PhaseProgram build_fa_program();
+[[nodiscard]] PhaseProgram build_model_program();
+
+}  // namespace psmsys::spam

@@ -1,0 +1,79 @@
+#include "spam/scene.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace psmsys::spam {
+
+std::string_view class_name(RegionClass c) noexcept {
+  switch (c) {
+    case RegionClass::Runway: return "runway";
+    case RegionClass::Taxiway: return "taxiway";
+    case RegionClass::TerminalBuilding: return "terminal-building";
+    case RegionClass::ParkingApron: return "parking-apron";
+    case RegionClass::Hangar: return "hangar";
+    case RegionClass::AccessRoad: return "access-road";
+    case RegionClass::GrassyArea: return "grassy-area";
+    case RegionClass::Tarmac: return "tarmac";
+    case RegionClass::ParkingLot: return "parking-lot";
+  }
+  return "?";
+}
+
+std::optional<RegionClass> class_from_name(std::string_view name) noexcept {
+  for (std::size_t i = 0; i < kRegionClassCount; ++i) {
+    const auto c = static_cast<RegionClass>(i);
+    if (class_name(c) == name) return c;
+  }
+  return std::nullopt;
+}
+
+std::string_view texture_name(Texture t) noexcept {
+  switch (t) {
+    case Texture::Paved: return "paved";
+    case Texture::Roofed: return "roofed";
+    case Texture::Grass: return "grass";
+    case Texture::Mixed: return "mixed";
+  }
+  return "?";
+}
+
+Scene::Scene(std::vector<Region> regions) : regions_(std::move(regions)) {
+  by_id_.reserve(regions_.size());
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    const auto [it, inserted] = by_id_.emplace(regions_[i].id, i);
+    if (!inserted) throw std::invalid_argument("duplicate region id in scene");
+  }
+}
+
+const Region* Scene::find(std::uint32_t id) const noexcept {
+  const auto it = by_id_.find(id);
+  return it != by_id_.end() ? &regions_[it->second] : nullptr;
+}
+
+const Region& Scene::at(std::uint32_t id) const {
+  const Region* r = find(id);
+  if (r == nullptr) throw std::out_of_range("no region with id " + std::to_string(id));
+  return *r;
+}
+
+std::size_t Scene::truth_count(RegionClass c) const noexcept {
+  std::size_t n = 0;
+  for (const auto& r : regions_) {
+    if (r.truth == c) ++n;
+  }
+  return n;
+}
+
+void compute_features(Region& region) noexcept {
+  const double area = region.polygon.area();
+  const double perimeter = region.polygon.perimeter();
+  region.area = area;
+  region.elongation = region.polygon.elongation();
+  region.compactness =
+      perimeter > 0.0 ? 4.0 * std::numbers::pi * area / (perimeter * perimeter) : 0.0;
+  region.orientation = region.polygon.orientation_angle();
+}
+
+}  // namespace psmsys::spam

@@ -1,0 +1,90 @@
+#pragma once
+
+// Scene model for the synthetic SPAM workload.
+//
+// SPAM interprets an image segmentation — a set of image regions — as
+// real-world airport objects (Section 2.2). We do not have the original
+// aerial imagery or its segmentations, so scenes are generated synthetically
+// (scene_generator.hpp) with the geometric structure the LCC constraints
+// rely on: runways crossed by taxiways, terminals adjacent to aprons, access
+// roads leading to terminals, grass flanking runways, and so on.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/polygon.hpp"
+
+namespace psmsys::spam {
+
+/// The nine object classes of the airport domain — one Level 4 task each
+/// (Tables 5-7 all show 9 Level 4 tasks).
+enum class RegionClass : std::uint8_t {
+  Runway,
+  Taxiway,
+  TerminalBuilding,
+  ParkingApron,
+  Hangar,
+  AccessRoad,
+  GrassyArea,
+  Tarmac,
+  ParkingLot,
+};
+
+inline constexpr std::size_t kRegionClassCount = 9;
+
+[[nodiscard]] std::string_view class_name(RegionClass c) noexcept;
+[[nodiscard]] std::optional<RegionClass> class_from_name(std::string_view name) noexcept;
+
+/// Surface appearance labels attached by the (simulated) low-level vision
+/// front end; RTF classification rules combine them with geometry.
+enum class Texture : std::uint8_t { Paved, Roofed, Grass, Mixed };
+
+[[nodiscard]] std::string_view texture_name(Texture t) noexcept;
+
+/// One segmented image region.
+struct Region {
+  std::uint32_t id = 0;
+  geom::Polygon polygon;
+  Texture texture = Texture::Paved;
+  /// Ground-truth class (what the generator intended); RTF must recover it
+  /// from features, and gets some regions wrong or ambiguous by design.
+  std::optional<RegionClass> truth;
+
+  // Features precomputed for RTF (rounded, as a segmentation system would
+  // report them).
+  double area = 0.0;
+  double elongation = 0.0;
+  double compactness = 0.0;  ///< 4*pi*A/P^2 in [0,1]
+  double orientation = 0.0;  ///< radians in [0, pi)
+};
+
+/// A complete synthetic scene: regions plus an id index. Immutable after
+/// construction; shared read-only by all PSM task processes (it plays the
+/// part of the control process's initial working memory copy).
+class Scene {
+ public:
+  explicit Scene(std::vector<Region> regions);
+
+  [[nodiscard]] std::span<const Region> regions() const noexcept { return regions_; }
+  [[nodiscard]] const Region* find(std::uint32_t id) const noexcept;
+  [[nodiscard]] const Region& at(std::uint32_t id) const;
+  [[nodiscard]] std::size_t size() const noexcept { return regions_.size(); }
+
+  /// Number of regions whose ground truth is `c`.
+  [[nodiscard]] std::size_t truth_count(RegionClass c) const noexcept;
+
+ private:
+  std::vector<Region> regions_;
+  std::unordered_map<std::uint32_t, std::size_t> by_id_;
+};
+
+/// Compute the derived features of a region from its polygon (id, texture and
+/// truth left untouched).
+void compute_features(Region& region) noexcept;
+
+}  // namespace psmsys::spam

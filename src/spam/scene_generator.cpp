@@ -1,0 +1,322 @@
+#include "spam/scene_generator.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace psmsys::spam {
+
+namespace {
+
+using geom::Polygon;
+using geom::Vec2;
+using util::Rng;
+
+constexpr double kPi = std::numbers::pi;
+
+/// Incrementally builds the region list with fresh ids.
+class SceneBuilder {
+ public:
+  explicit SceneBuilder(const DatasetConfig& config) : config_(config), rng_(config.seed) {}
+
+  void add(Polygon polygon, Texture texture, RegionClass truth) {
+    Region r;
+    r.id = next_id_++;
+    r.polygon = std::move(polygon);
+    r.texture = jitter_texture(texture);
+    r.truth = truth;
+    finish(r);
+  }
+
+  void add_noise(Polygon polygon) {
+    Region r;
+    r.id = next_id_++;
+    r.polygon = std::move(polygon);
+    r.texture = Texture::Mixed;
+    r.truth = std::nullopt;
+    finish(r);
+  }
+
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+  [[nodiscard]] Scene build() { return Scene(std::move(regions_)); }
+
+  /// A blobby region: jittered regular polygon.
+  [[nodiscard]] Polygon blob(Vec2 center, double radius) {
+    return blob_with_sides(center, radius,
+                           static_cast<int>(rng_.next_int(config_.blob_vertices_min,
+                                                          config_.blob_vertices_max)));
+  }
+
+  [[nodiscard]] Polygon blob_with_sides(Vec2 center, double radius, int sides) {
+    std::vector<Vec2> vs;
+    vs.reserve(static_cast<std::size_t>(sides));
+    const double phase = rng_.next_double(0.0, 2.0 * kPi);
+    for (int i = 0; i < sides; ++i) {
+      const double a = phase + 2.0 * kPi * i / sides;
+      const double rr = radius * rng_.next_double(0.75, 1.15);
+      vs.push_back(center + Vec2{rr * std::cos(a), rr * std::sin(a)});
+    }
+    return Polygon(std::move(vs));
+  }
+
+ private:
+  void finish(Region& r) {
+    compute_features(r);
+    // Measurement noise on derived features, as a segmentation front end
+    // would introduce; drives RTF hypothesis ambiguity.
+    const double noise = config_.feature_noise;
+    r.area *= 1.0 + rng_.next_normal(0.0, noise);
+    r.elongation *= 1.0 + rng_.next_normal(0.0, noise);
+    r.compactness *= 1.0 + rng_.next_normal(0.0, noise);
+    if (r.area < 1.0) r.area = 1.0;
+    if (r.elongation < 1.0) r.elongation = 1.0;
+    regions_.push_back(std::move(r));
+  }
+
+  [[nodiscard]] Texture jitter_texture(Texture t) {
+    return rng_.next_bool(0.04) ? Texture::Mixed : t;
+  }
+
+  const DatasetConfig& config_;
+  Rng rng_;
+  std::vector<Region> regions_;
+  std::uint32_t next_id_ = 1;
+};
+
+}  // namespace
+
+Scene generate_scene(const DatasetConfig& config) {
+  SceneBuilder b(config);
+  Rng& rng = b.rng();
+
+  // Airfield frame: runways run along `base_angle`, spread laterally.
+  const double base_angle = rng.next_double(0.1, 0.6);
+  const Vec2 axis{std::cos(base_angle), std::sin(base_angle)};
+  const Vec2 lateral{-std::sin(base_angle), std::cos(base_angle)};
+  const Vec2 field_center{6000.0, 5000.0};
+
+  struct RunwayInfo {
+    Vec2 center;
+    double angle;
+    double length;
+    double width;
+  };
+  std::vector<RunwayInfo> runways;
+
+  // --- Runways: long, very elongated, paved. One crossing runway when the
+  // airport has more than two (as at DCA).
+  for (int i = 0; i < config.runways; ++i) {
+    const bool crossing = config.runways > 2 && i == config.runways - 1;
+    const double angle = crossing ? base_angle + kPi / 3.0
+                                  : base_angle + rng.next_double(-0.02, 0.02);
+    const double length = rng.next_double(2400.0, 3600.0);
+    const double width = rng.next_double(45.0, 60.0);
+    const Vec2 center = field_center + lateral * (static_cast<double>(i) * 900.0 - 900.0) +
+                        axis * rng.next_double(-300.0, 300.0);
+    b.add(Polygon::oriented_rectangle(center, length, width, angle), Texture::Paved,
+          RegionClass::Runway);
+    runways.push_back({center, angle, length, width});
+  }
+
+  // --- Grass strips flanking each runway on both sides.
+  {
+    int remaining = config.grass_regions;
+    for (const auto& rw : runways) {
+      const Vec2 side{-std::sin(rw.angle), std::cos(rw.angle)};
+      for (int s = -1; s <= 1 && remaining > 0; s += 2) {
+        const Vec2 center = rw.center + side * (rw.width * 0.5 + 90.0) * static_cast<double>(s);
+        b.add(Polygon::oriented_rectangle(center, rw.length * 0.8, 150.0, rw.angle),
+              Texture::Grass, RegionClass::GrassyArea);
+        --remaining;
+      }
+    }
+    // Remaining grass: blobs scattered over the field.
+    while (remaining-- > 0) {
+      const Vec2 c{rng.next_double(1000.0, 11000.0), rng.next_double(1000.0, 9000.0)};
+      b.add(b.blob(c, rng.next_double(80.0, 260.0)), Texture::Grass, RegionClass::GrassyArea);
+    }
+  }
+
+  // --- Taxiways: one (or more) parallel per runway plus perpendicular
+  // connectors that cross the runway (the "runways intersect taxiways"
+  // constraint must hold by construction).
+  for (const auto& rw : runways) {
+    const Vec2 side{-std::sin(rw.angle), std::cos(rw.angle)};
+    for (int par = 0; par < config.parallel_taxiways_per_runway; ++par) {
+      const Vec2 center =
+          rw.center + side * (rw.width * 0.5 + 280.0 + 160.0 * static_cast<double>(par));
+      b.add(Polygon::oriented_rectangle(center, rw.length * rng.next_double(0.7, 0.95), 25.0,
+                                        rw.angle + rng.next_double(-0.015, 0.015)),
+            Texture::Paved, RegionClass::Taxiway);
+    }
+    const Vec2 along{std::cos(rw.angle), std::sin(rw.angle)};
+    for (int c = 0; c < config.connectors_per_runway; ++c) {
+      const double offset =
+          rw.length * (static_cast<double>(c + 1) / (config.connectors_per_runway + 1) - 0.5);
+      const Vec2 center = rw.center + along * offset;
+      b.add(Polygon::oriented_rectangle(center, 700.0, 23.0, rw.angle + kPi / 2.0),
+            Texture::Paved, RegionClass::Taxiway);
+    }
+  }
+
+  // --- Terminal complex in one corner of the field.
+  const Vec2 complex_center = field_center + lateral * -2600.0 + axis * -1500.0;
+  std::vector<Vec2> apron_centers;
+  for (int i = 0; i < config.aprons; ++i) {
+    const Vec2 c = complex_center +
+                   Vec2{rng.next_double(-1400.0, 1400.0), rng.next_double(-1100.0, 1100.0)};
+    const double w = rng.next_double(260.0, 420.0);
+    b.add(b.blob(c, w), Texture::Paved, RegionClass::ParkingApron);
+    apron_centers.push_back(c);
+  }
+  std::vector<Vec2> terminal_centers;
+  for (int i = 0; i < config.terminals; ++i) {
+    // Adjacent to an apron: placed just outside its radius.
+    const Vec2 apron = apron_centers[rng.next_below(apron_centers.size())];
+    const double dir = rng.next_double(0.0, 2.0 * kPi);
+    const Vec2 c = apron + Vec2{std::cos(dir), std::sin(dir)} * rng.next_double(430.0, 470.0);
+    b.add(Polygon::oriented_rectangle(c, rng.next_double(180.0, 320.0),
+                                      rng.next_double(50.0, 90.0), dir + kPi / 2.0),
+          Texture::Roofed, RegionClass::TerminalBuilding);
+    terminal_centers.push_back(c);
+  }
+  for (int i = 0; i < config.parking_lots; ++i) {
+    const Vec2 terminal = terminal_centers[rng.next_below(terminal_centers.size())];
+    const Vec2 c = terminal + Vec2{rng.next_double(-350.0, 350.0), rng.next_double(-350.0, 350.0)};
+    b.add(b.blob(c, rng.next_double(60.0, 140.0)), Texture::Paved, RegionClass::ParkingLot);
+  }
+  for (int i = 0; i < config.access_roads; ++i) {
+    // Oriented to point at a terminal: `leads_to` holds by construction.
+    const Vec2 terminal = terminal_centers[rng.next_below(terminal_centers.size())];
+    const double dir = rng.next_double(0.0, 2.0 * kPi);
+    const double dist = rng.next_double(500.0, 900.0);
+    const Vec2 c = terminal + Vec2{std::cos(dir), std::sin(dir)} * dist;
+    const double road_angle = std::atan2(terminal.y - c.y, terminal.x - c.x);
+    b.add(Polygon::oriented_rectangle(c, rng.next_double(400.0, 700.0), 12.0,
+                                      road_angle + rng.next_double(-0.03, 0.03)),
+          Texture::Paved, RegionClass::AccessRoad);
+  }
+
+  // --- Maintenance area: tarmac patches with hangars abutting them.
+  const Vec2 maint_center = field_center + lateral * 2400.0 + axis * 1200.0;
+  std::vector<Vec2> tarmac_centers;
+  for (int i = 0; i < config.tarmac_regions; ++i) {
+    const Vec2 c = maint_center +
+                   Vec2{rng.next_double(-2000.0, 2000.0), rng.next_double(-1600.0, 1600.0)};
+    b.add(b.blob(c, rng.next_double(90.0, 220.0)), Texture::Paved, RegionClass::Tarmac);
+    tarmac_centers.push_back(c);
+  }
+  for (int i = 0; i < config.hangars; ++i) {
+    const Vec2 tarmac = tarmac_centers[rng.next_below(tarmac_centers.size())];
+    const double dir = rng.next_double(0.0, 2.0 * kPi);
+    const Vec2 c = tarmac + Vec2{std::cos(dir), std::sin(dir)} * rng.next_double(240.0, 300.0);
+    b.add(Polygon::oriented_rectangle(c, rng.next_double(90.0, 150.0),
+                                      rng.next_double(60.0, 90.0), dir),
+          Texture::Roofed, RegionClass::Hangar);
+  }
+
+  // --- Unclassifiable noise regions.
+  for (int i = 0; i < config.noise_regions; ++i) {
+    const Vec2 c{rng.next_double(500.0, 11500.0), rng.next_double(500.0, 9500.0)};
+    b.add_noise(b.blob(c, rng.next_double(30.0, 120.0)));
+  }
+
+  // --- Giant outlier regions, generated last so they land at the end of
+  // FIFO task queues (Section 6.2's tail-end effect: "a few tasks in each
+  // level ... have execution times an order of magnitude larger than the
+  // average"). Their segmentation boundaries are proportionally more
+  // detailed, so every geometric check against them costs ~giant_scale more.
+  for (int i = 0; i < config.giant_regions; ++i) {
+    const Vec2 c{rng.next_double(3000.0, 9000.0), rng.next_double(2500.0, 7500.0)};
+    const int sides = static_cast<int>(2.0 * static_cast<double>(config.blob_vertices_max) *
+                                       config.giant_scale);
+    Polygon big = b.blob_with_sides(c, 250.0 * config.giant_scale, sides);
+    b.add(std::move(big), Texture::Grass, RegionClass::GrassyArea);
+  }
+
+  return b.build();
+}
+
+DatasetConfig sf_config() {
+  DatasetConfig c;
+  c.name = "SF";
+  c.seed = 0x5f5f5f01;
+  // Largest airport: most regions, moderately complex polygons. Highest
+  // match fraction of the three (most fragments -> largest join activity).
+  c.runways = 4;
+  c.parallel_taxiways_per_runway = 2;
+  c.connectors_per_runway = 5;
+  c.terminals = 14;
+  c.aprons = 10;
+  c.hangars = 14;
+  c.access_roads = 24;
+  c.grass_regions = 84;
+  c.tarmac_regions = 62;
+  c.parking_lots = 22;
+  c.noise_regions = 22;
+  c.blob_vertices_min = 5;
+  c.blob_vertices_max = 9;
+  c.giant_regions = 3;
+  return c;
+}
+
+DatasetConfig dc_config() {
+  DatasetConfig c;
+  c.name = "DC";
+  c.seed = 0xdc0dc002;
+  // Washington National: compact airport, fewer regions, but segmentation
+  // polygons are complex -> geometry dominates, lowest match fraction.
+  c.runways = 3;
+  c.parallel_taxiways_per_runway = 1;
+  c.connectors_per_runway = 4;
+  c.terminals = 7;
+  c.aprons = 5;
+  c.hangars = 7;
+  c.access_roads = 12;
+  c.grass_regions = 40;
+  c.tarmac_regions = 30;
+  c.parking_lots = 10;
+  c.noise_regions = 12;
+  c.blob_vertices_min = 14;
+  c.blob_vertices_max = 22;
+  c.giant_regions = 2;
+  c.giant_scale = 3.5;
+  return c;
+}
+
+DatasetConfig moff_config() {
+  DatasetConfig c;
+  c.name = "MOFF";
+  c.seed = 0x0ffe1103;
+  // Moffett Field: mid-sized military field; mid-complexity polygons.
+  c.runways = 3;
+  c.parallel_taxiways_per_runway = 2;
+  c.connectors_per_runway = 4;
+  c.terminals = 9;
+  c.aprons = 7;
+  c.hangars = 12;
+  c.access_roads = 16;
+  c.grass_regions = 60;
+  c.tarmac_regions = 44;
+  c.parking_lots = 14;
+  c.noise_regions = 16;
+  c.blob_vertices_min = 8;
+  c.blob_vertices_max = 13;
+  c.giant_regions = 2;
+  c.giant_scale = 5.0;
+  return c;
+}
+
+DatasetConfig dataset_by_name(std::string_view name) {
+  if (name == "SF") return sf_config();
+  if (name == "DC") return dc_config();
+  if (name == "MOFF") return moff_config();
+  throw std::invalid_argument("unknown dataset: " + std::string(name));
+}
+
+std::vector<DatasetConfig> all_datasets() {
+  return {sf_config(), dc_config(), moff_config()};
+}
+
+}  // namespace psmsys::spam

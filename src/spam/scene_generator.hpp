@@ -1,0 +1,71 @@
+#pragma once
+
+// Synthetic airport scene generator.
+//
+// Substitutes for the paper's three airport segmentations (San Francisco
+// International, Washington National, NASA Ames Moffett Field). The
+// generator lays out airport objects so that the LCC constraint catalog
+// holds for ground-truth pairs: taxiway connectors cross runways, grass
+// strips flank runways, terminals sit adjacent to aprons, access roads point
+// at terminals, hangars abut tarmac. Region counts and polygon complexity
+// are per-dataset knobs tuned so the task-decomposition statistics match the
+// shape of Tables 5-8.
+
+#include <cstdint>
+#include <string>
+
+#include "spam/scene.hpp"
+#include "util/rng.hpp"
+
+namespace psmsys::spam {
+
+struct DatasetConfig {
+  std::string name;
+  std::uint64_t seed = 1;
+
+  // Object counts (ground truth).
+  int runways = 3;
+  int parallel_taxiways_per_runway = 1;
+  int connectors_per_runway = 3;
+  int terminals = 8;
+  int aprons = 6;
+  int hangars = 8;
+  int access_roads = 12;
+  int grass_regions = 40;
+  int tarmac_regions = 30;
+  int parking_lots = 10;
+  int noise_regions = 15;
+
+  // Polygon complexity for blobby regions (grass/tarmac/apron/noise).
+  // Higher vertex counts make geometry (RHS) more expensive relative to
+  // match, lowering the phase's match fraction (Figure 7's per-dataset
+  // asymptotic limits differ this way).
+  int blob_vertices_min = 6;
+  int blob_vertices_max = 14;
+
+  /// A few late-generated oversized regions produce the order-of-magnitude
+  /// outlier tasks behind the tail-end effect (Section 6.2).
+  int giant_regions = 2;
+  double giant_scale = 6.0;
+
+  /// Relative feature noise applied to RTF features (drives hypothesis
+  /// ambiguity and misclassification).
+  double feature_noise = 0.06;
+};
+
+/// Generate the scene for a configuration. Deterministic in config.seed.
+[[nodiscard]] Scene generate_scene(const DatasetConfig& config);
+
+/// The three datasets of the paper, by analogy: sf (largest), dc
+/// (geometry-heavy), moff (mid-sized).
+[[nodiscard]] DatasetConfig sf_config();
+[[nodiscard]] DatasetConfig dc_config();
+[[nodiscard]] DatasetConfig moff_config();
+
+/// Lookup by name ("SF", "DC", "MOFF"); throws on unknown name.
+[[nodiscard]] DatasetConfig dataset_by_name(std::string_view name);
+
+/// All three, in paper order.
+[[nodiscard]] std::vector<DatasetConfig> all_datasets();
+
+}  // namespace psmsys::spam

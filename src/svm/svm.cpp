@@ -1,0 +1,54 @@
+#include "svm/svm.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace psmsys::svm {
+
+std::uint64_t task_pages(const psm::TaskMeasurement& task, const SvmConfig& config) {
+  const std::uint64_t wme_churn = task.counters.wmes_added + task.counters.wmes_removed;
+  const std::uint64_t data_pages =
+      (wme_churn + config.items_per_page - 1) / std::max<std::size_t>(config.items_per_page, 1);
+  return data_pages + 1;  // +1: the task-queue page
+}
+
+SvmSimResult simulate_svm(std::span<const psm::TaskMeasurement> tasks, std::size_t total_procs,
+                          const SvmConfig& config) {
+  if (total_procs == 0) throw std::invalid_argument("need >= 1 processor");
+  total_procs = std::min(total_procs, config.node0_procs + config.node1_procs);
+
+  const util::WorkUnits fault_cost =
+      config.diff_shipping ? config.diff_fault_cost : config.full_page_fault_cost;
+
+  SvmSimResult result;
+  result.busy.assign(total_procs, 0);
+
+  using Slot = std::pair<util::WorkUnits, std::size_t>;
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> free_at;
+  for (std::size_t p = 0; p < total_procs; ++p) free_at.emplace(0, p);
+
+  for (const auto& task : tasks) {
+    auto [t, p] = free_at.top();
+    free_at.pop();
+    util::WorkUnits duration = config.queue_overhead_per_task + task.cost();
+    if (p >= config.node0_procs) {
+      // Remote node: every working-set page faults across the network, with
+      // false contention multiplying the count.
+      const auto faults = static_cast<std::uint64_t>(
+          static_cast<double>(task_pages(task, config)) * config.false_sharing_factor);
+      duration += faults * fault_cost;
+      result.remote_faults += faults;
+      result.remote_fault_cost += faults * fault_cost;
+    }
+    result.busy[p] += duration;
+    free_at.emplace(t + duration, p);
+  }
+  while (!free_at.empty()) {
+    result.makespan = std::max(result.makespan, free_at.top().first);
+    free_at.pop();
+  }
+  return result;
+}
+
+}  // namespace psmsys::svm

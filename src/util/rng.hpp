@@ -1,0 +1,113 @@
+#pragma once
+
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// All stochastic choices in this repository (scene generation, cost jitter,
+// synthetic rule bases) flow through Rng so that every benchmark and test is
+// bit-reproducible across runs and hosts. std::mt19937 is avoided because its
+// distributions are not guaranteed identical across standard libraries;
+// everything here is specified exactly.
+
+#include <cstdint>
+#include <cmath>
+#include <limits>
+
+namespace psmsys::util {
+
+/// SplitMix64: used to seed and to hash seeds. Public domain (Vigna).
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 — fast, high-quality 64-bit generator (Blackman/Vigna).
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  [[nodiscard]] constexpr std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  [[nodiscard]] constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {
+    if (bound <= 1) return 0;
+    while (true) {
+      const std::uint64_t x = next_u64();
+      const auto m = static_cast<unsigned __int128>(x) * bound;
+      const auto lo = static_cast<std::uint64_t>(m);
+      if (lo >= bound || lo >= static_cast<std::uint64_t>(-bound) % bound) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Uniform integer in the closed range [lo, hi].
+  [[nodiscard]] constexpr std::int64_t next_int(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] constexpr double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] constexpr double next_double(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Standard normal via Marsaglia polar method (deterministic given state).
+  [[nodiscard]] double next_normal() noexcept {
+    while (true) {
+      const double u = next_double(-1.0, 1.0);
+      const double v = next_double(-1.0, 1.0);
+      const double s = u * u + v * v;
+      if (s > 0.0 && s < 1.0) return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+
+  [[nodiscard]] double next_normal(double mean, double sd) noexcept {
+    return mean + sd * next_normal();
+  }
+
+  /// Log-normal draw; used for heavy-tailed task-cost structure (Section 6.2's
+  /// "a few tasks ... an order of magnitude larger than the average").
+  [[nodiscard]] double next_lognormal(double mu, double sigma) noexcept {
+    return std::exp(next_normal(mu, sigma));
+  }
+
+  /// Bernoulli trial.
+  [[nodiscard]] constexpr bool next_bool(double p_true) noexcept {
+    return next_double() < p_true;
+  }
+
+  /// Derive an independent child generator (stable under reordering of other draws).
+  [[nodiscard]] constexpr Rng fork(std::uint64_t stream_id) noexcept {
+    std::uint64_t s = state_[0] ^ (stream_id * 0x9e3779b97f4a7c15ULL);
+    return Rng(splitmix64(s));
+  }
+
+ private:
+  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace psmsys::util

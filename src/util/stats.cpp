@@ -1,0 +1,87 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace psmsys::util {
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Summary summarize(std::span<const double> xs) noexcept {
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  return summarize(rs);
+}
+
+Summary summarize(const RunningStats& rs) noexcept {
+  Summary s;
+  s.count = rs.count();
+  s.sum = rs.sum();
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.cv = rs.coefficient_of_variance();
+  s.min = rs.min();
+  s.max = rs.max();
+  return s;
+}
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("percentile of empty sample");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile out of [0,100]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bins_(bins, 0) {
+  if (bins == 0 || !(lo < hi)) throw std::invalid_argument("bad histogram bounds");
+}
+
+void Histogram::add(double x) noexcept {
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    const auto i = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) *
+                                            static_cast<double>(bins_.size()));
+    ++bins_[std::min(i, bins_.size() - 1)];
+  }
+}
+
+double Histogram::bin_low(std::size_t i) const noexcept {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(bins_.size());
+}
+
+double Histogram::bin_high(std::size_t i) const noexcept {
+  return bin_low(i + 1);
+}
+
+std::size_t Histogram::total() const noexcept {
+  std::size_t t = underflow_ + overflow_;
+  for (auto b : bins_) t += b;
+  return t;
+}
+
+}  // namespace psmsys::util

@@ -1,0 +1,35 @@
+#pragma once
+
+// Virtual-time currency.
+//
+// The paper measured wall-clock seconds on a 16-processor Encore Multimax.
+// We cannot (the benchmark host is a 1-core container), so every component of
+// the engine charges its cost in abstract *work units* (wu): one wu is
+// roughly one elementary match/evaluation operation. The psm virtual-time
+// models schedule tasks over P simulated processors in wu-time; speedups are
+// ratios of wu-times and so are independent of the calibration constant used
+// to print "seconds".
+
+#include <cstdint>
+#include <compare>
+
+namespace psmsys::util {
+
+/// Work units: additive, totally ordered virtual cost.
+using WorkUnits = std::uint64_t;
+
+/// Calibration used when printing paper-comparable "seconds". The paper's
+/// Encore NS32332 was ~1.5 MIPS; the task granularities in Table 8 (1.4-6.6 s
+/// per LCC task) correspond to a few hundred thousand elementary match and
+/// geometry operations per task in our workload, giving this scale.
+inline constexpr double kWorkUnitsPerSecond = 6'500.0;
+
+[[nodiscard]] constexpr double to_seconds(WorkUnits wu) noexcept {
+  return static_cast<double>(wu) / kWorkUnitsPerSecond;
+}
+
+[[nodiscard]] constexpr WorkUnits from_seconds(double seconds) noexcept {
+  return static_cast<WorkUnits>(seconds * kWorkUnitsPerSecond);
+}
+
+}  // namespace psmsys::util

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "ops5/conflict.hpp"
+#include "ops5/parser.hpp"
+
+namespace psmsys::ops5 {
+namespace {
+
+/// Fixture providing a program with productions of different specificity and
+/// a factory for WMEs with chosen timetags.
+class ConflictSetTest : public ::testing::Test {
+ protected:
+  ConflictSetTest()
+      : program_(parse_program(R"(
+(literalize item a b)
+(p loose   (item ^a 1)      --> (halt))
+(p tight   (item ^a 1 ^b 2) --> (halt))
+(p general (item ^b 2)      --> (halt))
+)")) {}
+
+  const Production& production(std::string_view name) {
+    const auto* p = program_.find_production(*program_.symbols().find(name));
+    EXPECT_NE(p, nullptr);
+    return *p;
+  }
+
+  const Wme* wme(TimeTag tag) {
+    wmes_.push_back(std::make_unique<Wme>(0, kNilSymbol,
+                                          std::vector<Value>{Value(1.0), Value(2.0)}, tag));
+    return wmes_.back().get();
+  }
+
+  Program program_;
+  std::vector<std::unique_ptr<Wme>> wmes_;
+};
+
+TEST_F(ConflictSetTest, SelectEmptyReturnsNull) {
+  ConflictSet cs;
+  EXPECT_EQ(cs.select(), nullptr);
+  EXPECT_TRUE(cs.empty());
+}
+
+TEST_F(ConflictSetTest, RecencyWinsUnderLex) {
+  ConflictSet cs;
+  cs.add(production("loose"), {wme(1)});
+  cs.add(production("general"), {wme(5)});
+  const Instantiation* winner = cs.select();
+  ASSERT_NE(winner, nullptr);
+  EXPECT_EQ(winner->production, &production("general"));
+}
+
+TEST_F(ConflictSetTest, SpecificityBreaksRecencyTies) {
+  ConflictSet cs;
+  const Wme* shared = wme(7);
+  cs.add(production("loose"), {shared});
+  cs.add(production("tight"), {shared});
+  const Instantiation* winner = cs.select();
+  ASSERT_NE(winner, nullptr);
+  EXPECT_EQ(winner->production, &production("tight"));
+}
+
+TEST_F(ConflictSetTest, RefractionPreventsRefiring) {
+  ConflictSet cs;
+  cs.add(production("loose"), {wme(1)});
+  const Instantiation* first = cs.select();
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(cs.select(), nullptr);  // still present, but fired
+  EXPECT_EQ(cs.size(), 1u);
+}
+
+TEST_F(ConflictSetTest, ReAddingAfterRemovalResetsRefraction) {
+  ConflictSet cs;
+  const Wme* w = wme(3);
+  cs.add(production("loose"), {w});
+  ASSERT_NE(cs.select(), nullptr);
+  cs.remove(production("loose"), std::vector<const Wme*>{w});
+  cs.add(production("loose"), {w});
+  EXPECT_NE(cs.select(), nullptr);
+}
+
+TEST_F(ConflictSetTest, RemoveUnknownThrows) {
+  ConflictSet cs;
+  const Wme* w = wme(1);
+  EXPECT_THROW(cs.remove(production("loose"), std::vector<const Wme*>{w}), std::logic_error);
+}
+
+TEST_F(ConflictSetTest, DuplicateAddThrows) {
+  ConflictSet cs;
+  const Wme* w = wme(1);
+  cs.add(production("loose"), {w});
+  EXPECT_THROW(cs.add(production("loose"), {w}), std::logic_error);
+}
+
+TEST_F(ConflictSetTest, LexComparesFullRecencyVector) {
+  ConflictSet cs;
+  // {9, 2} vs {9, 5}: second position decides.
+  cs.add(production("loose"), {wme(2), wme(9)});
+  cs.add(production("general"), {wme(5), wme(9)});
+  const Instantiation* winner = cs.select();
+  ASSERT_NE(winner, nullptr);
+  EXPECT_EQ(winner->production, &production("general"));
+}
+
+TEST_F(ConflictSetTest, LongerRecencyWinsOnPrefixTie) {
+  ConflictSet cs;
+  cs.add(production("loose"), {wme(9)});
+  cs.add(production("general"), {wme(4), wmes_.front().get()});
+  // general: recency {9, 4}; loose: {9}. Prefix ties, longer wins.
+  const Instantiation* winner = cs.select();
+  ASSERT_NE(winner, nullptr);
+  EXPECT_EQ(winner->production, &production("general"));
+}
+
+TEST_F(ConflictSetTest, MeaPrioritizesFirstCeRecency) {
+  ConflictSet cs;
+  // Under LEX, {10, 1} beats {5, 4}. Under MEA, the first CE's tag decides:
+  // first add has first-CE tag 1; second has 4 -> MEA picks the second.
+  cs.add(production("loose"), {wme(1), wme(10)});
+  cs.add(production("general"), {wme(4), wme(5)});
+
+  const auto lex_snapshot = cs.snapshot();
+  ASSERT_EQ(lex_snapshot.size(), 2u);
+  const Instantiation* a = lex_snapshot[0];
+  const Instantiation* b = lex_snapshot[1];
+  const Instantiation* first_added = a->production == &production("loose") ? a : b;
+  const Instantiation* second_added = a->production == &production("loose") ? b : a;
+  EXPECT_TRUE(dominates(*first_added, *second_added, Strategy::Lex));
+  EXPECT_TRUE(dominates(*second_added, *first_added, Strategy::Mea));
+}
+
+TEST_F(ConflictSetTest, DeterministicTieBreakBySequence) {
+  ConflictSet cs;
+  const Wme* w = wme(7);
+  // Same wme, same recency, same specificity (loose vs general both have 2
+  // tests): earliest-added wins.
+  cs.add(production("loose"), {w});
+  cs.add(production("general"), {w});
+  const Instantiation* winner = cs.select();
+  ASSERT_NE(winner, nullptr);
+  EXPECT_EQ(winner->production, &production("loose"));
+}
+
+TEST_F(ConflictSetTest, ClearEmpties) {
+  ConflictSet cs;
+  cs.add(production("loose"), {wme(1)});
+  cs.clear();
+  EXPECT_TRUE(cs.empty());
+  EXPECT_EQ(cs.select(), nullptr);
+}
+
+TEST_F(ConflictSetTest, SnapshotReflectsContents) {
+  ConflictSet cs;
+  cs.add(production("loose"), {wme(1)});
+  cs.add(production("tight"), {wme(2)});
+  EXPECT_EQ(cs.snapshot().size(), 2u);
+}
+
+}  // namespace
+}  // namespace psmsys::ops5

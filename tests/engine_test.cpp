@@ -1,0 +1,418 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ops5/engine.hpp"
+#include "ops5/parser.hpp"
+
+namespace psmsys::ops5 {
+namespace {
+
+std::shared_ptr<const Program> parse_shared(std::string_view src) {
+  return std::make_shared<const Program>(parse_program(src));
+}
+
+// ---------------------------------------------------------------------------
+// Recognize-act basics
+// ---------------------------------------------------------------------------
+
+TEST(Engine, FiresUntilQuiescence) {
+  const auto program = parse_shared(R"(
+(literalize region id class)
+(literalize fragment region type)
+(p classify
+   (region ^id <r> ^class linear)
+   -(fragment ^region <r>)
+   -->
+   (make fragment ^region <r> ^type runway))
+)");
+  Engine engine(program, nullptr);
+  const auto linear = Value(*program->symbols().find("linear"));
+  engine.make_wme("region", {{"id", Value(1.0)}, {"class", linear}});
+  engine.make_wme("region", {{"id", Value(2.0)}, {"class", linear}});
+  engine.make_wme("region", {{"id", Value(3.0)}, {"class", Value(99.0)}});
+
+  const RunResult result = engine.run();
+  EXPECT_EQ(result.firings, 2u);
+  EXPECT_FALSE(result.halted);
+  EXPECT_FALSE(result.cycle_limited);
+  EXPECT_EQ(engine.wmes_of_class("fragment").size(), 2u);
+}
+
+TEST(Engine, MakeActionEvaluatesExpressions) {
+  const auto program = parse_shared(R"(
+(literalize in x)
+(literalize out y)
+(p calc (in ^x <v>) --> (make out ^y (compute <v> * 2 + 1)))
+)");
+  Engine engine(program, nullptr);
+  engine.make_wme("in", {{"x", Value(20.0)}});
+  engine.run();
+  const auto outs = engine.wmes_of_class("out");
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_EQ(outs[0]->slot(0), Value(41.0));
+}
+
+TEST(Engine, RemoveActionRetracts) {
+  const auto program = parse_shared(R"(
+(literalize item n)
+(p consume (item ^n <v>) --> (remove 1))
+)");
+  Engine engine(program, nullptr);
+  for (int i = 0; i < 5; ++i) engine.make_wme("item", {{"n", Value(double(i))}});
+  const RunResult result = engine.run();
+  EXPECT_EQ(result.firings, 5u);
+  EXPECT_EQ(engine.wm_size(), 0u);
+}
+
+TEST(Engine, ModifyActionReplacesWme) {
+  const auto program = parse_shared(R"(
+(literalize counter n)
+(p bump (counter ^n < 3) --> (modify 1 ^n (compute 1 + 1 + 1)))
+)");
+  Engine engine(program, nullptr);
+  engine.make_wme("counter", {{"n", Value(0.0)}});
+  const RunResult result = engine.run();
+  EXPECT_EQ(result.firings, 1u);
+  const auto counters = engine.wmes_of_class("counter");
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(counters[0]->slot(0), Value(3.0));
+  // Modify = remove + make: the replacement has a fresh timetag.
+  EXPECT_GT(counters[0]->timetag(), 1u);
+}
+
+TEST(Engine, ModifyLoopRunsToFixpoint) {
+  const auto program = parse_shared(R"(
+(literalize counter n)
+(p bump (counter ^n <v> ^n < 10) --> (modify 1 ^n (compute <v> + 1)))
+)");
+  Engine engine(program, nullptr);
+  engine.make_wme("counter", {{"n", Value(0.0)}});
+  const RunResult result = engine.run();
+  EXPECT_EQ(result.firings, 10u);
+  EXPECT_EQ(engine.wmes_of_class("counter")[0]->slot(0), Value(10.0));
+}
+
+TEST(Engine, HaltStopsImmediately) {
+  const auto program = parse_shared(R"(
+(literalize item n)
+(p stop (item ^n 1) --> (halt))
+(p spin (item ^n <v>) --> (modify 1 ^n (compute <v> + 0)))
+)");
+  Engine engine(program, nullptr);
+  engine.make_wme("item", {{"n", Value(1.0)}});
+  const RunResult result = engine.run();
+  EXPECT_TRUE(result.halted);
+  EXPECT_EQ(result.firings, 1u);
+}
+
+TEST(Engine, MaxCyclesGuard) {
+  const auto program = parse_shared(R"(
+(literalize item n)
+(p spin (item ^n <v>) --> (modify 1 ^n (compute <v> + 1)))
+)");
+  EngineOptions options;
+  options.max_cycles = 50;
+  Engine engine(program, nullptr, options);
+  engine.make_wme("item", {{"n", Value(0.0)}});
+  const RunResult result = engine.run();
+  EXPECT_TRUE(result.cycle_limited);
+  EXPECT_EQ(result.cycles, 50u);
+}
+
+TEST(Engine, RefractionPreventsInfiniteRefire) {
+  // Without refraction this production would fire forever on the same WME.
+  const auto program = parse_shared(R"(
+(literalize item n)
+(literalize log m)
+(p note (item ^n <v>) --> (make log ^m <v>))
+)");
+  Engine engine(program, nullptr);
+  engine.make_wme("item", {{"n", Value(7.0)}});
+  const RunResult result = engine.run();
+  EXPECT_EQ(result.firings, 1u);
+  EXPECT_EQ(engine.wmes_of_class("log").size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Conflict resolution in the loop
+// ---------------------------------------------------------------------------
+
+TEST(Engine, RecencyOrderUnderLex) {
+  const auto program = parse_shared(R"(
+(literalize item n)
+(literalize log m)
+(p note (item ^n <v>) -(log ^m <v>) --> (make log ^m <v>))
+)");
+  std::vector<std::string> writes;
+  Engine engine(program, nullptr);
+  engine.make_wme("item", {{"n", Value(1.0)}});
+  engine.make_wme("item", {{"n", Value(2.0)}});
+  // LEX: most recent WME (n=2) fires first.
+  ASSERT_TRUE(engine.step());
+  const auto logs = engine.wmes_of_class("log");
+  ASSERT_EQ(logs.size(), 1u);
+  EXPECT_EQ(logs[0]->slot(0), Value(2.0));
+}
+
+TEST(Engine, StrategySelectable) {
+  EngineOptions options;
+  options.strategy = Strategy::Mea;
+  const auto program = parse_shared(R"(
+(literalize goal g)
+(literalize item n)
+(p act (goal ^g <x>) (item ^n <x>) --> (remove 2))
+)");
+  Engine engine(program, nullptr, options);
+  engine.make_wme("goal", {{"g", Value(1.0)}});
+  engine.make_wme("item", {{"n", Value(1.0)}});
+  EXPECT_TRUE(engine.step());
+}
+
+// ---------------------------------------------------------------------------
+// Write output, bind, external functions
+// ---------------------------------------------------------------------------
+
+TEST(Engine, WriteHandlerReceivesOutput) {
+  const auto program = parse_shared(R"(
+(literalize item n)
+(p speak (item ^n <v>) --> (write found item <v>))
+)");
+  Engine engine(program, nullptr);
+  std::vector<std::string> lines;
+  engine.set_write_handler([&](const std::string& s) { lines.push_back(s); });
+  engine.make_wme("item", {{"n", Value(3.0)}});
+  engine.run();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "found item 3");
+}
+
+TEST(Engine, BindActionThreadsThroughActions) {
+  const auto program = parse_shared(R"(
+(literalize in x)
+(literalize out y z)
+(p chain
+   (in ^x <v>)
+   -->
+   (bind <a> (compute <v> * 10))
+   (bind <b> (compute <a> + 5))
+   (make out ^y <a> ^z <b>))
+)");
+  Engine engine(program, nullptr);
+  engine.make_wme("in", {{"x", Value(2.0)}});
+  engine.run();
+  const auto outs = engine.wmes_of_class("out");
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_EQ(outs[0]->slot(0), Value(20.0));
+  EXPECT_EQ(outs[0]->slot(1), Value(25.0));
+}
+
+TEST(Engine, ExternalFunctionCall) {
+  auto program_value = parse_program(R"(
+(literalize in x)
+(literalize out y)
+(p ext (in ^x <v>) --> (make out ^y (call square <v>)))
+)");
+  ExternalRegistry registry;
+  // Interning happens before freeze via parse; "square" is new, so register
+  // against an unfrozen copy: rebuild program with the symbol present.
+  auto program2 = Program();
+  parse_into(program2, R"(
+(literalize in x)
+(literalize out y)
+(p ext (in ^x <v>) --> (make out ^y (call square <v>)))
+)");
+  register_builtins(registry, program2.symbols());
+  registry.register_function(program2.symbols(), "square",
+                             [](std::span<const Value> args, ExternalContext& ctx) {
+                               ctx.charge_flops(3);
+                               return Value(args[0].number() * args[0].number());
+                             });
+  program2.freeze();
+  const auto program = std::make_shared<const Program>(std::move(program2));
+
+  Engine engine(program, &registry);
+  engine.make_wme("in", {{"x", Value(7.0)}});
+  engine.run();
+  const auto outs = engine.wmes_of_class("out");
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_EQ(outs[0]->slot(0), Value(49.0));
+  EXPECT_GT(engine.counters().rhs_cost, 0u);
+  (void)program_value;
+}
+
+TEST(Engine, UnknownExternalThrows) {
+  const auto program = parse_shared(R"(
+(literalize in x)
+(p bad (in ^x <v>) --> (make in ^x (call nosuch <v>)))
+)");
+  ExternalRegistry registry;
+  Engine engine(program, &registry);
+  engine.make_wme("in", {{"x", Value(1.0)}});
+  EXPECT_THROW(engine.run(), std::logic_error);
+}
+
+TEST(Engine, UserDataReachesExternals) {
+  Program builder;
+  parse_into(builder, R"(
+(literalize in x)
+(p touch (in ^x <v>) --> (make in ^x (call poke <v>)))
+)");
+  ExternalRegistry registry;
+  registry.register_function(builder.symbols(), "poke",
+                             [](std::span<const Value> args, ExternalContext& ctx) {
+                               ctx.user_data_as<int>() += 1;
+                               return Value(args[0].number() + 100);
+                             });
+  builder.freeze();
+  Engine engine(std::make_shared<const Program>(std::move(builder)), &registry);
+  int touched = 0;
+  engine.set_user_data(&touched);
+  engine.make_wme("in", {{"x", Value(1.0)}});
+  engine.step();
+  EXPECT_EQ(touched, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Instrumentation & reset
+// ---------------------------------------------------------------------------
+
+TEST(Engine, CountersTrackFiringsAndActions) {
+  const auto program = parse_shared(R"(
+(literalize item n)
+(literalize log m)
+(p note (item ^n <v>) -(log ^m <v>) --> (make log ^m <v>) (write done))
+)");
+  Engine engine(program, nullptr);
+  engine.make_wme("item", {{"n", Value(1.0)}});
+  engine.run();
+  const auto& counters = engine.counters();
+  EXPECT_EQ(counters.firings, 1u);
+  EXPECT_EQ(counters.rhs_actions, 2u);  // make + write
+  EXPECT_GT(counters.match_cost, 0u);
+  EXPECT_GT(counters.rhs_cost, 0u);
+  EXPECT_GT(counters.resolve_cost, 0u);
+  EXPECT_EQ(counters.cycles, 1u);
+  EXPECT_GT(counters.match_fraction(), 0.0);
+  EXPECT_LT(counters.match_fraction(), 1.0);
+}
+
+TEST(Engine, CycleRecordsWhenEnabled) {
+  EngineOptions options;
+  options.record_cycles = true;
+  const auto program = parse_shared(R"(
+(literalize item n)
+(p consume (item ^n <v>) --> (remove 1))
+)");
+  Engine engine(program, nullptr, options);
+  engine.make_wme("item", {{"n", Value(1.0)}});
+  engine.make_wme("item", {{"n", Value(2.0)}});
+  engine.run();
+  const auto records = engine.cycle_records();
+  ASSERT_GE(records.size(), 2u);
+  for (const auto& rec : records) {
+    EXPECT_GT(rec.total_cost(), 0u);
+  }
+}
+
+TEST(Engine, ResetAllowsFreshRun) {
+  const auto program = parse_shared(R"(
+(literalize item n)
+(literalize log m)
+(p note (item ^n <v>) -(log ^m <v>) --> (make log ^m <v>))
+)");
+  Engine engine(program, nullptr);
+  engine.make_wme("item", {{"n", Value(1.0)}});
+  engine.run();
+  ASSERT_EQ(engine.counters().firings, 1u);
+
+  engine.reset();
+  EXPECT_EQ(engine.wm_size(), 0u);
+  EXPECT_EQ(engine.counters().firings, 0u);
+  EXPECT_EQ(engine.conflict_set_size(), 0u);
+
+  // Identical rerun from scratch behaves identically (PSM reuses engines).
+  engine.make_wme("item", {{"n", Value(1.0)}});
+  const RunResult result = engine.run();
+  EXPECT_EQ(result.firings, 1u);
+  EXPECT_EQ(engine.wmes_of_class("log").size(), 1u);
+}
+
+TEST(Engine, ResetIsDeterministic) {
+  const auto program = parse_shared(R"(
+(literalize item n)
+(literalize log m)
+(p note (item ^n <v>) -(log ^m <v>) --> (make log ^m (compute <v> * 3)))
+)");
+  Engine engine(program, nullptr);
+  std::vector<std::uint64_t> costs;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) engine.make_wme("item", {{"n", Value(double(i))}});
+    engine.run();
+    costs.push_back(engine.counters().total_cost());
+    engine.reset();
+  }
+  EXPECT_EQ(costs[0], costs[1]);
+  EXPECT_EQ(costs[1], costs[2]);
+}
+
+TEST(Engine, WatchLevelOneTracesFirings) {
+  const auto program = parse_shared(R"(
+(literalize item n)
+(p consume (item ^n <v>) --> (remove 1))
+)");
+  Engine engine(program, nullptr);
+  std::vector<std::string> trace;
+  engine.set_watch(1, [&](const std::string& s) { trace.push_back(s); });
+  engine.make_wme("item", {{"n", Value(1.0)}});
+  engine.run();
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0], "1. consume 1");
+}
+
+TEST(Engine, WatchLevelTwoTracesWmChanges) {
+  const auto program = parse_shared(R"(
+(literalize item n)
+(literalize log m)
+(p note (item ^n <v>) --> (make log ^m <v>) (remove 1))
+)");
+  Engine engine(program, nullptr);
+  std::vector<std::string> trace;
+  engine.set_watch(2, [&](const std::string& s) { trace.push_back(s); });
+  engine.make_wme("item", {{"n", Value(7.0)}});
+  engine.run();
+  // =>WM item, firing, =>WM log, <=WM item.
+  ASSERT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace[0], "=>WM: 1: (item ^n 7)");
+  EXPECT_EQ(trace[1], "1. note 1");
+  EXPECT_EQ(trace[2], "=>WM: 2: (log ^m 7)");
+  EXPECT_EQ(trace[3], "<=WM: 1: (item ^n 7)");
+}
+
+TEST(Engine, WatchValidation) {
+  const auto program = parse_shared("(literalize item n)");
+  Engine engine(program, nullptr);
+  EXPECT_THROW(engine.set_watch(3, [](const std::string&) {}), std::invalid_argument);
+  EXPECT_THROW(engine.set_watch(1, {}), std::invalid_argument);
+  EXPECT_NO_THROW(engine.set_watch(0, {}));
+}
+
+TEST(Engine, MakeWmeValidatesNames) {
+  const auto program = parse_shared("(literalize item n)");
+  Engine engine(program, nullptr);
+  EXPECT_THROW(engine.make_wme("nosuch", {}), std::invalid_argument);
+  EXPECT_THROW(engine.make_wme("item", {{"bogus", Value(1.0)}}), std::invalid_argument);
+}
+
+TEST(Engine, RemoveForeignWmeThrows) {
+  const auto program = parse_shared("(literalize item n)");
+  Engine a(program, nullptr);
+  Engine b(program, nullptr);
+  const Wme& w = a.make_wme("item", {{"n", Value(1.0)}});
+  EXPECT_THROW(b.remove_wme(w), std::logic_error);
+}
+
+}  // namespace
+}  // namespace psmsys::ops5

@@ -1,0 +1,364 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "geom/polygon.hpp"
+#include "geom/predicates.hpp"
+#include "util/rng.hpp"
+
+namespace psmsys::geom {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+// ---------------------------------------------------------------------------
+// Vec2
+// ---------------------------------------------------------------------------
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ((a + b), (Vec2{4.0, 1.0}));
+  EXPECT_EQ((a - b), (Vec2{-2.0, 3.0}));
+  EXPECT_EQ((a * 2.0), (Vec2{2.0, 4.0}));
+  EXPECT_DOUBLE_EQ(dot(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(cross(a, b), -7.0);
+  EXPECT_DOUBLE_EQ(length(Vec2{3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(distance(a, a), 0.0);
+}
+
+TEST(Vec2, RotationPreservesLength) {
+  util::Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const Vec2 v{rng.next_double(-10, 10), rng.next_double(-10, 10)};
+    const double angle = rng.next_double(-kPi, kPi);
+    EXPECT_NEAR(length(rotated(v, angle)), length(v), 1e-9);
+  }
+}
+
+TEST(Vec2, RotationQuarterTurn) {
+  const Vec2 r = rotated({1.0, 0.0}, kPi / 2.0);
+  EXPECT_NEAR(r.x, 0.0, 1e-12);
+  EXPECT_NEAR(r.y, 1.0, 1e-12);
+}
+
+TEST(Vec2, Orientation) {
+  EXPECT_EQ(orientation({0, 0}, {1, 0}, {1, 1}), 1);   // ccw
+  EXPECT_EQ(orientation({0, 0}, {1, 0}, {1, -1}), -1); // cw
+  EXPECT_EQ(orientation({0, 0}, {1, 0}, {2, 0}), 0);   // collinear
+}
+
+// ---------------------------------------------------------------------------
+// Segments
+// ---------------------------------------------------------------------------
+
+TEST(Segments, ProperCrossing) {
+  EXPECT_TRUE(segments_intersect({{0, 0}, {2, 2}}, {{0, 2}, {2, 0}}));
+}
+
+TEST(Segments, Disjoint) {
+  EXPECT_FALSE(segments_intersect({{0, 0}, {1, 0}}, {{0, 1}, {1, 1}}));
+}
+
+TEST(Segments, TouchingEndpoint) {
+  EXPECT_TRUE(segments_intersect({{0, 0}, {1, 1}}, {{1, 1}, {2, 0}}));
+}
+
+TEST(Segments, CollinearOverlap) {
+  EXPECT_TRUE(segments_intersect({{0, 0}, {2, 0}}, {{1, 0}, {3, 0}}));
+  EXPECT_FALSE(segments_intersect({{0, 0}, {1, 0}}, {{2, 0}, {3, 0}}));
+}
+
+TEST(Segments, PointSegmentDistance) {
+  const Segment s{{0, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(point_segment_distance({5, 3}, s), 3.0);
+  EXPECT_DOUBLE_EQ(point_segment_distance({-3, 4}, s), 5.0);  // clamps to endpoint
+  EXPECT_DOUBLE_EQ(point_segment_distance({5, 0}, s), 0.0);
+}
+
+TEST(Segments, SegmentSegmentDistance) {
+  EXPECT_DOUBLE_EQ(segment_segment_distance({{0, 0}, {1, 0}}, {{0, 2}, {1, 2}}), 2.0);
+  EXPECT_DOUBLE_EQ(segment_segment_distance({{0, 0}, {2, 2}}, {{0, 2}, {2, 0}}), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Polygon
+// ---------------------------------------------------------------------------
+
+TEST(Polygon, RejectsDegenerate) {
+  EXPECT_THROW(Polygon({{0, 0}, {1, 1}}), std::invalid_argument);
+  EXPECT_THROW(Polygon::regular({0, 0}, 1.0, 2), std::invalid_argument);
+}
+
+TEST(Polygon, RectangleAreaPerimeterCentroid) {
+  const Polygon r = Polygon::rectangle({0, 0}, {4, 3});
+  EXPECT_DOUBLE_EQ(r.area(), 12.0);
+  EXPECT_DOUBLE_EQ(r.perimeter(), 14.0);
+  const Vec2 c = r.centroid();
+  EXPECT_NEAR(c.x, 2.0, 1e-12);
+  EXPECT_NEAR(c.y, 1.5, 1e-12);
+}
+
+TEST(Polygon, OrientedRectangleInvariantArea) {
+  util::Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const double angle = rng.next_double(0, kPi);
+    const Polygon r = Polygon::oriented_rectangle({5, 5}, 8.0, 2.0, angle);
+    EXPECT_NEAR(r.area(), 16.0, 1e-9);
+    EXPECT_NEAR(r.perimeter(), 20.0, 1e-9);
+  }
+}
+
+TEST(Polygon, ElongationRotationInvariant) {
+  util::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const double angle = rng.next_double(0, kPi);
+    const Polygon r = Polygon::oriented_rectangle({0, 0}, 12.0, 2.0, angle);
+    EXPECT_NEAR(r.elongation(), 6.0, 1e-6) << "angle=" << angle;
+  }
+}
+
+TEST(Polygon, OrientationAngleTracksLongEdge) {
+  const Polygon horizontal = Polygon::oriented_rectangle({0, 0}, 10.0, 1.0, 0.0);
+  EXPECT_NEAR(horizontal.orientation_angle(), 0.0, 1e-9);
+  const Polygon diagonal = Polygon::oriented_rectangle({0, 0}, 10.0, 1.0, kPi / 4.0);
+  EXPECT_NEAR(diagonal.orientation_angle(), kPi / 4.0, 1e-9);
+}
+
+TEST(Polygon, ContainsPoint) {
+  const Polygon r = Polygon::rectangle({0, 0}, {10, 10});
+  EXPECT_TRUE(r.contains({5, 5}));
+  EXPECT_TRUE(r.contains({0, 0}));    // boundary counts as inside
+  EXPECT_TRUE(r.contains({10, 5}));   // boundary
+  EXPECT_FALSE(r.contains({11, 5}));
+  EXPECT_FALSE(r.contains({-0.001, 5}));
+}
+
+TEST(Polygon, ContainsPointConcave) {
+  // L-shape: the notch must be outside.
+  const Polygon l({{0, 0}, {4, 0}, {4, 2}, {2, 2}, {2, 4}, {0, 4}});
+  EXPECT_TRUE(l.contains({1, 1}));
+  EXPECT_TRUE(l.contains({1, 3}));
+  EXPECT_FALSE(l.contains({3, 3}));
+}
+
+TEST(Polygon, RegularPolygonApproximatesCircle) {
+  const Polygon p = Polygon::regular({0, 0}, 10.0, 64);
+  EXPECT_NEAR(p.area(), kPi * 100.0, 2.0);
+  EXPECT_NEAR(p.perimeter(), 2.0 * kPi * 10.0, 0.5);
+}
+
+TEST(Polygon, SignedAreaPositiveForCcw) {
+  const Polygon ccw({{0, 0}, {1, 0}, {1, 1}});
+  EXPECT_GT(ccw.signed_area(), 0.0);
+  const Polygon cw({{0, 0}, {0, 1}, {1, 1}});
+  EXPECT_LT(cw.signed_area(), 0.0);
+  EXPECT_DOUBLE_EQ(cw.area(), 0.5);
+}
+
+TEST(Polygon, Bounds) {
+  const Polygon p({{1, 2}, {5, -1}, {3, 7}});
+  const BoundingBox bb = p.bounds();
+  EXPECT_DOUBLE_EQ(bb.lo.x, 1.0);
+  EXPECT_DOUBLE_EQ(bb.lo.y, -1.0);
+  EXPECT_DOUBLE_EQ(bb.hi.x, 5.0);
+  EXPECT_DOUBLE_EQ(bb.hi.y, 7.0);
+  EXPECT_TRUE(bb.overlaps(bb));
+  EXPECT_FALSE(bb.overlaps({{10, 10}, {11, 11}}));
+}
+
+// ---------------------------------------------------------------------------
+// Polygon-polygon relations
+// ---------------------------------------------------------------------------
+
+TEST(PolygonRelations, IntersectOverlapping) {
+  const Polygon a = Polygon::rectangle({0, 0}, {4, 4});
+  const Polygon b = Polygon::rectangle({2, 2}, {6, 6});
+  EXPECT_TRUE(polygons_intersect(a, b));
+}
+
+TEST(PolygonRelations, IntersectNested) {
+  const Polygon outer = Polygon::rectangle({0, 0}, {10, 10});
+  const Polygon inner = Polygon::rectangle({4, 4}, {6, 6});
+  EXPECT_TRUE(polygons_intersect(outer, inner));
+  EXPECT_TRUE(polygons_intersect(inner, outer));
+}
+
+TEST(PolygonRelations, DisjointDistance) {
+  const Polygon a = Polygon::rectangle({0, 0}, {1, 1});
+  const Polygon b = Polygon::rectangle({3, 0}, {4, 1});
+  EXPECT_FALSE(polygons_intersect(a, b));
+  EXPECT_DOUBLE_EQ(polygon_distance(a, b), 2.0);
+  EXPECT_DOUBLE_EQ(polygon_distance(a, a), 0.0);
+}
+
+TEST(PolygonRelations, Containment) {
+  const Polygon outer = Polygon::rectangle({0, 0}, {10, 10});
+  const Polygon inner = Polygon::rectangle({2, 2}, {5, 5});
+  const Polygon crossing = Polygon::rectangle({8, 8}, {12, 12});
+  EXPECT_TRUE(polygon_contains(outer, inner));
+  EXPECT_FALSE(polygon_contains(inner, outer));
+  EXPECT_FALSE(polygon_contains(outer, crossing));
+}
+
+// ---------------------------------------------------------------------------
+// Named predicates (the LCC constraint vocabulary)
+// ---------------------------------------------------------------------------
+
+TEST(Predicates, IntersectsReportsFlops) {
+  const Polygon a = Polygon::rectangle({0, 0}, {4, 4});
+  const Polygon b = Polygon::rectangle({2, 2}, {6, 6});
+  const auto r = intersects(a, b);
+  EXPECT_TRUE(r.value);
+  EXPECT_GT(r.flops, 0u);
+  // A bbox-rejected pair must be much cheaper.
+  const Polygon far = Polygon::rectangle({100, 100}, {101, 101});
+  const auto cheap = intersects(a, far);
+  EXPECT_FALSE(cheap.value);
+  EXPECT_LT(cheap.flops, r.flops);
+}
+
+TEST(Predicates, AdjacentToExcludesOverlap) {
+  const Polygon a = Polygon::rectangle({0, 0}, {4, 4});
+  const Polygon touching = Polygon::rectangle({4.5, 0}, {8, 4});
+  const Polygon overlapping = Polygon::rectangle({2, 0}, {6, 4});
+  const Polygon far = Polygon::rectangle({20, 0}, {24, 4});
+  EXPECT_TRUE(adjacent_to(a, touching, 1.0).value);
+  EXPECT_FALSE(adjacent_to(a, overlapping, 1.0).value);
+  EXPECT_FALSE(adjacent_to(a, far, 1.0).value);
+}
+
+TEST(Predicates, ContainsRegion) {
+  const Polygon fa = Polygon::rectangle({0, 0}, {100, 100});
+  const Polygon runway = Polygon::oriented_rectangle({50, 50}, 60, 4, 0.2);
+  EXPECT_TRUE(contains_region(fa, runway).value);
+  EXPECT_FALSE(contains_region(runway, fa).value);
+}
+
+TEST(Predicates, NearUsesCentroids) {
+  const Polygon a = Polygon::rectangle({0, 0}, {2, 2});
+  const Polygon b = Polygon::rectangle({10, 0}, {12, 2});
+  EXPECT_TRUE(near(a, b, 10.1).value);
+  EXPECT_FALSE(near(a, b, 9.9).value);
+}
+
+TEST(Predicates, AlignedAndPerpendicular) {
+  const Polygon runway = Polygon::oriented_rectangle({0, 0}, 40, 3, 0.3);
+  const Polygon taxiway_parallel = Polygon::oriented_rectangle({0, 20}, 30, 2, 0.3);
+  const Polygon taxiway_cross = Polygon::oriented_rectangle({0, 20}, 30, 2, 0.3 + kPi / 2.0);
+  EXPECT_TRUE(aligned_with(runway, taxiway_parallel, 0.05).value);
+  EXPECT_FALSE(aligned_with(runway, taxiway_cross, 0.05).value);
+  EXPECT_TRUE(perpendicular_to(runway, taxiway_cross, 0.05).value);
+  EXPECT_FALSE(perpendicular_to(runway, taxiway_parallel, 0.05).value);
+}
+
+TEST(Predicates, LeadsTo) {
+  // A road pointing at a terminal building reaches it along its long axis.
+  const Polygon road = Polygon::oriented_rectangle({0, 0}, 20, 2, 0.0);
+  const Polygon terminal = Polygon::rectangle({25, -5}, {35, 5});
+  const Polygon offside = Polygon::rectangle({-5, 20}, {5, 30});
+  EXPECT_TRUE(leads_to(road, terminal, 40.0).value);
+  EXPECT_FALSE(leads_to(road, terminal, 10.0).value);  // out of reach
+  EXPECT_FALSE(leads_to(road, offside, 40.0).value);   // wrong direction
+}
+
+TEST(Predicates, FlankedBy) {
+  const Polygon runway = Polygon::oriented_rectangle({0, 0}, 40, 4, 0.0);
+  const Polygon grass_side = Polygon::rectangle({-5, 3}, {5, 13});
+  const Polygon far_side = Polygon::rectangle({-5, 50}, {5, 60});
+  EXPECT_TRUE(flanked_by(runway, grass_side, 5.0).value);
+  EXPECT_FALSE(flanked_by(runway, far_side, 5.0).value);
+}
+
+TEST(Predicates, FlopsScaleWithVertexCount) {
+  const Polygon small = Polygon::regular({0, 0}, 5.0, 4);
+  const Polygon big = Polygon::regular({20, 0}, 5.0, 32);
+  const auto cheap = adjacent_to(small, small, 1.0);
+  const auto costly = adjacent_to(big, big, 1.0);
+  EXPECT_GT(costly.flops, cheap.flops);
+}
+
+
+// ---------------------------------------------------------------------------
+// Metamorphic properties over random shapes
+// ---------------------------------------------------------------------------
+
+class GeomPropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  [[nodiscard]] Polygon random_polygon(util::Rng& rng) const {
+    const Vec2 c{rng.next_double(-50, 50), rng.next_double(-50, 50)};
+    if (rng.next_bool(0.5)) {
+      return Polygon::oriented_rectangle(c, rng.next_double(2, 40), rng.next_double(1, 10),
+                                         rng.next_double(0, kPi));
+    }
+    return Polygon::regular(c, rng.next_double(1, 20),
+                            static_cast<int>(rng.next_int(3, 12)),
+                            rng.next_double(0, kPi));
+  }
+};
+
+TEST_P(GeomPropertyTest, IntersectionIsSymmetric) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 5);
+  for (int i = 0; i < 60; ++i) {
+    const Polygon a = random_polygon(rng);
+    const Polygon b = random_polygon(rng);
+    EXPECT_EQ(polygons_intersect(a, b), polygons_intersect(b, a));
+  }
+}
+
+TEST_P(GeomPropertyTest, DistanceIsSymmetricAndConsistent) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 3);
+  for (int i = 0; i < 60; ++i) {
+    const Polygon a = random_polygon(rng);
+    const Polygon b = random_polygon(rng);
+    const double dab = polygon_distance(a, b);
+    const double dba = polygon_distance(b, a);
+    EXPECT_NEAR(dab, dba, 1e-9);
+    EXPECT_GE(dab, 0.0);
+    EXPECT_EQ(dab == 0.0, polygons_intersect(a, b));
+  }
+}
+
+TEST_P(GeomPropertyTest, ContainmentImpliesIntersection) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 17 + 11);
+  for (int i = 0; i < 60; ++i) {
+    const Polygon a = random_polygon(rng);
+    const Polygon b = random_polygon(rng);
+    if (polygon_contains(a, b)) {
+      EXPECT_TRUE(polygons_intersect(a, b));
+      EXPECT_GE(a.bounds().hi.x + 1e-9, b.bounds().hi.x);
+      EXPECT_LE(a.bounds().lo.x - 1e-9, b.bounds().lo.x);
+    }
+  }
+}
+
+TEST_P(GeomPropertyTest, SelfRelations) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 41 + 2);
+  for (int i = 0; i < 40; ++i) {
+    const Polygon a = random_polygon(rng);
+    EXPECT_TRUE(polygons_intersect(a, a));
+    EXPECT_DOUBLE_EQ(polygon_distance(a, a), 0.0);
+    EXPECT_TRUE(polygon_contains(a, a));
+    EXPECT_TRUE(a.contains(a.centroid()) || a.size() > 4);  // concave centroids may fall out
+  }
+}
+
+TEST_P(GeomPropertyTest, TranslationInvariance) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 59 + 8);
+  for (int i = 0; i < 40; ++i) {
+    const Polygon a = random_polygon(rng);
+    const Vec2 shift{rng.next_double(-100, 100), rng.next_double(-100, 100)};
+    std::vector<Vec2> moved(a.vertices().begin(), a.vertices().end());
+    for (auto& v : moved) v = v + shift;
+    const Polygon b(std::move(moved));
+    EXPECT_NEAR(a.area(), b.area(), 1e-6 * std::max(1.0, a.area()));
+    EXPECT_NEAR(a.perimeter(), b.perimeter(), 1e-6 * std::max(1.0, a.perimeter()));
+    EXPECT_NEAR(a.elongation(), b.elongation(), 1e-6 * a.elongation());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeomPropertyTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace psmsys::geom

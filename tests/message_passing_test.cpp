@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "psm/message_passing.hpp"
+#include "util/rng.hpp"
+
+namespace psmsys::psm {
+namespace {
+
+using util::WorkUnits;
+
+std::vector<WorkUnits> uniform_tasks(std::size_t n, WorkUnits cost) {
+  return std::vector<WorkUnits>(n, cost);
+}
+
+TEST(MessagePassing, RejectsZeroWorkers) {
+  MessagePassingConfig c;
+  c.workers = 0;
+  EXPECT_THROW(simulate_message_passing(uniform_tasks(4, 10), c), std::invalid_argument);
+}
+
+TEST(MessagePassing, StaticRoundRobinBalancesUniformWork) {
+  MessagePassingConfig c;
+  c.workers = 4;
+  c.distribution = Distribution::Static;
+  const auto r = simulate_message_passing(uniform_tasks(16, 1000), c);
+  // 4 tasks each + one assignment message + result marshalling.
+  EXPECT_EQ(r.busy[0], r.busy[3]);
+  EXPECT_EQ(r.messages, 16u + 4u);
+  EXPECT_EQ(r.network_stall, 0u);
+}
+
+TEST(MessagePassing, DynamicPaysRoundTripPerTask) {
+  MessagePassingConfig c;
+  c.workers = 1;
+  c.distribution = Distribution::Dynamic;
+  c.message_latency = 100;
+  c.marshal_cost = 10;
+  const auto r = simulate_message_passing(uniform_tasks(5, 1000), c);
+  // Each task: 2*100 + 2*10 stall + 1000 work + 10 result marshal.
+  EXPECT_EQ(r.makespan, 5u * (220 + 1000 + 10));
+  EXPECT_EQ(r.network_stall, 5u * 220);
+}
+
+TEST(MessagePassing, DynamicBeatsStaticOnSkewedWork) {
+  // One giant task at the head of the queue: static round-robin still piles
+  // a full share of small tasks onto the giant's node; dynamic lets the
+  // other workers absorb them. (A giant at the *end* hurts both equally —
+  // that is the tail-end effect.)
+  std::vector<WorkUnits> tasks{20000};
+  tasks.insert(tasks.end(), 40, 500);
+  MessagePassingConfig dynamic;
+  dynamic.workers = 8;
+  dynamic.distribution = Distribution::Dynamic;
+  MessagePassingConfig fixed = dynamic;
+  fixed.distribution = Distribution::Static;
+  const auto rd = simulate_message_passing(tasks, dynamic);
+  const auto rs = simulate_message_passing(tasks, fixed);
+  EXPECT_LT(rd.makespan, rs.makespan);
+}
+
+TEST(MessagePassing, StaticBeatsDynamicWhenLatencyDominatesGranularity) {
+  // Tiny uniform tasks + slow network: the per-task round trip erases
+  // dynamic's balancing advantage (Section 4's granularity tradeoff with a
+  // bigger overhead constant).
+  const auto tasks = uniform_tasks(400, 50);
+  MessagePassingConfig dynamic;
+  dynamic.workers = 8;
+  dynamic.distribution = Distribution::Dynamic;
+  dynamic.message_latency = 500;
+  MessagePassingConfig fixed = dynamic;
+  fixed.distribution = Distribution::Static;
+  const auto rd = simulate_message_passing(tasks, dynamic);
+  const auto rs = simulate_message_passing(tasks, fixed);
+  EXPECT_LT(rs.makespan, rd.makespan);
+}
+
+TEST(MessagePassing, SyncResultsStallMore) {
+  MessagePassingConfig async;
+  async.workers = 4;
+  MessagePassingConfig sync = async;
+  sync.async_results = false;
+  const auto tasks = uniform_tasks(32, 800);
+  EXPECT_LT(simulate_message_passing(tasks, async).makespan,
+            simulate_message_passing(tasks, sync).makespan);
+}
+
+TEST(MessagePassing, UtilizationBounded) {
+  util::Rng rng(3);
+  std::vector<WorkUnits> tasks;
+  for (int i = 0; i < 100; ++i) tasks.push_back(100 + rng.next_below(900));
+  MessagePassingConfig c;
+  c.workers = 6;
+  const auto r = simulate_message_passing(tasks, c);
+  EXPECT_GT(r.utilization(), 0.0);
+  EXPECT_LE(r.utilization(), 1.0);
+}
+
+TEST(MessagePassing, MoreWorkersNeverSlowerUnderDynamic) {
+  util::Rng rng(9);
+  std::vector<WorkUnits> tasks;
+  for (int i = 0; i < 200; ++i) tasks.push_back(200 + rng.next_below(2000));
+  WorkUnits prev = ~WorkUnits{0};
+  for (std::size_t w = 1; w <= 16; w *= 2) {
+    MessagePassingConfig c;
+    c.workers = w;
+    const auto r = simulate_message_passing(tasks, c);
+    EXPECT_LE(r.makespan, prev);
+    prev = r.makespan;
+  }
+}
+
+}  // namespace
+}  // namespace psmsys::psm

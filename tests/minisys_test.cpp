@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "psm/sim.hpp"
+#include "spam/minisys.hpp"
+
+namespace psmsys::spam {
+namespace {
+
+TEST(MiniSystems, SourcesParse) {
+  for (const auto& cfg : {rubik_analog(), weaver_analog(), tourney_analog()}) {
+    const auto program = build_minisystem(cfg);
+    EXPECT_EQ(program->productions().size(), static_cast<std::size_t>(cfg.ring_size))
+        << cfg.name;
+  }
+}
+
+TEST(MiniSystems, RingRunsToCompletion) {
+  MiniSystemConfig cfg = tourney_analog();
+  cfg.steps = 50;
+  const auto m = run_minisystem(cfg);
+  EXPECT_EQ(m.counters.cycles, 50u);
+  EXPECT_EQ(m.counters.firings, 50u);
+  // 50 firing cycles plus possibly one trailing match-only record.
+  EXPECT_GE(m.cycles.size(), 50u);
+  EXPECT_LE(m.cycles.size(), 51u);
+}
+
+TEST(MiniSystems, AllAreMatchIntensive) {
+  // Like Rubik/Weaver/Tourney, the analogs spend nearly all their time in
+  // match (>85%, most >90%).
+  for (const auto& cfg : {rubik_analog(), weaver_analog(), tourney_analog()}) {
+    const auto m = run_minisystem(cfg);
+    EXPECT_GT(m.counters.match_fraction(), 0.85) << cfg.name;
+  }
+}
+
+TEST(MiniSystems, DeterministicAcrossRuns) {
+  const auto a = run_minisystem(weaver_analog());
+  const auto b = run_minisystem(weaver_analog());
+  EXPECT_EQ(a.cost(), b.cost());
+  EXPECT_EQ(a.counters.firings, b.counters.firings);
+}
+
+TEST(MiniSystems, MatchSpeedupOrderingMatchesFigure3) {
+  // Figure 3: Rubik scales best, Weaver mid, Tourney is stuck around 2.
+  const auto speedup_at = [](const MiniSystemConfig& cfg, std::size_t procs) {
+    const auto m = run_minisystem(cfg);
+    psm::MatchModel model;
+    model.match_processes = procs;
+    return psm::speedup(m.cost(), psm::task_cost_with_match(m, model));
+  };
+  const double rubik = speedup_at(rubik_analog(), 13);
+  const double weaver = speedup_at(weaver_analog(), 13);
+  const double tourney = speedup_at(tourney_analog(), 13);
+  EXPECT_GT(rubik, weaver);
+  EXPECT_GT(weaver, tourney);
+  EXPECT_GT(rubik, 7.0);
+  EXPECT_LT(tourney, 3.5);
+}
+
+TEST(MiniSystems, TourneySaturatesEarly) {
+  const auto m = run_minisystem(tourney_analog());
+  psm::MatchModel m4;
+  m4.match_processes = 4;
+  psm::MatchModel m13;
+  m13.match_processes = 13;
+  const double s4 = psm::speedup(m.cost(), psm::task_cost_with_match(m, m4));
+  const double s13 = psm::speedup(m.cost(), psm::task_cost_with_match(m, m13));
+  EXPECT_NEAR(s4, s13, 0.15);  // flat beyond 4 processes
+}
+
+TEST(MiniSystems, SourceShape) {
+  MiniSystemConfig cfg;
+  cfg.ring_size = 3;
+  cfg.join_depth = 2;
+  cfg.steps = 10;
+  const std::string src = minisystem_source(cfg);
+  EXPECT_NE(src.find("(p step-0"), std::string::npos);
+  EXPECT_NE(src.find("(p step-2"), std::string::npos);
+  EXPECT_EQ(src.find("(p step-3"), std::string::npos);
+  EXPECT_NE(src.find("< 10"), std::string::npos);  // the step bound
+}
+
+}  // namespace
+}  // namespace psmsys::spam

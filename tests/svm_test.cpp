@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "psm/sim.hpp"
+#include "svm/svm.hpp"
+#include "util/rng.hpp"
+
+namespace psmsys::svm {
+namespace {
+
+using psm::TaskMeasurement;
+using util::WorkUnits;
+
+[[nodiscard]] std::vector<TaskMeasurement> synthetic_tasks(std::size_t n, WorkUnits cost,
+                                                           std::uint64_t churn) {
+  std::vector<TaskMeasurement> tasks(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tasks[i].task_id = i;
+    tasks[i].counters.rhs_cost = cost;
+    tasks[i].counters.wmes_added = churn;
+  }
+  return tasks;
+}
+
+TEST(TaskPages, ScalesWithChurn) {
+  SvmConfig c;
+  c.items_per_page = 10;
+  TaskMeasurement quiet;
+  TaskMeasurement busy;
+  busy.counters.wmes_added = 95;
+  busy.counters.wmes_removed = 5;
+  EXPECT_EQ(task_pages(quiet, c), 1u);        // just the queue page
+  EXPECT_EQ(task_pages(busy, c), 11u);        // 100 churn / 10 + queue page
+}
+
+TEST(SimulateSvm, LocalOnlyMatchesTlp) {
+  // All processes on node 0: no network faults; equals the TLP simulator.
+  const auto tasks = synthetic_tasks(40, 1000, 60);
+  SvmConfig c;
+  const auto svm = simulate_svm(tasks, 8, c);
+  EXPECT_EQ(svm.remote_faults, 0u);
+
+  const auto costs = psm::task_costs(tasks);
+  psm::TlpConfig tc;
+  tc.task_processes = 8;
+  tc.queue_overhead_per_task = c.queue_overhead_per_task;
+  EXPECT_EQ(svm.makespan, psm::simulate_tlp(costs, tc).makespan);
+}
+
+TEST(SimulateSvm, CrossingNodesCostsFaults) {
+  const auto tasks = synthetic_tasks(200, 1000, 60);
+  SvmConfig c;
+  const auto at13 = simulate_svm(tasks, 13, c);
+  const auto at14 = simulate_svm(tasks, 14, c);
+  EXPECT_EQ(at13.remote_faults, 0u);
+  EXPECT_GT(at14.remote_faults, 0u);
+  EXPECT_GT(at14.remote_fault_cost, 0u);
+}
+
+TEST(SimulateSvm, TranslationalEffect) {
+  // Crossing to the second Encore still speeds things up, but the remote
+  // processors are worth less than local ones (Figure 9's translation).
+  const auto tasks = synthetic_tasks(400, 2000, 80);
+  SvmConfig c;
+  const auto base = simulate_svm(tasks, 1, c).makespan;
+  const auto at13 = simulate_svm(tasks, 13, c).makespan;
+  const auto at20 = simulate_svm(tasks, 20, c).makespan;
+  const double s13 = psm::speedup(base, at13);
+  const double s20 = psm::speedup(base, at20);
+  EXPECT_GT(s20, s13);                       // more processors still help
+  EXPECT_LT(s20, s13 * 20.0 / 13.0 * 0.995); // but less than proportionally
+}
+
+TEST(SimulateSvm, ProcessorCountCapped) {
+  const auto tasks = synthetic_tasks(50, 500, 20);
+  SvmConfig c;
+  c.node0_procs = 3;
+  c.node1_procs = 2;
+  const auto r = simulate_svm(tasks, 99, c);
+  EXPECT_EQ(r.busy.size(), 5u);
+}
+
+TEST(SimulateSvm, DiffShippingBeatsFullPages) {
+  // Coarse tasks: the second Encore is useful under both protocols, so the
+  // cheaper 64-byte diffs strictly win. (With fine tasks, list scheduling
+  // just starves the remote node instead.)
+  const auto tasks = synthetic_tasks(100, 50000, 100);
+  SvmConfig diff;
+  SvmConfig full = diff;
+  full.diff_shipping = false;
+  const auto with_diff = simulate_svm(tasks, 20, diff);
+  const auto with_full = simulate_svm(tasks, 20, full);
+  EXPECT_LT(with_diff.makespan, with_full.makespan);
+  // Per-fault cost is what the netmemory-server optimization reduces.
+  EXPECT_LT(with_diff.remote_fault_cost / std::max<std::uint64_t>(with_diff.remote_faults, 1),
+            with_full.remote_fault_cost / std::max<std::uint64_t>(with_full.remote_faults, 1));
+}
+
+TEST(SimulateSvm, FalseSharingDegradesSeverely) {
+  // "the overhead incurred from constantly page faulting across the network
+  // due to false contention, brought our system to a halt".
+  const auto tasks = synthetic_tasks(300, 1500, 100);
+  SvmConfig clean;
+  SvmConfig dirty = clean;
+  dirty.false_sharing_factor = 50.0;
+  const auto base = simulate_svm(tasks, 1, clean).makespan;
+  const double s_clean = psm::speedup(base, simulate_svm(tasks, 22, clean).makespan);
+  const double s_dirty = psm::speedup(base, simulate_svm(tasks, 22, dirty).makespan);
+  EXPECT_LT(s_dirty, s_clean / 1.5);
+}
+
+TEST(SimulateSvm, RejectsZeroProcessors) {
+  const auto tasks = synthetic_tasks(3, 100, 5);
+  EXPECT_THROW(simulate_svm(tasks, 0, SvmConfig{}), std::invalid_argument);
+}
+
+TEST(SimulateSvm, FaultAccountingConsistent) {
+  const auto tasks = synthetic_tasks(100, 800, 64);
+  SvmConfig c;
+  const auto r = simulate_svm(tasks, 20, c);
+  EXPECT_EQ(r.remote_fault_cost, r.remote_faults * c.diff_fault_cost);
+}
+
+}  // namespace
+}  // namespace psmsys::svm
