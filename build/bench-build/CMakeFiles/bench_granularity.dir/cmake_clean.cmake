@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_granularity"
+  "../bench/bench_granularity.pdb"
+  "CMakeFiles/bench_granularity.dir/bench_granularity.cpp.o"
+  "CMakeFiles/bench_granularity.dir/bench_granularity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_lcc_match"
+  "../bench/bench_lcc_match.pdb"
+  "CMakeFiles/bench_lcc_match.dir/bench_lcc_match.cpp.o"
+  "CMakeFiles/bench_lcc_match.dir/bench_lcc_match.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lcc_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_lcc_tlp"
+  "../bench/bench_lcc_tlp.pdb"
+  "CMakeFiles/bench_lcc_tlp.dir/bench_lcc_tlp.cpp.o"
+  "CMakeFiles/bench_lcc_tlp.dir/bench_lcc_tlp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lcc_tlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

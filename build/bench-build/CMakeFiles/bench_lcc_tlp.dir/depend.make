@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_lcc_tlp.
+# This may be replaced when dependencies are built.

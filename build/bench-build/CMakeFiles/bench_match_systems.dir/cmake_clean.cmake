@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_match_systems"
+  "../bench/bench_match_systems.pdb"
+  "CMakeFiles/bench_match_systems.dir/bench_match_systems.cpp.o"
+  "CMakeFiles/bench_match_systems.dir/bench_match_systems.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_match_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

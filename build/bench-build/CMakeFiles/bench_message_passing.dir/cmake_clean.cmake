@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_message_passing"
+  "../bench/bench_message_passing.pdb"
+  "CMakeFiles/bench_message_passing.dir/bench_message_passing.cpp.o"
+  "CMakeFiles/bench_message_passing.dir/bench_message_passing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_message_passing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_message_passing.
+# This may be replaced when dependencies are built.

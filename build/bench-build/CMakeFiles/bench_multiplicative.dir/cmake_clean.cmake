@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_multiplicative"
+  "../bench/bench_multiplicative.pdb"
+  "CMakeFiles/bench_multiplicative.dir/bench_multiplicative.cpp.o"
+  "CMakeFiles/bench_multiplicative.dir/bench_multiplicative.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiplicative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_multiplicative.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_phase_stats"
+  "../bench/bench_phase_stats.pdb"
+  "CMakeFiles/bench_phase_stats.dir/bench_phase_stats.cpp.o"
+  "CMakeFiles/bench_phase_stats.dir/bench_phase_stats.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_phase_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

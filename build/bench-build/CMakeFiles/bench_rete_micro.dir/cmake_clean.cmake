@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_rete_micro"
+  "../bench/bench_rete_micro.pdb"
+  "CMakeFiles/bench_rete_micro.dir/bench_rete_micro.cpp.o"
+  "CMakeFiles/bench_rete_micro.dir/bench_rete_micro.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rete_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_rete_vs_naive"
+  "../bench/bench_rete_vs_naive.pdb"
+  "CMakeFiles/bench_rete_vs_naive.dir/bench_rete_vs_naive.cpp.o"
+  "CMakeFiles/bench_rete_vs_naive.dir/bench_rete_vs_naive.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rete_vs_naive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

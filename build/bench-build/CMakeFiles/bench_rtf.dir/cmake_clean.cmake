@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_rtf"
+  "../bench/bench_rtf.pdb"
+  "CMakeFiles/bench_rtf.dir/bench_rtf.cpp.o"
+  "CMakeFiles/bench_rtf.dir/bench_rtf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rtf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_svm"
+  "../bench/bench_svm.pdb"
+  "CMakeFiles/bench_svm.dir/bench_svm.cpp.o"
+  "CMakeFiles/bench_svm.dir/bench_svm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_svm_ablation"
+  "../bench/bench_svm_ablation.pdb"
+  "CMakeFiles/bench_svm_ablation.dir/bench_svm_ablation.cpp.o"
+  "CMakeFiles/bench_svm_ablation.dir/bench_svm_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_svm_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

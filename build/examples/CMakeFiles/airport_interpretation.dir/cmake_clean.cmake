@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airport_interpretation.dir/airport_interpretation.cpp.o"
+  "CMakeFiles/airport_interpretation.dir/airport_interpretation.cpp.o.d"
+  "airport_interpretation"
+  "airport_interpretation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airport_interpretation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

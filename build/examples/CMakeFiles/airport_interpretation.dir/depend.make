@@ -1,0 +1,2 @@
+# Empty dependencies file for airport_interpretation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/parallel_lcc.cpp" "examples/CMakeFiles/parallel_lcc.dir/parallel_lcc.cpp.o" "gcc" "examples/CMakeFiles/parallel_lcc.dir/parallel_lcc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spam/CMakeFiles/psm_spam.dir/DependInfo.cmake"
+  "/root/repo/build/src/psm/CMakeFiles/psm_psm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops5/CMakeFiles/psm_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/rete/CMakeFiles/psm_rete.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops5/CMakeFiles/psm_ops5.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/psm_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/psm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_lcc.dir/parallel_lcc.cpp.o"
+  "CMakeFiles/parallel_lcc.dir/parallel_lcc.cpp.o.d"
+  "parallel_lcc"
+  "parallel_lcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_lcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

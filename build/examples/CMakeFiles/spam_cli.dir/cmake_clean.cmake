@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spam_cli.dir/spam_cli.cpp.o"
+  "CMakeFiles/spam_cli.dir/spam_cli.cpp.o.d"
+  "spam_cli"
+  "spam_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spam_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svm_cluster.dir/svm_cluster.cpp.o"
+  "CMakeFiles/svm_cluster.dir/svm_cluster.cpp.o.d"
+  "svm_cluster"
+  "svm_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svm_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

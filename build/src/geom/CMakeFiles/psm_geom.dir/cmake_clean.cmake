@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psm_geom.dir/polygon.cpp.o"
+  "CMakeFiles/psm_geom.dir/polygon.cpp.o.d"
+  "CMakeFiles/psm_geom.dir/predicates.cpp.o"
+  "CMakeFiles/psm_geom.dir/predicates.cpp.o.d"
+  "libpsm_geom.a"
+  "libpsm_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psm_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

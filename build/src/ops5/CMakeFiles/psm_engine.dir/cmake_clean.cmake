@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psm_engine.dir/engine.cpp.o"
+  "CMakeFiles/psm_engine.dir/engine.cpp.o.d"
+  "CMakeFiles/psm_engine.dir/external.cpp.o"
+  "CMakeFiles/psm_engine.dir/external.cpp.o.d"
+  "libpsm_engine.a"
+  "libpsm_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psm_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

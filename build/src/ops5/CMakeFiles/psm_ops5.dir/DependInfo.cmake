@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ops5/bindings.cpp" "src/ops5/CMakeFiles/psm_ops5.dir/bindings.cpp.o" "gcc" "src/ops5/CMakeFiles/psm_ops5.dir/bindings.cpp.o.d"
+  "/root/repo/src/ops5/conflict.cpp" "src/ops5/CMakeFiles/psm_ops5.dir/conflict.cpp.o" "gcc" "src/ops5/CMakeFiles/psm_ops5.dir/conflict.cpp.o.d"
+  "/root/repo/src/ops5/parser.cpp" "src/ops5/CMakeFiles/psm_ops5.dir/parser.cpp.o" "gcc" "src/ops5/CMakeFiles/psm_ops5.dir/parser.cpp.o.d"
+  "/root/repo/src/ops5/production.cpp" "src/ops5/CMakeFiles/psm_ops5.dir/production.cpp.o" "gcc" "src/ops5/CMakeFiles/psm_ops5.dir/production.cpp.o.d"
+  "/root/repo/src/ops5/value.cpp" "src/ops5/CMakeFiles/psm_ops5.dir/value.cpp.o" "gcc" "src/ops5/CMakeFiles/psm_ops5.dir/value.cpp.o.d"
+  "/root/repo/src/ops5/wme.cpp" "src/ops5/CMakeFiles/psm_ops5.dir/wme.cpp.o" "gcc" "src/ops5/CMakeFiles/psm_ops5.dir/wme.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/psm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

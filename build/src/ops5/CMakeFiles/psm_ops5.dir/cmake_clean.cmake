@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psm_ops5.dir/bindings.cpp.o"
+  "CMakeFiles/psm_ops5.dir/bindings.cpp.o.d"
+  "CMakeFiles/psm_ops5.dir/conflict.cpp.o"
+  "CMakeFiles/psm_ops5.dir/conflict.cpp.o.d"
+  "CMakeFiles/psm_ops5.dir/parser.cpp.o"
+  "CMakeFiles/psm_ops5.dir/parser.cpp.o.d"
+  "CMakeFiles/psm_ops5.dir/production.cpp.o"
+  "CMakeFiles/psm_ops5.dir/production.cpp.o.d"
+  "CMakeFiles/psm_ops5.dir/value.cpp.o"
+  "CMakeFiles/psm_ops5.dir/value.cpp.o.d"
+  "CMakeFiles/psm_ops5.dir/wme.cpp.o"
+  "CMakeFiles/psm_ops5.dir/wme.cpp.o.d"
+  "libpsm_ops5.a"
+  "libpsm_ops5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psm_ops5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

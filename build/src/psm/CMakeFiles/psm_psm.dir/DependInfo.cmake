@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/psm/message_passing.cpp" "src/psm/CMakeFiles/psm_psm.dir/message_passing.cpp.o" "gcc" "src/psm/CMakeFiles/psm_psm.dir/message_passing.cpp.o.d"
+  "/root/repo/src/psm/sim.cpp" "src/psm/CMakeFiles/psm_psm.dir/sim.cpp.o" "gcc" "src/psm/CMakeFiles/psm_psm.dir/sim.cpp.o.d"
+  "/root/repo/src/psm/task.cpp" "src/psm/CMakeFiles/psm_psm.dir/task.cpp.o" "gcc" "src/psm/CMakeFiles/psm_psm.dir/task.cpp.o.d"
+  "/root/repo/src/psm/threaded.cpp" "src/psm/CMakeFiles/psm_psm.dir/threaded.cpp.o" "gcc" "src/psm/CMakeFiles/psm_psm.dir/threaded.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ops5/CMakeFiles/psm_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/psm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rete/CMakeFiles/psm_rete.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops5/CMakeFiles/psm_ops5.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psm_psm.dir/message_passing.cpp.o"
+  "CMakeFiles/psm_psm.dir/message_passing.cpp.o.d"
+  "CMakeFiles/psm_psm.dir/sim.cpp.o"
+  "CMakeFiles/psm_psm.dir/sim.cpp.o.d"
+  "CMakeFiles/psm_psm.dir/task.cpp.o"
+  "CMakeFiles/psm_psm.dir/task.cpp.o.d"
+  "CMakeFiles/psm_psm.dir/threaded.cpp.o"
+  "CMakeFiles/psm_psm.dir/threaded.cpp.o.d"
+  "libpsm_psm.a"
+  "libpsm_psm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psm_psm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

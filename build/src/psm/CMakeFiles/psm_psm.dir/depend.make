@@ -1,0 +1,2 @@
+# Empty dependencies file for psm_psm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psm_rete.dir/naive.cpp.o"
+  "CMakeFiles/psm_rete.dir/naive.cpp.o.d"
+  "CMakeFiles/psm_rete.dir/network.cpp.o"
+  "CMakeFiles/psm_rete.dir/network.cpp.o.d"
+  "libpsm_rete.a"
+  "libpsm_rete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psm_rete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

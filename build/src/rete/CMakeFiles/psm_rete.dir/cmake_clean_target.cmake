@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpsm_rete.a"
+)

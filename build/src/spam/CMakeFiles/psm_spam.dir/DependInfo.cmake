@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spam/constraints.cpp" "src/spam/CMakeFiles/psm_spam.dir/constraints.cpp.o" "gcc" "src/spam/CMakeFiles/psm_spam.dir/constraints.cpp.o.d"
+  "/root/repo/src/spam/decomposition.cpp" "src/spam/CMakeFiles/psm_spam.dir/decomposition.cpp.o" "gcc" "src/spam/CMakeFiles/psm_spam.dir/decomposition.cpp.o.d"
+  "/root/repo/src/spam/minisys.cpp" "src/spam/CMakeFiles/psm_spam.dir/minisys.cpp.o" "gcc" "src/spam/CMakeFiles/psm_spam.dir/minisys.cpp.o.d"
+  "/root/repo/src/spam/phases.cpp" "src/spam/CMakeFiles/psm_spam.dir/phases.cpp.o" "gcc" "src/spam/CMakeFiles/psm_spam.dir/phases.cpp.o.d"
+  "/root/repo/src/spam/programs.cpp" "src/spam/CMakeFiles/psm_spam.dir/programs.cpp.o" "gcc" "src/spam/CMakeFiles/psm_spam.dir/programs.cpp.o.d"
+  "/root/repo/src/spam/scene.cpp" "src/spam/CMakeFiles/psm_spam.dir/scene.cpp.o" "gcc" "src/spam/CMakeFiles/psm_spam.dir/scene.cpp.o.d"
+  "/root/repo/src/spam/scene_generator.cpp" "src/spam/CMakeFiles/psm_spam.dir/scene_generator.cpp.o" "gcc" "src/spam/CMakeFiles/psm_spam.dir/scene_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ops5/CMakeFiles/psm_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/psm_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/psm/CMakeFiles/psm_psm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/psm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rete/CMakeFiles/psm_rete.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops5/CMakeFiles/psm_ops5.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psm_spam.dir/constraints.cpp.o"
+  "CMakeFiles/psm_spam.dir/constraints.cpp.o.d"
+  "CMakeFiles/psm_spam.dir/decomposition.cpp.o"
+  "CMakeFiles/psm_spam.dir/decomposition.cpp.o.d"
+  "CMakeFiles/psm_spam.dir/minisys.cpp.o"
+  "CMakeFiles/psm_spam.dir/minisys.cpp.o.d"
+  "CMakeFiles/psm_spam.dir/phases.cpp.o"
+  "CMakeFiles/psm_spam.dir/phases.cpp.o.d"
+  "CMakeFiles/psm_spam.dir/programs.cpp.o"
+  "CMakeFiles/psm_spam.dir/programs.cpp.o.d"
+  "CMakeFiles/psm_spam.dir/scene.cpp.o"
+  "CMakeFiles/psm_spam.dir/scene.cpp.o.d"
+  "CMakeFiles/psm_spam.dir/scene_generator.cpp.o"
+  "CMakeFiles/psm_spam.dir/scene_generator.cpp.o.d"
+  "libpsm_spam.a"
+  "libpsm_spam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psm_spam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for psm_spam.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psm_svm.dir/svm.cpp.o"
+  "CMakeFiles/psm_svm.dir/svm.cpp.o.d"
+  "libpsm_svm.a"
+  "libpsm_svm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psm_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

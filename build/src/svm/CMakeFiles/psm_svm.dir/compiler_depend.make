@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for psm_svm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psm_util.dir/stats.cpp.o"
+  "CMakeFiles/psm_util.dir/stats.cpp.o.d"
+  "CMakeFiles/psm_util.dir/table.cpp.o"
+  "CMakeFiles/psm_util.dir/table.cpp.o.d"
+  "libpsm_util.a"
+  "libpsm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conflict_test.dir/conflict_test.cpp.o"
+  "CMakeFiles/conflict_test.dir/conflict_test.cpp.o.d"
+  "conflict_test"
+  "conflict_test.pdb"
+  "conflict_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conflict_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for conflict_test.
+# This may be replaced when dependencies are built.

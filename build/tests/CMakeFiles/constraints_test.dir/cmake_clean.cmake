@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constraints_test.dir/constraints_test.cpp.o"
+  "CMakeFiles/constraints_test.dir/constraints_test.cpp.o.d"
+  "constraints_test"
+  "constraints_test.pdb"
+  "constraints_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constraints_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decomposition_test.dir/decomposition_test.cpp.o"
+  "CMakeFiles/decomposition_test.dir/decomposition_test.cpp.o.d"
+  "decomposition_test"
+  "decomposition_test.pdb"
+  "decomposition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decomposition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

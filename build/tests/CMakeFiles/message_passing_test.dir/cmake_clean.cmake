@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/message_passing_test.dir/message_passing_test.cpp.o"
+  "CMakeFiles/message_passing_test.dir/message_passing_test.cpp.o.d"
+  "message_passing_test"
+  "message_passing_test.pdb"
+  "message_passing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/message_passing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minisys_test.dir/minisys_test.cpp.o"
+  "CMakeFiles/minisys_test.dir/minisys_test.cpp.o.d"
+  "minisys_test"
+  "minisys_test.pdb"
+  "minisys_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minisys_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

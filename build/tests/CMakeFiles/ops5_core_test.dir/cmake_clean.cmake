@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops5_core_test.dir/ops5_core_test.cpp.o"
+  "CMakeFiles/ops5_core_test.dir/ops5_core_test.cpp.o.d"
+  "ops5_core_test"
+  "ops5_core_test.pdb"
+  "ops5_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops5_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/programs_test.dir/programs_test.cpp.o"
+  "CMakeFiles/programs_test.dir/programs_test.cpp.o.d"
+  "programs_test"
+  "programs_test.pdb"
+  "programs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/programs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

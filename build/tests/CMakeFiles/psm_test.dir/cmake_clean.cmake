@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psm_test.dir/psm_test.cpp.o"
+  "CMakeFiles/psm_test.dir/psm_test.cpp.o.d"
+  "psm_test"
+  "psm_test.pdb"
+  "psm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reproduction_test.dir/reproduction_test.cpp.o"
+  "CMakeFiles/reproduction_test.dir/reproduction_test.cpp.o.d"
+  "reproduction_test"
+  "reproduction_test.pdb"
+  "reproduction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reproduction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rete_test.dir/rete_test.cpp.o"
+  "CMakeFiles/rete_test.dir/rete_test.cpp.o.d"
+  "rete_test"
+  "rete_test.pdb"
+  "rete_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rete_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

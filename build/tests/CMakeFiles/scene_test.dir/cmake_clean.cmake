@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scene_test.dir/scene_test.cpp.o"
+  "CMakeFiles/scene_test.dir/scene_test.cpp.o.d"
+  "scene_test"
+  "scene_test.pdb"
+  "scene_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scene_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/geom_test[1]_include.cmake")
+include("/root/repo/build/tests/ops5_core_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/conflict_test[1]_include.cmake")
+include("/root/repo/build/tests/rete_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/scene_test[1]_include.cmake")
+include("/root/repo/build/tests/constraints_test[1]_include.cmake")
+include("/root/repo/build/tests/programs_test[1]_include.cmake")
+include("/root/repo/build/tests/decomposition_test[1]_include.cmake")
+include("/root/repo/build/tests/minisys_test[1]_include.cmake")
+include("/root/repo/build/tests/psm_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/svm_test[1]_include.cmake")
+include("/root/repo/build/tests/reproduction_test[1]_include.cmake")
+include("/root/repo/build/tests/message_passing_test[1]_include.cmake")
