@@ -1,0 +1,131 @@
+// Robustness study: how gracefully does task-level parallelism degrade when
+// the machine misbehaves? The paper's executors assume a perfect machine;
+// this bench quantifies three failure economies on the measured SPAM tasks:
+//
+//   1. message loss + retransmission on the message-passing model
+//      (speedup vs loss rate),
+//   2. SVM fault storms and node failure (re-execution economics),
+//   3. the real threaded executor under injected faults (retry/quarantine
+//      accounting from RunReport).
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "psm/faults.hpp"
+#include "psm/message_passing.hpp"
+#include "psm/threaded.hpp"
+#include "svm/svm.hpp"
+
+using namespace psmsys;
+
+namespace {
+
+void loss_rate_curve(const std::vector<util::WorkUnits>& costs, util::WorkUnits base) {
+  std::cout << "--- Message loss: speedup vs loss rate (dynamic distribution, 14 workers) ---\n\n";
+  util::Table table({"loss %", "speedup @14", "lost", "retransmits", "stall %", "vs lossless"});
+  std::vector<std::pair<std::size_t, double>> curve;
+  double lossless = 0.0;
+  for (const double loss : {0.0, 0.01, 0.02, 0.05, 0.10, 0.20, 0.40}) {
+    psm::MessagePassingConfig c;
+    c.workers = 14;
+    c.distribution = psm::Distribution::Dynamic;
+    c.loss_rate = loss;
+    const auto r = psm::simulate_message_passing(costs, c);
+    const double s = psm::speedup(base, r.makespan);
+    if (loss == 0.0) lossless = s;
+    curve.emplace_back(static_cast<std::size_t>(loss * 100.0), s);
+    table.add_row({util::Table::fmt(loss * 100.0, 0), util::Table::fmt(s, 2),
+                   util::Table::fmt(r.lost_messages), util::Table::fmt(r.retransmits),
+                   util::Table::fmt(100.0 * static_cast<double>(r.retransmit_stall) /
+                                        static_cast<double>(r.makespan * c.workers),
+                                    1),
+                   util::Table::fmt(100.0 * s / lossless, 1) + "%"});
+  }
+  table.print(std::cout, "SF Level 3 tasks, exponential retransmit backoff");
+  bench::plot_curve(std::cout, "\nspeedup vs message loss rate (%)", curve);
+  bench::emit_csv(std::cout, "loss_rate_curve", table);
+}
+
+void svm_degradation(std::span<const psm::TaskMeasurement> tasks) {
+  std::cout << "\n--- SVM: fault storms and node failure (20 processors) ---\n\n";
+  svm::SvmConfig healthy;
+  svm::SvmConfig stormy = healthy;
+  stormy.storm_factor = 8.0;
+  stormy.storm_until = 30000;
+  svm::SvmConfig dying = healthy;
+  dying.node1_fails_at = 40000;
+
+  const auto base = svm::simulate_svm(tasks, 1, healthy).makespan;
+  util::Table table(
+      {"scenario", "speedup @20", "remote faults", "reexecuted", "wasted wu", "lost procs"});
+  const auto row = [&](const char* name, const svm::SvmConfig& c) {
+    const auto r = svm::simulate_svm(tasks, 20, c);
+    table.add_row({name, util::Table::fmt(psm::speedup(base, r.makespan), 2),
+                   util::Table::fmt(r.remote_faults), util::Table::fmt(r.reexecuted_tasks),
+                   util::Table::fmt(r.wasted_work), util::Table::fmt(r.failed_procs)});
+  };
+  row("healthy", healthy);
+  row("init fault storm x8", stormy);
+  row("node 1 dies mid-run", dying);
+  table.print(std::cout, "graceful degradation: the run always completes");
+  bench::emit_csv(std::cout, "svm_degradation", table);
+}
+
+void robust_executor_report() {
+  std::cout << "\n--- Threaded executor under injected faults (DC Level 3, 4 processes) ---\n\n";
+  const auto scene = spam::generate_scene(spam::dc_config());
+  const auto best = spam::best_fragments(spam::run_rtf(scene, 3).fragments);
+  const auto d = spam::lcc_decomposition(3, scene, best);
+
+  psm::FaultConfig faults;
+  faults.seed = 0x5eed;
+  faults.transient_rate = 0.05;
+  faults.kill_worker = 1;
+  faults.kill_at_pop = 3;
+  const psm::FaultInjector injector(faults);
+  psm::RobustnessPolicy policy;
+  policy.max_attempts = 6;
+
+  const auto clean = psm::run_robust(d.factory, d.tasks, 4, policy, nullptr);
+  const auto faulty = psm::run_robust(d.factory, d.tasks, 4, policy, &injector);
+
+  util::Table table({"metric", "no faults", "5% transient + worker kill"});
+  const auto row = [&](const char* name, std::uint64_t a, std::uint64_t b) {
+    table.add_row({name, util::Table::fmt(a), util::Table::fmt(b)});
+  };
+  row("tasks completed", clean.completed_ids.size(), faulty.completed_ids.size());
+  row("tasks quarantined", clean.quarantined_ids.size(), faulty.quarantined_ids.size());
+  row("retries", clean.retries, faulty.retries);
+  row("requeues after worker death", clean.requeues, faulty.requeues);
+  row("workers lost", clean.dead_workers.size(), faulty.dead_workers.size());
+  util::WorkUnits clean_wu = 0;
+  util::WorkUnits faulty_wu = 0;
+  for (const auto& m : clean.measurements) clean_wu += m.cost();
+  for (const auto& m : faulty.measurements) faulty_wu += m.cost();
+  row("useful work (wu)", clean_wu, faulty_wu);
+  table.print(std::cout, "every task id accounted for exactly once in both runs");
+  std::cout << "\nInjected faults cost retries and a worker, but the surviving\n"
+               "processes drain the queue: failed attempts roll back the working\n"
+               "memory (with original timetags), so retried tasks recompute\n"
+               "bit-identical results. Useful work shifts by well under 1% --\n"
+               "that is task placement across engines, not lost or repeated\n"
+               "results.\n";
+  bench::emit_csv(std::cout, "robust_executor", table);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Fault tolerance: speedup under message loss, SVM failure, and "
+               "injected task faults ===\n\n";
+  const auto measured = bench::measure_lcc(spam::sf_config(), 3);
+  const auto costs = psm::task_costs(measured.tasks);
+  psm::TlpConfig one;
+  one.task_processes = 1;
+  const util::WorkUnits base = psm::simulate_tlp(costs, one).makespan;
+
+  loss_rate_curve(costs, base);
+  svm_degradation(measured.tasks);
+  robust_executor_report();
+  return 0;
+}

@@ -11,7 +11,9 @@
 #include <iostream>
 #include <string>
 
+#include "psm/faults.hpp"
 #include "psm/sim.hpp"
+#include "psm/threaded.hpp"
 #include "spam/decomposition.hpp"
 #include "spam/scene_generator.hpp"
 #include "svm/svm.hpp"
@@ -29,6 +31,9 @@ struct Options {
   psm::SchedulePolicy policy = psm::SchedulePolicy::Fifo;
   int watch = 0;
   bool svm = false;
+  bool inject = false;  ///< run the robust threaded executor with faults
+  psm::FaultConfig faults;
+  psm::RobustnessPolicy robustness;
 };
 
 [[nodiscard]] Options parse_args(int argc, char** argv) {
@@ -60,10 +65,31 @@ struct Options {
       o.watch = std::stoi(next());
     } else if (arg == "--svm") {
       o.svm = true;
+    } else if (arg == "--inject") {
+      o.inject = true;
+    } else if (arg == "--fail-rate") {
+      o.faults.transient_rate = std::stod(next());
+    } else if (arg == "--poison-rate") {
+      o.faults.poison_rate = std::stod(next());
+    } else if (arg == "--kill-worker") {
+      o.faults.kill_worker = std::stoul(next());
+    } else if (arg == "--kill-at-pop") {
+      o.faults.kill_at_pop = std::stoull(next());
+    } else if (arg == "--seed") {
+      o.faults.seed = std::stoull(next());
+    } else if (arg == "--max-attempts") {
+      o.robustness.max_attempts = std::stoul(next());
+    } else if (arg == "--deadline") {
+      o.robustness.cycle_deadline = std::stoull(next());
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: spam_cli [--dataset SF|DC|MOFF] [--level 1..4] "
                    "[--procs N] [--match M]\n                [--policy fifo|lpt] "
-                   "[--watch 0..2] [--svm]\n";
+                   "[--watch 0..2] [--svm]\n                [--inject] [--fail-rate R] "
+                   "[--poison-rate R] [--kill-worker W]\n                [--kill-at-pop P] "
+                   "[--seed S] [--max-attempts N] [--deadline C]\n\n"
+                   "--inject runs the tasks on the fault-tolerant threaded executor\n"
+                   "(N real threads = --procs) with the given deterministic fault plan\n"
+                   "and prints the run report instead of the projected speedup.\n";
       std::exit(0);
     } else {
       throw std::invalid_argument("unknown option " + arg + " (try --help)");
@@ -96,6 +122,34 @@ int main(int argc, char** argv) {
       spam::lcc_decomposition(options.level, scene, best, options.match > 0);
   std::cout << "LCC Level " << options.level << ": " << decomposition.tasks.size()
             << " tasks\n";
+
+  if (options.inject) {
+    const psm::FaultInjector injector(options.faults);
+    const auto report = psm::run_robust(decomposition.factory, decomposition.tasks, options.procs,
+                                        options.robustness, &injector);
+    std::cout << "robust run on " << options.procs << " task processes, seed "
+              << options.faults.seed << ":\n"
+              << "  completed   " << report.completed_ids.size() << "/" << report.status.size()
+              << "\n  quarantined " << report.quarantined_ids.size() << "\n  abandoned   "
+              << report.abandoned_ids.size() << "\n  retries     " << report.retries
+              << " (backoff sleeps " << report.backoff_sleeps << ")\n  requeues    "
+              << report.requeues << "\n  dead workers";
+    if (report.dead_workers.empty()) std::cout << " none";
+    for (const auto w : report.dead_workers) std::cout << ' ' << w;
+    std::cout << '\n';
+    for (const auto id : report.quarantined_ids) {
+      const auto& attempts = report.attempts[id];
+      std::cout << "  task " << id << " quarantined after " << attempts.size() << " attempts: "
+                << (attempts.empty() ? "?" : attempts.back().error) << '\n';
+    }
+    util::WorkCounters totals;
+    for (const auto& m : report.measurements) totals += m.counters;
+    std::cout << "  useful work " << util::Table::fmt(util::to_seconds(totals.total_cost()), 1)
+              << " s, " << totals.firings << " firings\n"
+              << (report.complete() ? "  all tasks accounted for\n"
+                                    : "  degraded: partial results reported\n");
+    return report.complete() ? 0 : 1;
+  }
 
   psm::TaskRunner runner(decomposition.factory);
   if (options.watch > 0) {

@@ -1,5 +1,6 @@
 #include "ops5/engine.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <sstream>
@@ -33,6 +34,7 @@ const Wme& Engine::make_wme(ClassIndex cls, std::vector<std::pair<SlotIndex, Val
   Wme& ref = *wme;
   wm_.emplace(ref.timetag(), std::move(wme));
   ++counters_.wmes_added;
+  if (undo_active_) undo_log_.push_back({true, ref.timetag(), 0, {}});
   if (watch_level_ >= 2) {
     watch_sink_("=>WM: " + std::to_string(ref.timetag()) + ": " +
                 ref.to_string(program_->symbols(), decl));
@@ -71,6 +73,10 @@ void Engine::remove_wme(const Wme& wme) {
   if (watch_level_ >= 2) {
     watch_sink_("<=WM: " + std::to_string(wme.timetag()) + ": " +
                 wme.to_string(program_->symbols(), program_->wme_class(wme.class_index())));
+  }
+  if (undo_active_) {
+    undo_log_.push_back({false, wme.timetag(), wme.class_index(),
+                         std::vector<Value>(wme.slots().begin(), wme.slots().end())});
   }
   network_->remove_wme(wme);
   wm_.erase(it);
@@ -309,10 +315,15 @@ bool Engine::step() {
   return true;
 }
 
-RunResult Engine::run() {
+RunResult Engine::run() { return run(0); }
+
+RunResult Engine::run(std::uint64_t cycle_budget) {
+  const std::uint64_t deadline =
+      cycle_budget == 0 ? options_.max_cycles
+                        : std::min(options_.max_cycles, counters_.cycles + cycle_budget);
   RunResult result;
   while (true) {
-    if (counters_.cycles >= options_.max_cycles) {
+    if (counters_.cycles >= deadline) {
       result.cycle_limited = true;
       break;
     }
@@ -324,6 +335,59 @@ RunResult Engine::run() {
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// Undo log (abort recovery)
+// ---------------------------------------------------------------------------
+
+void Engine::begin_undo_log() {
+  if (undo_active_) throw std::logic_error("undo log already active");
+  undo_active_ = true;
+  undo_log_.clear();
+  undo_mark_timetag_ = next_timetag_;
+  undo_mark_halted_ = halted_;
+}
+
+void Engine::commit_undo_log() noexcept {
+  undo_active_ = false;
+  undo_log_.clear();
+}
+
+void Engine::rollback_undo_log() {
+  if (!undo_active_) throw std::logic_error("no undo log to roll back");
+  undo_active_ = false;  // mutations below must not journal themselves
+
+  // Watch output during recovery would read as spurious WM churn.
+  const int saved_watch = watch_level_;
+  watch_level_ = 0;
+
+  for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) {
+    if (it->was_add) {
+      // Replaying in reverse guarantees the WME is live here: any later
+      // removal of it was already undone.
+      const auto live = wm_.find(it->timetag);
+      if (live == wm_.end()) throw std::logic_error("undo log corrupt: added WME not live");
+      ++counters_.wmes_removed;
+      network_->remove_wme(*live->second);
+      wm_.erase(live);
+    } else {
+      // Restore with the *original* timetag so recency ordering — and every
+      // later conflict resolution — is unchanged by the aborted attempt.
+      const WmeClass& decl = program_->wme_class(it->cls);
+      auto wme = std::make_unique<Wme>(it->cls, decl.name(), it->slots, it->timetag);
+      Wme& ref = *wme;
+      wm_.emplace(ref.timetag(), std::move(wme));
+      ++counters_.wmes_added;
+      network_->add_wme(ref);
+    }
+  }
+  undo_log_.clear();
+  next_timetag_ = undo_mark_timetag_;
+  halted_ = undo_mark_halted_;
+  watch_level_ = saved_watch;
+  // Match work done while rolling back is recovery, not a cycle's chunks.
+  (void)network_->take_chunks();
+}
+
 void Engine::reset() {
   network_->clear();
   conflict_set_.clear();
@@ -332,6 +396,8 @@ void Engine::reset() {
   counters_ = util::WorkCounters{};
   next_timetag_ = 1;
   halted_ = false;
+  undo_active_ = false;
+  undo_log_.clear();
 }
 
 }  // namespace psmsys::ops5

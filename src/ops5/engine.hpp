@@ -91,6 +91,12 @@ class Engine final : private rete::MatchListener {
   /// Run recognize-act cycles until quiescence, (halt), or max_cycles.
   RunResult run();
 
+  /// Run at most `cycle_budget` further cycles (relative to the current
+  /// cycle count; 0 = unlimited apart from max_cycles). Sets cycle_limited
+  /// when the budget cuts the run off — the per-task deadline used by the
+  /// robust executor to cut off livelocked tasks.
+  RunResult run(std::uint64_t cycle_budget);
+
   /// Execute one cycle. Returns false if the conflict set offers nothing.
   bool step();
 
@@ -98,6 +104,27 @@ class Engine final : private rete::MatchListener {
   /// timetags. The compiled network is retained — this is what a PSM task
   /// process does between tasks.
   void reset();
+
+  // ----------------------------- undo log ---------------------------------
+  // Abort recovery for fault-tolerant task execution: journal every WM
+  // mutation from begin_undo_log() on, then either commit (drop the
+  // journal) or roll back. Rollback replays the journal in reverse through
+  // the Rete network and restores removed WMEs *with their original
+  // timetags* (and rewinds the timetag counter), so conflict-resolution
+  // recency — and therefore every later firing — is bit-identical to a run
+  // in which the aborted attempt never happened.
+
+  /// Start journaling. Rejects nesting.
+  void begin_undo_log();
+
+  /// Keep the attempt's effects; discard the journal.
+  void commit_undo_log() noexcept;
+
+  /// Undo every journaled mutation (reverse order), rewind timetags, clear
+  /// any halt raised during the attempt, and drop pending match chunks.
+  void rollback_undo_log();
+
+  [[nodiscard]] bool undo_log_active() const noexcept { return undo_active_; }
 
   // ------------------------------ inspection ------------------------------
 
@@ -145,6 +172,17 @@ class Engine final : private rete::MatchListener {
   std::unordered_map<TimeTag, std::unique_ptr<Wme>> wm_;
   TimeTag next_timetag_ = 1;
   bool halted_ = false;
+
+  struct UndoEntry {
+    bool was_add = false;          ///< true: WME added; false: WME removed
+    TimeTag timetag = 0;
+    ClassIndex cls = 0;            ///< only for removals
+    std::vector<Value> slots;      ///< only for removals
+  };
+  bool undo_active_ = false;
+  std::vector<UndoEntry> undo_log_;
+  TimeTag undo_mark_timetag_ = 0;
+  bool undo_mark_halted_ = false;
 
   std::function<void(const std::string&)> write_handler_;
   void* user_data_ = nullptr;

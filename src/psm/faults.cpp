@@ -1,0 +1,19 @@
+#include "psm/faults.hpp"
+
+#include "util/rng.hpp"
+
+namespace psmsys::psm {
+
+double FaultInjector::draw(std::uint64_t task_id, std::uint32_t attempt, Kind kind) const noexcept {
+  // Chain SplitMix64 over the decision coordinates; each stage scrambles the
+  // running state, so nearby (task, attempt) pairs decorrelate fully.
+  std::uint64_t state = config_.seed;
+  (void)util::splitmix64(state);
+  state ^= task_id * 0x9e3779b97f4a7c15ULL;
+  (void)util::splitmix64(state);
+  state ^= (static_cast<std::uint64_t>(attempt) << 32) | static_cast<std::uint64_t>(kind);
+  const std::uint64_t x = util::splitmix64(state);
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace psmsys::psm

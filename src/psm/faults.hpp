@@ -1,0 +1,102 @@
+#pragma once
+
+// Deterministic fault injection for the PSM execution path.
+//
+// The paper's own cluster experience (Section 7: page faulting "brought our
+// system to a halt just during the initialization") is a reminder that at
+// scale the binding constraint on task-level parallelism is failure
+// handling, not scheduling. This module makes every failure mode
+// *reproducible*: whether a given (task, attempt) throws, runs away past
+// its cycle deadline, or a given worker dies at its Nth queue pop is a pure
+// function of a seed — never of thread timing — so fault-tolerance tests
+// are exact and the robust executor (threaded.hpp) can be driven through
+// identical fault schedules on any host.
+//
+// Failure taxonomy:
+//  * transient fault  — an attempt throws; a later attempt of the same task
+//    succeeds (lost message, evicted page, resource blip);
+//  * poison task      — every attempt of the task fails (a genuine bug in
+//    the task's rules or data); the robust executor quarantines it;
+//  * overrun          — the attempt exceeds its cycle deadline (livelocked
+//    rule base), surfaced through the engine's cycle-budget machinery;
+//  * worker kill      — a whole task process dies at a chosen pop, taking
+//    its uncollected working memory with it (node crash).
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace psmsys::psm {
+
+inline constexpr std::size_t kNoWorker = std::numeric_limits<std::size_t>::max();
+
+struct FaultConfig {
+  std::uint64_t seed = 0x5eed5eedULL;
+  /// Probability that a given (task, attempt) throws a transient fault.
+  double transient_rate = 0.0;
+  /// Probability that a task is poison: *every* attempt fails.
+  double poison_rate = 0.0;
+  /// Probability that a given (task, attempt) livelocks and must be cut off
+  /// by its cycle deadline.
+  double overrun_rate = 0.0;
+  /// Worker (task process index) to kill, or kNoWorker.
+  std::size_t kill_worker = kNoWorker;
+  /// The victim dies at its Nth pop (1-based), while holding that task.
+  std::uint64_t kill_at_pop = 1;
+};
+
+/// Thrown by the robust executor on behalf of the injector when a task
+/// attempt is chosen to fail.
+class InjectedTaskFault : public std::runtime_error {
+ public:
+  InjectedTaskFault(std::uint64_t task_id, std::uint32_t attempt)
+      : std::runtime_error("injected fault: task " + std::to_string(task_id) + " attempt " +
+                           std::to_string(attempt)),
+        task_id(task_id),
+        attempt(attempt) {}
+
+  std::uint64_t task_id;
+  std::uint32_t attempt;
+};
+
+/// Pure decision functions over (seed, task, attempt): schedule-independent,
+/// so a fault plan replays identically for any task-process count.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultConfig config) : config_(config) {}
+
+  [[nodiscard]] const FaultConfig& config() const noexcept { return config_; }
+
+  /// Does this task fail on every attempt?
+  [[nodiscard]] bool poisoned(std::uint64_t task_id) const noexcept {
+    return draw(task_id, 0, Kind::Poison) < config_.poison_rate;
+  }
+
+  /// Does this (task, attempt) throw? Poison implies yes.
+  [[nodiscard]] bool fails(std::uint64_t task_id, std::uint32_t attempt) const noexcept {
+    if (poisoned(task_id)) return true;
+    return draw(task_id, attempt, Kind::Transient) < config_.transient_rate;
+  }
+
+  /// Does this (task, attempt) livelock past its cycle deadline?
+  [[nodiscard]] bool overruns(std::uint64_t task_id, std::uint32_t attempt) const noexcept {
+    return draw(task_id, attempt, Kind::Overrun) < config_.overrun_rate;
+  }
+
+  /// Does worker `process` die at its `pop`th pop (1-based)?
+  [[nodiscard]] bool kills(std::size_t process, std::uint64_t pop) const noexcept {
+    return process == config_.kill_worker && pop == config_.kill_at_pop;
+  }
+
+ private:
+  enum class Kind : std::uint64_t { Transient = 1, Poison = 2, Overrun = 3 };
+
+  /// Uniform [0,1) from (seed, task, attempt, kind) via SplitMix64 chaining.
+  [[nodiscard]] double draw(std::uint64_t task_id, std::uint32_t attempt,
+                            Kind kind) const noexcept;
+
+  FaultConfig config_;
+};
+
+}  // namespace psmsys::psm

@@ -20,8 +20,17 @@
 //
 // The crossover between the two as a function of message latency and task
 // granularity is the design space of the cited follow-up work.
+//
+// Unlike the Encore's shared bus, a network drops messages. The model
+// includes a deterministic, seeded loss process: each one-way message is
+// lost with probability `loss_rate`; the sender notices after a timeout and
+// retransmits, with the timeout doubling per consecutive loss (exponential
+// backoff). Loss economics let the speedup-vs-loss-rate curves of
+// bench_fault_tolerance show how much degradation the task granularity can
+// absorb before the TLP argument collapses.
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -44,6 +53,21 @@ struct MessagePassingConfig {
   /// The result message per task is sent asynchronously; only its sending
   /// cost stalls the worker, not the flight time.
   bool async_results = true;
+
+  // ---- fault model (defaults reproduce the perfect-network behaviour) ----
+
+  /// Probability a one-way message is lost in flight. Deterministic given
+  /// `fault_seed`: the nth message of the run is lost iff its seeded draw
+  /// falls below this rate.
+  double loss_rate = 0.0;
+  std::uint64_t fault_seed = 0x5eed5eedULL;
+  /// Sender-side retransmit timeout (wu) after a lost message.
+  util::WorkUnits retransmit_timeout = 400;
+  /// The timeout multiplies by this per consecutive loss of one message.
+  double retransmit_backoff = 2.0;
+  /// A message lost this many times in a row is abandoned and charged one
+  /// final timeout (the peer is declared unreachable; scheduling proceeds).
+  std::size_t max_retransmits = 16;
 };
 
 struct MessagePassingResult {
@@ -51,6 +75,9 @@ struct MessagePassingResult {
   std::vector<util::WorkUnits> busy;   ///< per worker, excluding stalls
   std::uint64_t messages = 0;
   util::WorkUnits network_stall = 0;   ///< total worker time spent waiting
+  std::uint64_t lost_messages = 0;     ///< messages the seeded loss process dropped
+  std::uint64_t retransmits = 0;       ///< resends after timeout
+  util::WorkUnits retransmit_stall = 0;  ///< stall attributable to loss recovery
 
   [[nodiscard]] double utilization() const noexcept;
 };

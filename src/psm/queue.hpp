@@ -5,12 +5,19 @@
 // processes. Contention on this queue was measured to be "minimal"
 // (Section 7, observation 4); the queue also counts pops so the benchmarks
 // can report queue-management overhead.
+//
+// Tasks are handed out by pointer into the preloaded list — a pop must not
+// copy the Task (its std::function inject closure allocates), or the copy
+// shows up in the queue-management overhead the benchmarks charge.
+// Requeueing (fault recovery: a task stranded by a dead worker goes back on
+// the queue) re-hands-out indices and never grows the list, so pointers
+// stay valid for the queue's lifetime.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <mutex>
-#include <optional>
+#include <stdexcept>
 #include <vector>
 
 #include "psm/task.hpp"
@@ -22,13 +29,28 @@ class TaskQueue {
   /// Load the full task list (control process, before forking workers).
   explicit TaskQueue(std::vector<Task> tasks) : tasks_(std::move(tasks)) {}
 
-  /// Pop the next task, or nullopt when the queue is exhausted.
-  /// Thread-safe; tasks are handed out in queue order.
-  [[nodiscard]] std::optional<Task> pop() {
+  /// Pop the next task, or nullptr when the queue is exhausted. Thread-safe;
+  /// fresh tasks are handed out in queue order, then requeued tasks in
+  /// requeue order. The pointer stays valid for the queue's lifetime.
+  [[nodiscard]] const Task* pop() {
     const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
-    if (i >= tasks_.size()) return std::nullopt;
-    ++pops_;
-    return tasks_[i];
+    if (i < tasks_.size()) {
+      pops_.fetch_add(1, std::memory_order_relaxed);
+      return &tasks_[i];
+    }
+    const std::lock_guard<std::mutex> lock(requeue_mutex_);
+    if (requeued_.empty()) return nullptr;
+    const std::size_t r = requeued_.front();
+    requeued_.pop_front();
+    pops_.fetch_add(1, std::memory_order_relaxed);
+    return &tasks_[r];
+  }
+
+  /// Put a task back on the queue (strand recovery after a worker death).
+  void requeue(std::uint64_t task_id) {
+    if (task_id >= tasks_.size()) throw std::out_of_range("requeue: unknown task id");
+    const std::lock_guard<std::mutex> lock(requeue_mutex_);
+    requeued_.push_back(static_cast<std::size_t>(task_id));
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
@@ -38,6 +60,8 @@ class TaskQueue {
   std::vector<Task> tasks_;
   std::atomic<std::size_t> next_{0};
   std::atomic<std::uint64_t> pops_{0};
+  std::mutex requeue_mutex_;
+  std::deque<std::size_t> requeued_;
 };
 
 }  // namespace psmsys::psm

@@ -33,11 +33,7 @@ TaskRunner::TaskRunner(const TaskProcessFactory& factory) {
   cycle_offset_ = engine_->cycle_records().size();
 }
 
-TaskMeasurement TaskRunner::run(const Task& task) {
-  const util::WorkCounters before = engine_->counters();
-  task.inject(*engine_);
-  (void)engine_->run();
-
+TaskMeasurement TaskRunner::measure_from(const Task& task, const util::WorkCounters& before) {
   TaskMeasurement m;
   m.task_id = task.id;
   m.counters = counters_delta(before, engine_->counters());
@@ -45,6 +41,48 @@ TaskMeasurement TaskRunner::run(const Task& task) {
   m.cycles.assign(records.begin() + static_cast<std::ptrdiff_t>(cycle_offset_), records.end());
   cycle_offset_ = records.size();
   return m;
+}
+
+TaskMeasurement TaskRunner::run(const Task& task) {
+  const util::WorkCounters before = engine_->counters();
+  task.inject(*engine_);
+  (void)engine_->run();
+  return measure_from(task, before);
+}
+
+TaskMeasurement TaskRunner::run_guarded(const Task& task, std::uint64_t cycle_deadline) {
+  const util::WorkCounters before = engine_->counters();
+  engine_->begin_undo_log();
+  ops5::RunResult result;
+  try {
+    task.inject(*engine_);
+    result = engine_->run(cycle_deadline);
+  } catch (...) {
+    engine_->rollback_undo_log();
+    cycle_offset_ = engine_->cycle_records().size();
+    throw;
+  }
+  if (result.cycle_limited) {
+    engine_->rollback_undo_log();
+    cycle_offset_ = engine_->cycle_records().size();
+    throw TaskDeadlineExceeded(task.id, cycle_deadline);
+  }
+  engine_->commit_undo_log();
+  return measure_from(task, before);
+}
+
+void TaskRunner::abort_after(const Task& task, std::uint64_t cycles) {
+  engine_->begin_undo_log();
+  try {
+    task.inject(*engine_);
+    (void)engine_->run(cycles == 0 ? 1 : cycles);
+  } catch (...) {
+    engine_->rollback_undo_log();
+    cycle_offset_ = engine_->cycle_records().size();
+    throw;
+  }
+  engine_->rollback_undo_log();
+  cycle_offset_ = engine_->cycle_records().size();
 }
 
 }  // namespace psmsys::psm

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,21 @@ struct TaskProcessFactory {
   std::function<void(ops5::Engine&)> base_init;
 };
 
+/// Thrown by TaskRunner::run_guarded when an attempt exceeds its cycle
+/// deadline. The attempt's working-memory effects have already been rolled
+/// back when this escapes.
+class TaskDeadlineExceeded : public std::runtime_error {
+ public:
+  TaskDeadlineExceeded(std::uint64_t task_id, std::uint64_t cycle_deadline)
+      : std::runtime_error("task " + std::to_string(task_id) + " exceeded its deadline of " +
+                           std::to_string(cycle_deadline) + " cycles"),
+        task_id(task_id),
+        cycle_deadline(cycle_deadline) {}
+
+  std::uint64_t task_id;
+  std::uint64_t cycle_deadline;
+};
+
 /// One task process: engine + base WM, executing tasks sequentially.
 class TaskRunner {
  public:
@@ -55,10 +71,25 @@ class TaskRunner {
   /// Inject the task, run to quiescence, and return the measured deltas.
   TaskMeasurement run(const Task& task);
 
+  /// Fault-tolerant attempt: journaled execution under a per-attempt cycle
+  /// deadline (0 = unlimited). If the deadline cuts the run off, or the
+  /// task's inject/rules throw, the engine is rolled back bit-identically
+  /// to its pre-attempt state (working memory, timetags, recency) and the
+  /// error propagates (TaskDeadlineExceeded for deadline cuts). On success
+  /// the measurement is exactly what run() would have produced.
+  TaskMeasurement run_guarded(const Task& task, std::uint64_t cycle_deadline = 0);
+
+  /// Fault-simulation helper: start the task for real, execute at most
+  /// `cycles` recognize-act cycles, then abort and roll back — the mid-task
+  /// crash the injector uses to prove recovery leaves no partial state.
+  void abort_after(const Task& task, std::uint64_t cycles);
+
   [[nodiscard]] ops5::Engine& engine() noexcept { return *engine_; }
   [[nodiscard]] const ops5::Engine& engine() const noexcept { return *engine_; }
 
  private:
+  TaskMeasurement measure_from(const Task& task, const util::WorkCounters& before);
+
   std::unique_ptr<ops5::Engine> engine_;
   std::size_t cycle_offset_ = 0;
 };

@@ -1,6 +1,7 @@
 #include "svm/svm.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <queue>
 #include <stdexcept>
 
@@ -20,6 +21,7 @@ SvmSimResult simulate_svm(std::span<const psm::TaskMeasurement> tasks, std::size
 
   const util::WorkUnits fault_cost =
       config.diff_shipping ? config.diff_fault_cost : config.full_page_fault_cost;
+  const util::WorkUnits fail_time = config.node1_fails_at;
 
   SvmSimResult result;
   result.busy.assign(total_procs, 0);
@@ -28,18 +30,56 @@ SvmSimResult simulate_svm(std::span<const psm::TaskMeasurement> tasks, std::size
   std::priority_queue<Slot, std::vector<Slot>, std::greater<>> free_at;
   for (std::size_t p = 0; p < total_procs; ++p) free_at.emplace(0, p);
 
-  for (const auto& task : tasks) {
+  // FIFO work list; a task lost with the failing node goes back to the head
+  // for re-execution on a survivor.
+  std::deque<std::size_t> pending;
+  for (std::size_t i = 0; i < tasks.size(); ++i) pending.push_back(i);
+
+  while (!pending.empty() && !free_at.empty()) {
     auto [t, p] = free_at.top();
     free_at.pop();
+    const bool remote = p >= config.node0_procs;
+    if (fail_time != 0 && remote && t >= fail_time) {
+      // Node 1 is gone: this processor takes no further tasks.
+      continue;
+    }
+    const std::size_t idx = pending.front();
+    pending.pop_front();
+    const auto& task = tasks[idx];
+
     util::WorkUnits duration = config.queue_overhead_per_task + task.cost();
-    if (p >= config.node0_procs) {
+    std::uint64_t faults = 0;
+    std::uint64_t base_faults = 0;
+    if (remote) {
       // Remote node: every working-set page faults across the network, with
-      // false contention multiplying the count.
-      const auto faults = static_cast<std::uint64_t>(
-          static_cast<double>(task_pages(task, config)) * config.false_sharing_factor);
+      // false contention multiplying the count — further multiplied while
+      // the initialization fault storm lasts.
+      double factor = config.false_sharing_factor;
+      base_faults =
+          static_cast<std::uint64_t>(static_cast<double>(task_pages(task, config)) * factor);
+      if (config.storm_until != 0 && t < config.storm_until) {
+        factor *= std::max(config.storm_factor, 1.0);
+      }
+      faults = static_cast<std::uint64_t>(static_cast<double>(task_pages(task, config)) * factor);
       duration += faults * fault_cost;
+    }
+
+    if (fail_time != 0 && remote && t + duration > fail_time) {
+      // The node dies mid-task: partial work is wasted, the task re-executes
+      // on a survivor, and the processor never comes back.
+      const util::WorkUnits partial = fail_time - t;
+      result.busy[p] += partial;
+      result.wasted_work += partial;
+      ++result.reexecuted_tasks;
+      result.makespan = std::max(result.makespan, fail_time);
+      pending.push_front(idx);
+      continue;
+    }
+
+    if (remote) {
       result.remote_faults += faults;
       result.remote_fault_cost += faults * fault_cost;
+      result.storm_extra_faults += faults - base_faults;
     }
     result.busy[p] += duration;
     free_at.emplace(t + duration, p);
@@ -47,6 +87,9 @@ SvmSimResult simulate_svm(std::span<const psm::TaskMeasurement> tasks, std::size
   while (!free_at.empty()) {
     result.makespan = std::max(result.makespan, free_at.top().first);
     free_at.pop();
+  }
+  if (fail_time != 0 && total_procs > config.node0_procs) {
+    result.failed_procs = total_procs - config.node0_procs;
   }
   return result;
 }

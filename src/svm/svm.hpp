@@ -20,6 +20,17 @@
 //
 // A task's working-set page count is estimated from its measured WME churn;
 // everything else is scheduling, shared with the TLP simulator.
+//
+// Degraded-condition extensions (all default-off, reproducing the healthy
+// cluster exactly):
+//  * Fault storm — for a window of virtual time after start, remote faults
+//    multiply by `storm_factor`: the paper's "brought our system to a halt
+//    just during the initialization" as a transient rather than a constant.
+//  * Node failure — the second Encore drops off the network at
+//    `node1_fails_at`: its processors take no further tasks, the task each
+//    one was running is lost mid-flight and re-executed on a survivor, and
+//    the wasted partial work plus the re-execution are charged. This is the
+//    cluster analog of the dead-worker recovery in psm::run_robust.
 
 #include <cstdint>
 #include <span>
@@ -54,6 +65,16 @@ struct SvmConfig {
 
   /// Local queue-pop/task-init overhead (same as the TLP simulator).
   util::WorkUnits queue_overhead_per_task = 40;
+
+  // ---- degraded-condition knobs (defaults = healthy cluster) ----
+
+  /// Remote-fault multiplier during the storm window (>= 1).
+  double storm_factor = 1.0;
+  /// Virtual time (wu) at which the fault storm subsides; 0 = no storm.
+  util::WorkUnits storm_until = 0;
+  /// Virtual time (wu) at which node 1 fails; 0 = never. Tasks running on
+  /// node 1 at that moment are lost and re-executed on node 0.
+  util::WorkUnits node1_fails_at = 0;
 };
 
 struct SvmSimResult {
@@ -61,6 +82,10 @@ struct SvmSimResult {
   std::vector<util::WorkUnits> busy;     ///< per processor
   std::uint64_t remote_faults = 0;
   util::WorkUnits remote_fault_cost = 0; ///< total wu spent faulting
+  std::uint64_t storm_extra_faults = 0;  ///< faults attributable to the storm window
+  std::size_t failed_procs = 0;          ///< processors lost to node failure
+  std::uint64_t reexecuted_tasks = 0;    ///< tasks lost mid-flight and rerun
+  util::WorkUnits wasted_work = 0;       ///< partial work lost with the node
 };
 
 /// Estimated shared pages a task's execution churns (its WME adds/removes

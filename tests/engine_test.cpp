@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ops5/engine.hpp"
@@ -412,6 +414,140 @@ TEST(Engine, RemoveForeignWmeThrows) {
   Engine b(program, nullptr);
   const Wme& w = a.make_wme("item", {{"n", Value(1.0)}});
   EXPECT_THROW(b.remove_wme(w), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Budgeted runs (per-task cycle deadlines)
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr const char* kRunawaySrc = R"(
+(literalize counter n)
+(p spin (counter ^n <v>) --> (modify 1 ^n (compute <v> + 1)))
+)";
+}  // namespace
+
+TEST(Engine, BudgetedRunIsRelativeToCurrentCycles) {
+  const auto program = parse_shared(kRunawaySrc);
+  Engine engine(program, nullptr);
+  engine.make_wme("counter", {{"n", Value(0.0)}});
+  const RunResult first = engine.run(10);
+  EXPECT_TRUE(first.cycle_limited);
+  EXPECT_EQ(first.cycles, 10u);
+  // A second budget starts from the current cycle count, not from zero.
+  const RunResult second = engine.run(5);
+  EXPECT_TRUE(second.cycle_limited);
+  EXPECT_EQ(second.cycles, 15u);
+}
+
+TEST(Engine, BudgetedRunCompletesWithinBudget) {
+  const auto program = parse_shared(R"(
+(literalize item n)
+(p consume (item ^n <v>) --> (remove 1))
+)");
+  Engine engine(program, nullptr);
+  engine.make_wme("item", {{"n", Value(1.0)}});
+  const RunResult result = engine.run(100);
+  EXPECT_FALSE(result.cycle_limited);
+  EXPECT_EQ(result.firings, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Undo log (abort recovery for fault-tolerant task execution)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Full WM snapshot as (timetag, class, slots) triples, sorted by timetag.
+std::vector<std::string> wm_snapshot(const Engine& engine, const Program& program) {
+  std::vector<std::pair<TimeTag, std::string>> rows;
+  for (ClassIndex c = 0; c < program.class_count(); ++c) {
+    for (const Wme* w : engine.wmes_of_class(c)) {
+      rows.emplace_back(w->timetag(), std::to_string(w->timetag()) + ":" +
+                                          w->to_string(program.symbols(), program.wme_class(c)));
+    }
+  }
+  std::sort(rows.begin(), rows.end());
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (auto& [tag, s] : rows) out.push_back(std::move(s));
+  return out;
+}
+
+}  // namespace
+
+TEST(EngineUndo, RollbackRestoresWmTimetagsAndRecency) {
+  // The aborted attempt modifies a pre-existing WME (remove + re-make with a
+  // fresh timetag) and creates new ones; rollback must restore the original
+  // WME under its original timetag and rewind the timetag counter, so a
+  // retried run is bit-identical to one where the abort never happened.
+  const auto program = parse_shared(R"(
+(literalize counter n)
+(literalize product v)
+(p produce (counter ^n <v>) -(product ^v <v>) -->
+   (make product ^v <v>)
+   (modify 1 ^n (compute <v> + 1)))
+)");
+  Engine engine(program, nullptr);
+  engine.make_wme("counter", {{"n", Value(0.0)}});
+  const auto before = wm_snapshot(engine, *program);
+
+  engine.begin_undo_log();
+  (void)engine.run(3);  // partial: mutates the counter, makes products
+  EXPECT_GT(engine.wm_size(), 1u);
+  engine.rollback_undo_log();
+
+  EXPECT_EQ(wm_snapshot(engine, *program), before);
+
+  // A clean reference engine and the rolled-back engine must now evolve
+  // identically — including timetags, which drive recency ordering.
+  Engine reference(program, nullptr);
+  reference.make_wme("counter", {{"n", Value(0.0)}});
+  (void)engine.run(5);
+  (void)reference.run(5);
+  EXPECT_EQ(wm_snapshot(engine, *program), wm_snapshot(reference, *program));
+}
+
+TEST(EngineUndo, CommitKeepsEffects) {
+  const auto program = parse_shared(R"(
+(literalize item n)
+(p consume (item ^n <v>) --> (remove 1))
+)");
+  Engine engine(program, nullptr);
+  engine.begin_undo_log();
+  engine.make_wme("item", {{"n", Value(1.0)}});
+  (void)engine.run();
+  engine.commit_undo_log();
+  EXPECT_EQ(engine.wm_size(), 0u);
+  EXPECT_EQ(engine.counters().firings, 1u);
+}
+
+TEST(EngineUndo, RollbackClearsHaltRaisedDuringAttempt) {
+  const auto program = parse_shared(R"(
+(literalize item n)
+(p stop (item ^n <v>) --> (halt))
+)");
+  Engine engine(program, nullptr);
+  engine.begin_undo_log();
+  engine.make_wme("item", {{"n", Value(1.0)}});
+  const RunResult aborted = engine.run();
+  EXPECT_TRUE(aborted.halted);
+  engine.rollback_undo_log();
+  // After rollback the engine runs again (halt was part of the aborted attempt).
+  engine.make_wme("item", {{"n", Value(2.0)}});
+  const RunResult retry = engine.run();
+  EXPECT_TRUE(retry.halted);
+  EXPECT_EQ(retry.firings, 2u);
+}
+
+TEST(EngineUndo, NestingAndMisuseRejected) {
+  const auto program = parse_shared("(literalize item n)");
+  Engine engine(program, nullptr);
+  EXPECT_THROW(engine.rollback_undo_log(), std::logic_error);
+  engine.begin_undo_log();
+  EXPECT_THROW(engine.begin_undo_log(), std::logic_error);
+  engine.commit_undo_log();
+  EXPECT_FALSE(engine.undo_log_active());
 }
 
 }  // namespace

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "psm/faults.hpp"
+
+namespace psmsys::psm {
+namespace {
+
+TEST(FaultInjector, DecisionsAreDeterministicAndScheduleFree) {
+  FaultConfig config;
+  config.seed = 42;
+  config.transient_rate = 0.3;
+  config.overrun_rate = 0.2;
+  const FaultInjector a(config);
+  const FaultInjector b(config);
+  // Same seed → same plan, independent of query order (pure functions).
+  for (std::uint64_t task = 0; task < 200; ++task) {
+    for (std::uint32_t attempt = 1; attempt <= 4; ++attempt) {
+      EXPECT_EQ(a.fails(task, attempt), b.fails(task, attempt));
+      EXPECT_EQ(a.overruns(task, attempt), b.overruns(task, attempt));
+    }
+  }
+  EXPECT_EQ(a.fails(7, 1), a.fails(7, 1));  // idempotent
+}
+
+TEST(FaultInjector, DifferentSeedsGiveDifferentPlans) {
+  FaultConfig c1;
+  c1.transient_rate = 0.5;
+  c1.seed = 1;
+  FaultConfig c2 = c1;
+  c2.seed = 2;
+  const FaultInjector a(c1);
+  const FaultInjector b(c2);
+  int differing = 0;
+  for (std::uint64_t task = 0; task < 200; ++task) {
+    if (a.fails(task, 1) != b.fails(task, 1)) ++differing;
+  }
+  EXPECT_GT(differing, 20);
+}
+
+TEST(FaultInjector, RatesApproximatelyHonored) {
+  FaultConfig config;
+  config.seed = 7;
+  config.transient_rate = 0.25;
+  const FaultInjector injector(config);
+  int failures = 0;
+  const int n = 4000;
+  for (std::uint64_t task = 0; task < n; ++task) {
+    if (injector.fails(task, 1)) ++failures;
+  }
+  const double rate = static_cast<double>(failures) / n;
+  EXPECT_NEAR(rate, 0.25, 0.03);
+}
+
+TEST(FaultInjector, TransientFaultsHealAcrossAttempts) {
+  FaultConfig config;
+  config.seed = 11;
+  config.transient_rate = 0.5;
+  const FaultInjector injector(config);
+  // With independent 50% draws per attempt, some task that fails attempt 1
+  // must succeed by attempt 4 — transient faults are not sticky.
+  bool found_healing = false;
+  for (std::uint64_t task = 0; task < 100 && !found_healing; ++task) {
+    if (!injector.fails(task, 1)) continue;
+    for (std::uint32_t attempt = 2; attempt <= 4; ++attempt) {
+      if (!injector.fails(task, attempt)) {
+        found_healing = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(found_healing);
+}
+
+TEST(FaultInjector, PoisonTasksFailEveryAttempt) {
+  FaultConfig config;
+  config.seed = 13;
+  config.poison_rate = 0.2;
+  const FaultInjector injector(config);
+  int poisoned = 0;
+  for (std::uint64_t task = 0; task < 500; ++task) {
+    if (!injector.poisoned(task)) continue;
+    ++poisoned;
+    for (std::uint32_t attempt = 1; attempt <= 10; ++attempt) {
+      EXPECT_TRUE(injector.fails(task, attempt));
+    }
+  }
+  EXPECT_GT(poisoned, 50);
+  EXPECT_LT(poisoned, 200);
+}
+
+TEST(FaultInjector, KillTargetsExactPop) {
+  FaultConfig config;
+  config.kill_worker = 2;
+  config.kill_at_pop = 5;
+  const FaultInjector injector(config);
+  EXPECT_TRUE(injector.kills(2, 5));
+  EXPECT_FALSE(injector.kills(2, 4));
+  EXPECT_FALSE(injector.kills(2, 6));
+  EXPECT_FALSE(injector.kills(1, 5));
+  const FaultInjector off{FaultConfig{}};
+  EXPECT_FALSE(off.kills(0, 1));
+}
+
+TEST(FaultInjector, ZeroRatesInjectNothing) {
+  const FaultInjector injector{FaultConfig{}};
+  for (std::uint64_t task = 0; task < 100; ++task) {
+    EXPECT_FALSE(injector.fails(task, 1));
+    EXPECT_FALSE(injector.overruns(task, 1));
+    EXPECT_FALSE(injector.poisoned(task));
+  }
+}
+
+}  // namespace
+}  // namespace psmsys::psm

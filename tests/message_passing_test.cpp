@@ -109,5 +109,81 @@ TEST(MessagePassing, MoreWorkersNeverSlowerUnderDynamic) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Message loss + retransmission
+// ---------------------------------------------------------------------------
+
+TEST(MessagePassing, ZeroLossRateChangesNothing) {
+  const auto tasks = uniform_tasks(50, 700);
+  MessagePassingConfig clean;
+  clean.workers = 4;
+  MessagePassingConfig lossy = clean;
+  lossy.loss_rate = 0.0;
+  lossy.fault_seed = 123456;  // seed irrelevant when nothing is lost
+  const auto a = simulate_message_passing(tasks, clean);
+  const auto b = simulate_message_passing(tasks, lossy);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(b.lost_messages, 0u);
+  EXPECT_EQ(b.retransmits, 0u);
+  EXPECT_EQ(b.retransmit_stall, 0u);
+}
+
+TEST(MessagePassing, LossDegradesMakespanUnderBothDistributions) {
+  const auto tasks = uniform_tasks(120, 900);
+  for (const auto dist : {Distribution::Static, Distribution::Dynamic}) {
+    MessagePassingConfig clean;
+    clean.workers = 6;
+    clean.distribution = dist;
+    MessagePassingConfig lossy = clean;
+    lossy.loss_rate = 0.2;
+    const auto a = simulate_message_passing(tasks, clean);
+    const auto b = simulate_message_passing(tasks, lossy);
+    EXPECT_GT(b.makespan, a.makespan);
+    EXPECT_GT(b.lost_messages, 0u);
+    EXPECT_EQ(b.retransmits, b.lost_messages);
+    EXPECT_GT(b.retransmit_stall, 0u);
+  }
+}
+
+TEST(MessagePassing, LossIsDeterministicPerSeed) {
+  const auto tasks = uniform_tasks(80, 600);
+  MessagePassingConfig c;
+  c.workers = 5;
+  c.distribution = Distribution::Dynamic;
+  c.loss_rate = 0.15;
+  c.fault_seed = 77;
+  const auto a = simulate_message_passing(tasks, c);
+  const auto b = simulate_message_passing(tasks, c);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.lost_messages, b.lost_messages);
+  EXPECT_EQ(a.retransmit_stall, b.retransmit_stall);
+
+  MessagePassingConfig other = c;
+  other.fault_seed = 78;
+  const auto d = simulate_message_passing(tasks, other);
+  EXPECT_NE(a.lost_messages, d.lost_messages);
+}
+
+TEST(MessagePassing, RetransmitBackoffGrowsStall) {
+  // Higher loss with exponential backoff: repeated losses of the same
+  // message pay geometrically growing timeouts, so stall grows faster
+  // than linearly in the loss count.
+  const auto tasks = uniform_tasks(100, 500);
+  MessagePassingConfig mild;
+  mild.workers = 4;
+  mild.loss_rate = 0.1;
+  MessagePassingConfig harsh = mild;
+  harsh.loss_rate = 0.5;
+  const auto a = simulate_message_passing(tasks, mild);
+  const auto b = simulate_message_passing(tasks, harsh);
+  ASSERT_GT(a.lost_messages, 0u);
+  ASSERT_GT(b.lost_messages, a.lost_messages);
+  const double stall_per_loss_mild =
+      static_cast<double>(a.retransmit_stall) / static_cast<double>(a.lost_messages);
+  const double stall_per_loss_harsh =
+      static_cast<double>(b.retransmit_stall) / static_cast<double>(b.lost_messages);
+  EXPECT_GT(stall_per_loss_harsh, stall_per_loss_mild);
+}
+
 }  // namespace
 }  // namespace psmsys::psm

@@ -61,8 +61,45 @@ TEST(TaskQueue, PopsInOrderThenEmpty) {
   EXPECT_EQ(q.pop()->id, 0u);
   EXPECT_EQ(q.pop()->id, 1u);
   EXPECT_EQ(q.pop()->id, 2u);
-  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_EQ(q.pop(), nullptr);
   EXPECT_EQ(q.pops(), 3u);
+}
+
+TEST(TaskQueue, PopHandsOutStablePointersNotCopies) {
+  std::vector<Task> tasks(2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    tasks[i].id = i;
+    tasks[i].inject = [](ops5::Engine&) {};
+  }
+  TaskQueue q(std::move(tasks));
+  const Task* a = q.pop();
+  const Task* b = q.pop();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  // Pointers into the preloaded list stay valid across later pops/requeues.
+  q.requeue(a->id);
+  EXPECT_EQ(q.pop(), a);
+  EXPECT_EQ(a->id, 0u);
+}
+
+TEST(TaskQueue, RequeueHandsTasksOutAgain) {
+  std::vector<Task> tasks(2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    tasks[i].id = i;
+    tasks[i].inject = [](ops5::Engine&) {};
+  }
+  TaskQueue q(std::move(tasks));
+  (void)q.pop();
+  (void)q.pop();
+  EXPECT_EQ(q.pop(), nullptr);
+  q.requeue(1);
+  q.requeue(0);
+  EXPECT_EQ(q.pop()->id, 1u);  // requeue order
+  EXPECT_EQ(q.pop()->id, 0u);
+  EXPECT_EQ(q.pop(), nullptr);
+  EXPECT_EQ(q.pops(), 4u);
+  EXPECT_THROW(q.requeue(99), std::out_of_range);
 }
 
 // ---------------------------------------------------------------------------

@@ -120,5 +120,86 @@ TEST(SimulateSvm, FaultAccountingConsistent) {
   EXPECT_EQ(r.remote_fault_cost, r.remote_faults * c.diff_fault_cost);
 }
 
+// ---------------------------------------------------------------------------
+// Degraded modes: fault storms and node failure
+// ---------------------------------------------------------------------------
+
+TEST(SimulateSvm, DefaultsUnchangedByNewKnobs) {
+  // storm_factor=1 / storm_until=0 / node1_fails_at=0 must reproduce the
+  // original simulation exactly.
+  const auto tasks = synthetic_tasks(200, 1200, 70);
+  SvmConfig plain;
+  SvmConfig wired = plain;
+  wired.storm_factor = 1.0;
+  wired.storm_until = 0;
+  wired.node1_fails_at = 0;
+  const auto a = simulate_svm(tasks, 20, plain);
+  const auto b = simulate_svm(tasks, 20, wired);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.remote_faults, b.remote_faults);
+  EXPECT_EQ(b.storm_extra_faults, 0u);
+  EXPECT_EQ(b.failed_procs, 0u);
+  EXPECT_EQ(b.reexecuted_tasks, 0u);
+  EXPECT_EQ(b.wasted_work, 0u);
+}
+
+TEST(SimulateSvm, InitFaultStormDegradesEarlyRemoteTasks) {
+  const auto tasks = synthetic_tasks(300, 1500, 100);
+  SvmConfig calm;
+  SvmConfig stormy = calm;
+  stormy.storm_factor = 8.0;
+  stormy.storm_until = 20000;
+  const auto a = simulate_svm(tasks, 20, calm);
+  const auto b = simulate_svm(tasks, 20, stormy);
+  EXPECT_GT(b.makespan, a.makespan);
+  EXPECT_GT(b.storm_extra_faults, 0u);
+  // A longer storm hurts at least as much.
+  SvmConfig longer = stormy;
+  longer.storm_until = 60000;
+  EXPECT_GE(simulate_svm(tasks, 20, longer).makespan, b.makespan);
+}
+
+TEST(SimulateSvm, NodeFailureReexecutesLostTasksOnSurvivors) {
+  const auto tasks = synthetic_tasks(200, 2000, 80);
+  SvmConfig healthy;
+  SvmConfig failing = healthy;
+  failing.node1_fails_at = 6000;  // well before the healthy makespan
+  const auto a = simulate_svm(tasks, 20, healthy);
+  const auto b = simulate_svm(tasks, 20, failing);
+  // The run still finishes — graceful degradation, not collapse...
+  EXPECT_GT(b.makespan, a.makespan);
+  EXPECT_EQ(b.failed_procs, 20u - healthy.node0_procs);
+  // ...and the tasks in flight on the dead node were re-executed, their
+  // partial work wasted.
+  EXPECT_GT(b.reexecuted_tasks, 0u);
+  EXPECT_GT(b.wasted_work, 0u);
+  // Work conservation: busy time = total task work + faults + waste.
+  // Every task was completed exactly once on a surviving processor.
+  util::WorkUnits total_busy = 0;
+  for (const auto busy : b.busy) total_busy += busy;
+  util::WorkUnits task_work = 0;
+  for (const auto& t : tasks) task_work += healthy.queue_overhead_per_task + t.cost();
+  EXPECT_EQ(total_busy, task_work + b.remote_fault_cost + b.wasted_work);
+}
+
+TEST(SimulateSvm, EarlyNodeFailureDegradesToLocalOnly) {
+  // Node 1 dies at t=1: each remote processor grabs exactly one task at
+  // t=0, wastes one unit of partial work, and the survivors on node 0
+  // re-execute everything — for uniform tasks the makespan equals running
+  // on node 0 alone.
+  const auto tasks = synthetic_tasks(100, 1000, 50);
+  SvmConfig failing;
+  failing.node1_fails_at = 1;
+  SvmConfig local;
+  const auto dead = simulate_svm(tasks, 20, failing);
+  const auto alone = simulate_svm(tasks, local.node0_procs, local);
+  const std::size_t remote_procs = 20 - failing.node0_procs;
+  EXPECT_EQ(dead.makespan, alone.makespan);
+  EXPECT_EQ(dead.remote_faults, 0u);  // no remote task ever completed
+  EXPECT_EQ(dead.reexecuted_tasks, remote_procs);
+  EXPECT_EQ(dead.wasted_work, remote_procs * WorkUnits{1});
+  EXPECT_EQ(dead.failed_procs, remote_procs);
+}
+
 }  // namespace
 }  // namespace psmsys::svm
