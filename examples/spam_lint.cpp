@@ -1,0 +1,281 @@
+// spam_lint: static analysis front end for OPS5 rule bases and SPAM task
+// decompositions.
+//
+//   spam_lint --phases                      lint the generated rtf/lcc/fa/model bases
+//   spam_lint FILE... [--seeds a,b,c]       lint OPS5 source files
+//   spam_lint --cpp FILE [--seeds a,b,c]    lint OPS5 programs embedded in C++ raw strings
+//   spam_lint --interference sf|dc|moff|all [--level N]
+//                                           certify task decompositions interference-free
+//   spam_lint --strict                      treat warnings as failures
+//
+// Exit status: 0 = clean, 1 = error-severity findings (or any findings with
+// --strict) or interference conflicts, 2 = usage or parse failure.
+
+#include <cstddef>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/interference.hpp"
+#include "analysis/lint.hpp"
+#include "ops5/parser.hpp"
+#include "spam/decomposition.hpp"
+#include "spam/phases.hpp"
+#include "spam/programs.hpp"
+#include "spam/scene_generator.hpp"
+
+namespace {
+
+using namespace psmsys;
+
+struct Options {
+  bool phases = false;
+  bool strict = false;
+  std::vector<std::string> files;
+  std::vector<std::string> cpp_files;
+  std::vector<std::string> seeds;
+  std::vector<std::string> interference;  // dataset names, lower case
+  int level = 0;                          // 0 = the experiment levels {4,3,2}
+};
+
+void usage(std::ostream& os) {
+  os << "usage: spam_lint [--phases] [FILE...] [--cpp FILE] [--seeds a,b,c]\n"
+        "                 [--interference sf|dc|moff|all [--level N]] [--strict]\n";
+}
+
+[[nodiscard]] std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+[[nodiscard]] std::optional<Options> parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto next = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) return std::nullopt;
+      return std::string(argv[++i]);
+    };
+    if (arg == "--phases") {
+      opt.phases = true;
+    } else if (arg == "--strict") {
+      opt.strict = true;
+    } else if (arg == "--cpp") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      opt.cpp_files.push_back(*value);
+    } else if (arg == "--seeds") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      for (auto& s : split_csv(*value)) opt.seeds.push_back(std::move(s));
+    } else if (arg == "--interference") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      if (*value == "all") {
+        opt.interference = {"sf", "dc", "moff"};
+      } else {
+        opt.interference.push_back(*value);
+      }
+    } else if (arg == "--level") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      opt.level = std::atoi(value->c_str());
+      if (opt.level < 1 || opt.level > 4) return std::nullopt;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      std::exit(0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return std::nullopt;
+    } else {
+      opt.files.emplace_back(arg);
+    }
+  }
+  if (!opt.phases && opt.files.empty() && opt.cpp_files.empty() &&
+      opt.interference.empty()) {
+    return std::nullopt;
+  }
+  return opt;
+}
+
+[[nodiscard]] std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Extracts the contents of C++ raw string literals `R"(...)"` that contain an
+/// OPS5 program (identified by a `(literalize` declaration).
+[[nodiscard]] std::vector<std::string> embedded_programs(const std::string& cpp) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while ((pos = cpp.find("R\"(", pos)) != std::string::npos) {
+    const std::size_t begin = pos + 3;
+    const std::size_t end = cpp.find(")\"", begin);
+    if (end == std::string::npos) break;
+    std::string body = cpp.substr(begin, end - begin);
+    if (body.find("(literalize") != std::string::npos) out.push_back(std::move(body));
+    pos = end + 2;
+  }
+  return out;
+}
+
+struct LintTally {
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+};
+
+/// Parses and lints one OPS5 source; prints diagnostics; updates the tally.
+/// Returns false on parse failure.
+[[nodiscard]] bool lint_source(const std::string& label, const std::string& source,
+                               const std::vector<std::string>& seeds, LintTally& tally) {
+  ops5::Program program;
+  try {
+    program = ops5::parse_program(source);
+  } catch (const ops5::ParseError& e) {
+    std::cerr << label << ": parse error: " << e.what() << '\n';
+    return false;
+  }
+
+  analysis::LintOptions options;
+  if (!seeds.empty()) {
+    options.seed_classes.emplace();
+    for (const auto& seed : seeds) {
+      const auto sym = program.symbols().find(seed);
+      const auto cls = sym ? program.class_index(*sym) : std::nullopt;
+      if (!cls) {
+        std::cerr << label << ": unknown seed class '" << seed << "'\n";
+        return false;
+      }
+      options.seed_classes->push_back(*cls);
+    }
+  }
+
+  const auto diags = analysis::lint_program(program, options);
+  for (const auto& d : diags) {
+    std::cout << label << ": " << analysis::format_diagnostic(program, d) << '\n';
+    if (d.severity == analysis::Severity::Error) {
+      ++tally.errors;
+    } else {
+      ++tally.warnings;
+    }
+  }
+  std::cout << label << ": " << program.productions().size() << " productions, "
+            << diags.size() << " finding(s)\n";
+  return true;
+}
+
+[[nodiscard]] bool lint_phases(LintTally& tally) {
+  struct Phase {
+    const char* name;
+    std::string source;
+    std::vector<std::string> seeds;
+  };
+  const std::vector<Phase> phases = {
+      {"rtf", spam::rtf_source(), {"region", "rtf-task"}},
+      {"lcc", spam::lcc_source(), {"fragment", "constraint", "support", "lcc-task"}},
+      {"fa", spam::fa_source(), {"fragment", "context", "fa-task"}},
+      {"model", spam::model_source(), {"functional-area", "model-task"}},
+  };
+  bool ok = true;
+  for (const auto& phase : phases) {
+    ok = lint_source(phase.name, phase.source, phase.seeds, tally) && ok;
+  }
+  return ok;
+}
+
+/// Certifies the decompositions of one dataset; returns the number of
+/// reported conflicts.
+[[nodiscard]] std::size_t check_dataset(const std::string& name, int level) {
+  const spam::DatasetConfig config = spam::dataset_by_name(
+      name == "sf" ? "SF" : name == "dc" ? "DC" : name == "moff" ? "MOFF" : name);
+  const spam::Scene scene = spam::generate_scene(config);
+  const auto best = spam::best_fragments(spam::run_rtf(scene, 3).fragments);
+
+  std::size_t conflicts = 0;
+  const auto certify = [&](const std::string& label, const spam::Decomposition& d) {
+    const analysis::InterferenceReport report = analysis::check_interference(d.spec);
+    std::cout << config.name << ' ' << label << ": " << report.summary(*d.spec.program)
+              << '\n';
+    conflicts += report.conflicts.size();
+  };
+
+  certify("rtf", spam::rtf_decomposition(scene, 3));
+  const std::vector<int> levels =
+      level > 0 ? std::vector<int>{level} : std::vector<int>{4, 3, 2};
+  for (const int lv : levels) {
+    certify("lcc L" + std::to_string(lv), spam::lcc_decomposition(lv, scene, best));
+  }
+  return conflicts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = parse_args(argc, argv);
+  if (!opt) {
+    usage(std::cerr);
+    return 2;
+  }
+
+  LintTally tally;
+  bool parse_ok = true;
+
+  if (opt->phases) parse_ok = lint_phases(tally) && parse_ok;
+
+  for (const auto& path : opt->files) {
+    const auto source = read_file(path);
+    if (!source) {
+      std::cerr << path << ": cannot read file\n";
+      parse_ok = false;
+      continue;
+    }
+    parse_ok = lint_source(path, *source, opt->seeds, tally) && parse_ok;
+  }
+
+  for (const auto& path : opt->cpp_files) {
+    const auto source = read_file(path);
+    if (!source) {
+      std::cerr << path << ": cannot read file\n";
+      parse_ok = false;
+      continue;
+    }
+    const auto programs = embedded_programs(*source);
+    if (programs.empty()) {
+      std::cerr << path << ": no embedded OPS5 programs found\n";
+      parse_ok = false;
+      continue;
+    }
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+      const std::string label = path + "#" + std::to_string(i);
+      parse_ok = lint_source(label, programs[i], opt->seeds, tally) && parse_ok;
+    }
+  }
+
+  std::size_t conflicts = 0;
+  for (const auto& dataset : opt->interference) {
+    try {
+      conflicts += check_dataset(dataset, opt->level);
+    } catch (const std::exception& e) {
+      std::cerr << "--interference " << dataset << ": " << e.what() << '\n';
+      return 2;
+    }
+  }
+
+  if (!parse_ok) return 2;
+  if (tally.errors > 0 || conflicts > 0) return 1;
+  if (opt->strict && tally.warnings > 0) return 1;
+  return 0;
+}

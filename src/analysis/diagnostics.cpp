@@ -1,0 +1,65 @@
+#include "analysis/diagnostics.hpp"
+
+namespace psmsys::analysis {
+
+std::string_view severity_name(Severity s) noexcept {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "unknown";
+}
+
+std::string code_name(Code c) {
+  const auto n = static_cast<std::uint16_t>(c);
+  std::string out = "AN";
+  out += static_cast<char>('0' + n / 100 % 10);
+  out += static_cast<char>('0' + n / 10 % 10);
+  out += static_cast<char>('0' + n % 10);
+  return out;
+}
+
+Severity default_severity(Code c) noexcept {
+  switch (c) {
+    case Code::UnboundRhsVariable: return Severity::Error;
+    case Code::UnusedBinding: return Severity::Warning;
+    case Code::UnreachableProduction: return Severity::Warning;
+    case Code::ContradictoryTests: return Severity::Error;
+    case Code::ModifyTargetsNegatedCe: return Severity::Warning;
+    case Code::NonEqualityFirstUse: return Severity::Error;
+    case Code::DuplicateAttributeSet: return Severity::Warning;
+  }
+  return Severity::Warning;
+}
+
+std::string format_diagnostic(const ops5::Program& program, const Diagnostic& d) {
+  std::string out = code_name(d.code);
+  out += ' ';
+  out += severity_name(d.severity);
+  out += ' ';
+  if (d.production != ops5::kNilSymbol) {
+    out += program.symbols().name(d.production);
+  } else {
+    out += "<program>";
+  }
+  if (d.loc.known()) {
+    out += ':';
+    out += std::to_string(d.loc.line);
+    out += ':';
+    out += std::to_string(d.loc.column);
+  }
+  out += ": ";
+  out += d.message;
+  return out;
+}
+
+std::size_t count_errors(const std::vector<Diagnostic>& diagnostics) noexcept {
+  std::size_t n = 0;
+  for (const auto& d : diagnostics) {
+    if (d.severity == Severity::Error) ++n;
+  }
+  return n;
+}
+
+}  // namespace psmsys::analysis

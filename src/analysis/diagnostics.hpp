@@ -1,0 +1,48 @@
+#pragma once
+
+// Diagnostic model of the static analysis layer: stable codes, severities,
+// and source locations. Codes are append-only wire format (`AN001`...):
+// tests and tooling match on them, so existing numbers never change meaning.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ops5/production.hpp"
+
+namespace psmsys::analysis {
+
+enum class Severity : std::uint8_t { Note, Warning, Error };
+
+[[nodiscard]] std::string_view severity_name(Severity s) noexcept;
+
+enum class Code : std::uint16_t {
+  UnboundRhsVariable = 1,      ///< AN001: RHS references a variable no positive CE binds
+  UnusedBinding = 2,           ///< AN002: variable bound in a positive CE, used nowhere else
+  UnreachableProduction = 3,   ///< AN003: positive CE class has no producer and is not seeded
+  ContradictoryTests = 4,      ///< AN004: attribute tests within one CE can never all hold
+  ModifyTargetsNegatedCe = 5,  ///< AN005: modify/remove index lands on a negated LHS element
+  NonEqualityFirstUse = 6,     ///< AN006: variable's first occurrence uses a non-= predicate
+  DuplicateAttributeSet = 7,   ///< AN007: same attribute assigned twice in one make/modify
+};
+
+/// "AN001" etc.
+[[nodiscard]] std::string code_name(Code c);
+
+[[nodiscard]] Severity default_severity(Code c) noexcept;
+
+struct Diagnostic {
+  Code code = Code::UnboundRhsVariable;
+  Severity severity = Severity::Error;
+  ops5::Symbol production = ops5::kNilSymbol;  ///< kNilSymbol = program-level finding
+  ops5::SourceLoc loc;
+  std::string message;
+};
+
+/// One-line rendering: "AN001 error p-name:3:4: message".
+[[nodiscard]] std::string format_diagnostic(const ops5::Program& program, const Diagnostic& d);
+
+[[nodiscard]] std::size_t count_errors(const std::vector<Diagnostic>& diagnostics) noexcept;
+
+}  // namespace psmsys::analysis

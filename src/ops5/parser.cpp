@@ -37,6 +37,9 @@ struct Token {
   double number = 0.0;    // Number
   Predicate pred = Predicate::Eq;
   int line = 1;
+  int col = 1;  // 1-based column of the token's first character
+
+  [[nodiscard]] SourceLoc loc() const noexcept { return {line, col}; }
 };
 
 class Lexer {
@@ -68,6 +71,7 @@ class Lexer {
       if (c == '\n') {
         ++line_;
         ++pos_;
+        line_start_ = pos_;
       } else if (std::isspace(static_cast<unsigned char>(c))) {
         ++pos_;
       } else if (c == ';') {
@@ -105,6 +109,7 @@ class Lexer {
     skip_space_and_comments();
     Token t;
     t.line = line_;
+    t.col = static_cast<int>(pos_ - line_start_) + 1;
     if (at_end()) return t;
 
     const char c = cur();
@@ -224,6 +229,7 @@ class Lexer {
 
   std::string_view src_;
   std::size_t pos_ = 0;
+  std::size_t line_start_ = 0;
   int line_ = 1;
   Token current_;
 };
@@ -254,7 +260,7 @@ class Parser {
   Token expect(TokKind kind, std::string_view what) {
     Token t = lex_.take();
     if (t.kind != kind) {
-      throw ParseError("expected " + std::string(what), t.line);
+      throw ParseError("expected " + std::string(what), t.line, t.col);
     }
     return t;
   }
@@ -297,14 +303,15 @@ class Parser {
     }
     expect(TokKind::RParen, "')' closing production");
     current_lhs_.clear();
-    program_.add_production(
-        Production(program_.symbols().intern(name.text), std::move(lhs), std::move(rhs)));
+    Production prod(program_.symbols().intern(name.text), std::move(lhs), std::move(rhs));
+    prod.set_location(name.loc());
+    program_.add_production(std::move(prod));
   }
 
   [[nodiscard]] ClassIndex resolve_class(const Token& tok) {
     const auto sym = program_.symbols().intern(tok.text);
     const auto idx = program_.class_index(sym);
-    if (!idx) throw ParseError("undeclared WME class: " + tok.text, tok.line);
+    if (!idx) throw ParseError("undeclared WME class: " + tok.text, tok.line, tok.col);
     return *idx;
   }
 
@@ -314,7 +321,7 @@ class Parser {
     if (slot == kInvalidSlot) {
       throw ParseError("class " + program_.symbols().name(program_.wme_class(cls).name()) +
                            " has no attribute ^" + attr.text,
-                       attr.line);
+                       attr.line, attr.col);
     }
     return slot;
   }
@@ -325,6 +332,7 @@ class Parser {
     ce.cls = resolve_class(cls);
     ce.class_name = program_.wme_class(ce.cls).name();
     ce.negated = negated;
+    ce.loc = cls.loc();
     while (lex_.peek().kind == TokKind::Attribute) {
       const Token attr = lex_.take();
       const SlotIndex slot = resolve_slot(ce.cls, attr);

@@ -31,13 +31,18 @@ namespace psmsys::ops5 {
 
 class ParseError : public std::runtime_error {
  public:
-  ParseError(std::string message, int line)
-      : std::runtime_error("parse error (line " + std::to_string(line) + "): " + message),
-        line_(line) {}
+  ParseError(std::string message, int line, int column = 0)
+      : std::runtime_error("parse error (line " + std::to_string(line) +
+                           (column > 0 ? ", col " + std::to_string(column) : std::string()) +
+                           "): " + message),
+        line_(line),
+        column_(column) {}
   [[nodiscard]] int line() const noexcept { return line_; }
+  [[nodiscard]] int column() const noexcept { return column_; }
 
  private:
   int line_;
+  int column_;
 };
 
 /// Parse OPS5 source into an existing (unfrozen) Program. Multiple sources

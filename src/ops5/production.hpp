@@ -19,6 +19,16 @@ namespace psmsys::ops5 {
 /// Interned LHS variable (the `<x>` in OPS5 source), scoped to a production.
 using VariableId = std::uint32_t;
 
+/// 1-based source position recorded by the parser. Productions and condition
+/// elements built programmatically (the SPAM generators construct source text
+/// first, so they get real positions too) default to unknown.
+struct SourceLoc {
+  int line = 0;
+  int column = 0;
+
+  [[nodiscard]] bool known() const noexcept { return line > 0; }
+};
+
 /// One attribute test inside a condition element, e.g. `^elong > 6`,
 /// `^region <r>`, or the OPS5 value disjunction `^class << runway taxiway >>`.
 struct AttrTest {
@@ -49,6 +59,7 @@ struct ConditionElement {
   Symbol class_name = kNilSymbol;
   bool negated = false;
   std::vector<AttrTest> tests;
+  SourceLoc loc;  ///< position of the CE's class symbol in the source
 };
 
 // ---------------------------------------------------------------------------
@@ -132,6 +143,10 @@ class Production {
   /// Index assigned by the owning Program.
   [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
 
+  /// Source position of the production name (unknown when built in memory).
+  [[nodiscard]] SourceLoc location() const noexcept { return loc_; }
+  void set_location(SourceLoc loc) noexcept { loc_ = loc; }
+
  private:
   friend class Program;
   Symbol name_;
@@ -140,6 +155,7 @@ class Production {
   std::size_t positive_ces_ = 0;
   std::size_t specificity_ = 0;
   std::uint32_t id_ = 0;
+  SourceLoc loc_;
 };
 
 /// A complete OPS5 system: symbols, class declarations, productions, and the

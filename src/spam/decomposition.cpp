@@ -1,6 +1,8 @@
 #include "spam/decomposition.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <map>
 #include <memory>
 #include <stdexcept>
 
@@ -8,7 +10,10 @@ namespace psmsys::spam {
 
 namespace {
 
+using analysis::AbstractVal;
+using ops5::ClassIndex;
 using ops5::Engine;
+using ops5::SlotIndex;
 using ops5::Value;
 
 [[nodiscard]] Value sym_value(const Engine& engine, std::string_view name) {
@@ -17,14 +22,38 @@ using ops5::Value;
   return Value(*sym);
 }
 
+// --- Spec-building helpers (mirror the runtime seeding/injection exactly).
+
+[[nodiscard]] ClassIndex spec_class(const ops5::Program& program, std::string_view name) {
+  const auto sym = program.symbols().find(name);
+  if (!sym) throw std::logic_error("class not in program: " + std::string(name));
+  const auto idx = program.class_index(*sym);
+  if (!idx) throw std::logic_error("not a WME class: " + std::string(name));
+  return *idx;
+}
+
+[[nodiscard]] SlotIndex spec_slot(const ops5::Program& program, ClassIndex cls,
+                                  std::string_view attr) {
+  const auto sym = program.symbols().find(attr);
+  if (!sym) throw std::logic_error("attribute not in program: " + std::string(attr));
+  const auto slot = program.wme_class(cls).slot_of(*sym);
+  if (slot == ops5::kInvalidSlot) throw std::logic_error("class lacks attribute: " + std::string(attr));
+  return slot;
+}
+
+[[nodiscard]] Value spec_sym(const ops5::Program& program, std::string_view name) {
+  const auto sym = program.symbols().find(name);
+  if (!sym) throw std::logic_error("symbol not in program: " + std::string(name));
+  return Value(*sym);
+}
+
 /// Factory for LCC task processes: each owns an engine with the fragment +
 /// constraint base WM ("a copy of the initial working memory supplied by the
 /// control process", Section 5.1).
-[[nodiscard]] psm::TaskProcessFactory lcc_factory(const Scene& scene,
+[[nodiscard]] psm::TaskProcessFactory lcc_factory(std::shared_ptr<const PhaseProgram> phase,
+                                                  const Scene& scene,
                                                   std::shared_ptr<const std::vector<Fragment>> fragments,
                                                   bool record_cycles) {
-  // One shared compiled program bundle; engines are per process.
-  auto phase = std::make_shared<const PhaseProgram>(build_lcc_program());
   psm::TaskProcessFactory factory;
   factory.make_engine = [phase, &scene, record_cycles] {
     ops5::EngineOptions options;
@@ -48,6 +77,107 @@ void push_task(std::vector<psm::Task>& tasks, std::string label,
   tasks.push_back(std::move(t));
 }
 
+/// Record the static mirror of the task the runtime just pushed: one
+/// injected WME of `cls` with the given slot values.
+void push_task_spec(analysis::DecompositionSpec& spec, const std::vector<psm::Task>& tasks,
+                    ClassIndex cls,
+                    std::vector<std::pair<SlotIndex, Value>> slots) {
+  analysis::TaskSpec ts;
+  ts.task_id = tasks.back().id;
+  ts.label = tasks.back().label;
+  ts.wmes.push_back(analysis::TaskWmeSpec{cls, std::move(slots)});
+  spec.tasks.push_back(std::move(ts));
+}
+
+/// Class roles + scene facts of the LCC rule base. Base classes are seeded
+/// by the control process and immutable during the run (support's ^count is
+/// task-local bookkeeping that never reaches merged results); the merged
+/// result is `consistency`, keyed by the (constraint, subject, object)
+/// triple that extract_consistency dedups on. Facts: the seeded fragments
+/// tie each ^class to the finite ^id and ^region sets of that class.
+[[nodiscard]] analysis::DecompositionSpec lcc_spec(std::shared_ptr<const ops5::Program> program,
+                                                   const std::vector<Fragment>& fragments) {
+  analysis::DecompositionSpec spec;
+  spec.program = program;
+  const auto& p = *program;
+
+  const ClassIndex fragment_cls = spec_class(p, "fragment");
+  const ClassIndex consistency_cls = spec_class(p, "consistency");
+  spec.base_classes = {fragment_cls, spec_class(p, "constraint"), spec_class(p, "support")};
+  spec.result_classes = {{consistency_cls,
+                          {spec_slot(p, consistency_cls, "constraint"),
+                           spec_slot(p, consistency_cls, "subject"),
+                           spec_slot(p, consistency_cls, "object")}}};
+  spec.scratch_classes = {spec_class(p, "lcc-task"), spec_class(p, "relation"),
+                          spec_class(p, "context")};
+
+  const SlotIndex frag_class = spec_slot(p, fragment_cls, "class");
+  const SlotIndex frag_id = spec_slot(p, fragment_cls, "id");
+  const SlotIndex frag_region = spec_slot(p, fragment_cls, "region");
+  for (std::size_t i = 0; i < kRegionClassCount; ++i) {
+    const auto cls = static_cast<RegionClass>(i);
+    std::vector<Value> ids;
+    std::vector<Value> regions;
+    for (const auto& f : fragments) {
+      if (f.cls != cls) continue;
+      ids.emplace_back(static_cast<double>(f.id));
+      regions.emplace_back(static_cast<double>(f.region));
+    }
+    spec.facts.push_back(analysis::DataFact{
+        fragment_cls,
+        frag_class,
+        spec_sym(p, class_name(cls)),
+        {{frag_id, AbstractVal::finite(std::move(ids))},
+         {frag_region, AbstractVal::finite(std::move(regions))}}});
+  }
+  return spec;
+}
+
+/// Class roles + scene facts of the RTF rule base. The merged result is
+/// `fragment`, keyed by (id, region, class) — ids already encode
+/// (region, class), so any one key being disjoint separates two writes.
+/// Facts tie ^group and ^texture to the finite region-id sets of the scene,
+/// mirroring seed_region_wmes.
+[[nodiscard]] analysis::DecompositionSpec rtf_spec(std::shared_ptr<const ops5::Program> program,
+                                                   const Scene& scene, int group_size) {
+  analysis::DecompositionSpec spec;
+  spec.program = program;
+  const auto& p = *program;
+
+  const ClassIndex region_cls = spec_class(p, "region");
+  const ClassIndex fragment_cls = spec_class(p, "fragment");
+  spec.base_classes = {region_cls};
+  spec.result_classes = {{fragment_cls,
+                          {spec_slot(p, fragment_cls, "id"),
+                           spec_slot(p, fragment_cls, "region"),
+                           spec_slot(p, fragment_cls, "class")}}};
+  spec.scratch_classes = {spec_class(p, "rtf-task"), spec_class(p, "linear"),
+                          spec_class(p, "blob"), spec_class(p, "building")};
+
+  const SlotIndex region_group = spec_slot(p, region_cls, "group");
+  const SlotIndex region_texture = spec_slot(p, region_cls, "texture");
+  const SlotIndex region_id = spec_slot(p, region_cls, "id");
+  std::map<double, std::vector<Value>> by_group;
+  std::map<Texture, std::vector<Value>> by_texture;
+  for (const auto& r : scene.regions()) {
+    const double group = std::floor(static_cast<double>(r.id - 1) / group_size);
+    by_group[group].emplace_back(static_cast<double>(r.id));
+    by_texture[r.texture].emplace_back(static_cast<double>(r.id));
+  }
+  for (auto& [group, ids] : by_group) {
+    spec.facts.push_back(analysis::DataFact{
+        region_cls, region_group, Value(group), {{region_id, AbstractVal::finite(std::move(ids))}}});
+  }
+  for (const Texture texture : {Texture::Paved, Texture::Roofed, Texture::Grass, Texture::Mixed}) {
+    auto it = by_texture.find(texture);
+    std::vector<Value> ids = it != by_texture.end() ? std::move(it->second) : std::vector<Value>{};
+    spec.facts.push_back(analysis::DataFact{
+        region_cls, region_texture, spec_sym(p, texture_name(texture)),
+        {{region_id, AbstractVal::finite(std::move(ids))}}});
+  }
+  return spec;
+}
+
 }  // namespace
 
 Decomposition lcc_decomposition(int level, const Scene& scene,
@@ -59,10 +189,21 @@ Decomposition lcc_decomposition(int level, const Scene& scene,
             [](const Fragment& a, const Fragment& b) { return a.id < b.id; });
   auto fragments = std::make_shared<const std::vector<Fragment>>(std::move(best_fragments));
 
+  // One shared compiled program bundle; engines are per process.
+  auto phase = std::make_shared<const PhaseProgram>(build_lcc_program());
+
   Decomposition d;
-  d.factory = lcc_factory(scene, fragments, record_cycles);
+  d.factory = lcc_factory(phase, scene, fragments, record_cycles);
+  d.spec = lcc_spec(phase->program, *fragments);
 
   const auto num = [](auto v) { return Value(static_cast<double>(v)); };
+
+  const ClassIndex task_cls = spec_class(*phase->program, "lcc-task");
+  const SlotIndex s_level = spec_slot(*phase->program, task_cls, "level");
+  const SlotIndex s_subject_class = spec_slot(*phase->program, task_cls, "subject-class");
+  const SlotIndex s_subject = spec_slot(*phase->program, task_cls, "subject");
+  const SlotIndex s_constraint = spec_slot(*phase->program, task_cls, "constraint");
+  const SlotIndex s_object = spec_slot(*phase->program, task_cls, "object");
 
   switch (level) {
     case 4:
@@ -72,6 +213,9 @@ Decomposition lcc_decomposition(int level, const Scene& scene,
           e.make_wme("lcc-task", {{"level", Value(4.0)},
                                   {"subject-class", sym_value(e, class_name(cls))}});
         });
+        push_task_spec(d.spec, d.tasks, task_cls,
+                       {{s_level, Value(4.0)},
+                        {s_subject_class, spec_sym(*phase->program, class_name(cls))}});
       }
       break;
 
@@ -80,6 +224,8 @@ Decomposition lcc_decomposition(int level, const Scene& scene,
         push_task(d.tasks, "L3 subj=" + std::to_string(f.id), [id = f.id, num](Engine& e) {
           e.make_wme("lcc-task", {{"level", Value(3.0)}, {"subject", num(id)}});
         });
+        push_task_spec(d.spec, d.tasks, task_cls,
+                       {{s_level, Value(3.0)}, {s_subject, num(f.id)}});
       }
       break;
 
@@ -92,6 +238,10 @@ Decomposition lcc_decomposition(int level, const Scene& scene,
                                               {"subject", num(id)},
                                               {"constraint", num(k)}});
                     });
+          push_task_spec(d.spec, d.tasks, task_cls,
+                         {{s_level, Value(2.0)},
+                          {s_subject, num(f.id)},
+                          {s_constraint, num(c->id)}});
         }
       }
       break;
@@ -110,6 +260,11 @@ Decomposition lcc_decomposition(int level, const Scene& scene,
                                                 {"constraint", num(k)},
                                                 {"object", num(obj)}});
                       });
+            push_task_spec(d.spec, d.tasks, task_cls,
+                           {{s_level, Value(1.0)},
+                            {s_subject, num(f.id)},
+                            {s_constraint, num(c->id)},
+                            {s_object, num(other.id)}});
           }
         }
       }
@@ -135,12 +290,17 @@ Decomposition rtf_decomposition(const Scene& scene, int group_size, bool record_
     seed_region_wmes(engine, scene, group_size);
   };
 
+  d.spec = rtf_spec(phase->program, scene, group_size);
+  const ClassIndex task_cls = spec_class(*phase->program, "rtf-task");
+  const SlotIndex s_group = spec_slot(*phase->program, task_cls, "group");
+
   const std::size_t groups =
       (scene.size() + static_cast<std::size_t>(group_size) - 1) / group_size;
   for (std::size_t g = 0; g < groups; ++g) {
     push_task(d.tasks, "RTF group " + std::to_string(g), [g](Engine& e) {
       e.make_wme("rtf-task", {{"group", Value(static_cast<double>(g))}});
     });
+    push_task_spec(d.spec, d.tasks, task_cls, {{s_group, Value(static_cast<double>(g))}});
   }
   return d;
 }

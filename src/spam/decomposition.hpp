@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "analysis/interference.hpp"
 #include "psm/task.hpp"
 #include "spam/fragment.hpp"
 #include "spam/phases.hpp"
@@ -23,10 +24,14 @@
 namespace psmsys::spam {
 
 /// A decomposition: the factory builds a task process (engine + base WM);
-/// tasks inject the per-task WMEs.
+/// tasks inject the per-task WMEs. `spec` is the matching static description
+/// (rule base, class roles, scene-derived data facts, task injections) that
+/// analysis::check_interference certifies independent — the machine-checked
+/// form of Section 5.1's "tasks are independent OPS5 runs".
 struct Decomposition {
   psm::TaskProcessFactory factory;
   std::vector<psm::Task> tasks;
+  analysis::DecompositionSpec spec;
 };
 
 /// LCC decomposition at `level` (1..4). `scene` and `fragments` must outlive

@@ -228,6 +228,56 @@ TEST(ParserErrors, UnterminatedForm) {
   EXPECT_THROW(parse_program("(literalize r a"), ParseError);
 }
 
+TEST(ParserErrors, ReportsColumn) {
+  try {
+    parse_program("(literalize r a)\n(p x (r ^zzz 1) --> (halt))");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_EQ(e.column(), 9);  // the '^' of ^zzz
+  }
+}
+
+// ------------------------- source locations -------------------------------
+
+TEST(ParserLocations, ProductionAndCesCarryLineAndColumn) {
+  // Column positions feed the linter's diagnostics; productions anchor at
+  // their name, condition elements at their class symbol.
+  const Program program = parse_program(
+      "(literalize r a)\n"
+      "(literalize f b)\n"
+      "\n"
+      "(p first\n"
+      "   (r ^a <x>)\n"
+      "   -(f ^b <x>)\n"
+      "   -->\n"
+      "   (make f ^b <x>))\n"
+      "\n"
+      "(p second (r ^a 1) --> (halt))\n");
+  ASSERT_EQ(program.productions().size(), 2u);
+
+  const Production& first = program.productions()[0];
+  EXPECT_EQ(first.location().line, 4);
+  EXPECT_EQ(first.location().column, 4);
+  ASSERT_EQ(first.lhs().size(), 2u);
+  EXPECT_EQ(first.lhs()[0].loc.line, 5);
+  EXPECT_EQ(first.lhs()[0].loc.column, 5);
+  EXPECT_EQ(first.lhs()[1].loc.line, 6);
+  EXPECT_EQ(first.lhs()[1].loc.column, 6);  // past the leading '-'
+
+  const Production& second = program.productions()[1];
+  EXPECT_EQ(second.location().line, 10);
+  ASSERT_EQ(second.lhs().size(), 1u);
+  EXPECT_EQ(second.lhs()[0].loc.line, 10);
+}
+
+TEST(ParserLocations, ProgrammaticProductionsDefaultToUnknown) {
+  const SourceLoc loc;
+  EXPECT_FALSE(loc.known());
+  const Program program = parse_program("(literalize r a)\n(p x (r ^a 1) --> (halt))");
+  EXPECT_TRUE(program.productions()[0].location().known());
+}
+
 // ------------------------- robustness property ----------------------------
 
 /// Random token soup must either parse or throw ParseError /
