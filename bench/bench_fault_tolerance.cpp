@@ -1,27 +1,28 @@
 // Robustness study: how gracefully does task-level parallelism degrade when
 // the machine misbehaves? The paper's executors assume a perfect machine;
-// this bench quantifies three failure economies on the measured SPAM tasks:
+// these cases quantify three failure economies on the measured SPAM tasks:
 //
 //   1. message loss + retransmission on the message-passing model
 //      (speedup vs loss rate),
 //   2. SVM fault storms and node failure (re-execution economics),
 //   3. the real threaded executor under injected faults (retry/quarantine
-//      accounting from RunReport).
+//      accounting from the unified RunResult).
 
-#include <iostream>
-
-#include "bench/common.hpp"
-#include "psm/faults.hpp"
+#include "bench/harness.hpp"
 #include "psm/message_passing.hpp"
-#include "psm/threaded.hpp"
+#include "psm/run.hpp"
 #include "svm/svm.hpp"
 
-using namespace psmsys;
+namespace psmsys::bench {
 
-namespace {
+PSMSYS_BENCH_CASE(loss_rate, "faults", "Message loss: speedup vs loss rate (14 workers)") {
+  auto& os = ctx.out();
+  const auto& measured = ctx.lcc(spam::sf_config(), 3);
+  const auto costs = psm::task_costs(measured.tasks);
+  psm::TlpConfig one;
+  one.task_processes = 1;
+  const util::WorkUnits base = psm::simulate_tlp(costs, one).makespan;
 
-void loss_rate_curve(const std::vector<util::WorkUnits>& costs, util::WorkUnits base) {
-  std::cout << "--- Message loss: speedup vs loss rate (dynamic distribution, 14 workers) ---\n\n";
   util::Table table({"loss %", "speedup @14", "lost", "retransmits", "stall %", "vs lossless"});
   std::vector<std::pair<std::size_t, double>> curve;
   double lossless = 0.0;
@@ -41,13 +42,17 @@ void loss_rate_curve(const std::vector<util::WorkUnits>& costs, util::WorkUnits 
                                     1),
                    util::Table::fmt(100.0 * s / lossless, 1) + "%"});
   }
-  table.print(std::cout, "SF Level 3 tasks, exponential retransmit backoff");
-  bench::plot_curve(std::cout, "\nspeedup vs message loss rate (%)", curve);
-  bench::emit_csv(std::cout, "loss_rate_curve", table);
+  table.print(os, "SF Level 3 tasks, exponential retransmit backoff");
+  plot_curve(os, "\nspeedup vs message loss rate (%)", curve);
+  ctx.table("loss_rate_curve", table);
+  ctx.metric("lossless_speedup_at_14", lossless);
 }
 
-void svm_degradation(std::span<const psm::TaskMeasurement> tasks) {
-  std::cout << "\n--- SVM: fault storms and node failure (20 processors) ---\n\n";
+PSMSYS_BENCH_CASE(svm_degradation, "faults",
+                  "SVM: fault storms and node failure (20 processors)") {
+  auto& os = ctx.out();
+  const auto& measured = ctx.lcc(spam::sf_config(), 3);
+
   svm::SvmConfig healthy;
   svm::SvmConfig stormy = healthy;
   stormy.storm_factor = 8.0;
@@ -55,11 +60,11 @@ void svm_degradation(std::span<const psm::TaskMeasurement> tasks) {
   svm::SvmConfig dying = healthy;
   dying.node1_fails_at = 40000;
 
-  const auto base = svm::simulate_svm(tasks, 1, healthy).makespan;
+  const auto base = svm::simulate_svm(measured.tasks, 1, healthy).makespan;
   util::Table table(
       {"scenario", "speedup @20", "remote faults", "reexecuted", "wasted wu", "lost procs"});
   const auto row = [&](const char* name, const svm::SvmConfig& c) {
-    const auto r = svm::simulate_svm(tasks, 20, c);
+    const auto r = svm::simulate_svm(measured.tasks, 20, c);
     table.add_row({name, util::Table::fmt(psm::speedup(base, r.makespan), 2),
                    util::Table::fmt(r.remote_faults), util::Table::fmt(r.reexecuted_tasks),
                    util::Table::fmt(r.wasted_work), util::Table::fmt(r.failed_procs)});
@@ -67,13 +72,15 @@ void svm_degradation(std::span<const psm::TaskMeasurement> tasks) {
   row("healthy", healthy);
   row("init fault storm x8", stormy);
   row("node 1 dies mid-run", dying);
-  table.print(std::cout, "graceful degradation: the run always completes");
-  bench::emit_csv(std::cout, "svm_degradation", table);
+  table.print(os, "graceful degradation: the run always completes");
+  ctx.table("svm_degradation", table);
 }
 
-void robust_executor_report() {
-  std::cout << "\n--- Threaded executor under injected faults (DC Level 3, 4 processes) ---\n\n";
-  const auto scene = spam::generate_scene(spam::dc_config());
+PSMSYS_BENCH_CASE(robust_executor, "faults",
+                  "Threaded executor under injected faults (Level 3, 4 processes)") {
+  auto& os = ctx.out();
+  const auto config = ctx.quick() ? spam::sf_config() : spam::dc_config();
+  const auto scene = spam::generate_scene(config);
   const auto best = spam::best_fragments(spam::run_rtf(scene, 3).fragments);
   const auto d = spam::lcc_decomposition(3, scene, best);
 
@@ -83,49 +90,37 @@ void robust_executor_report() {
   faults.kill_worker = 1;
   faults.kill_at_pop = 3;
   const psm::FaultInjector injector(faults);
-  psm::RobustnessPolicy policy;
-  policy.max_attempts = 6;
 
-  const auto clean = psm::run_robust(d.factory, d.tasks, 4, policy, nullptr);
-  const auto faulty = psm::run_robust(d.factory, d.tasks, 4, policy, &injector);
+  psm::RunOptions options;
+  options.task_processes = 4;
+  options.robustness.max_attempts = 6;
+  const auto clean = psm::run(d.factory, d.tasks, options);
+  options.injector = &injector;
+  const auto faulty = psm::run(d.factory, d.tasks, options);
 
   util::Table table({"metric", "no faults", "5% transient + worker kill"});
   const auto row = [&](const char* name, std::uint64_t a, std::uint64_t b) {
     table.add_row({name, util::Table::fmt(a), util::Table::fmt(b)});
   };
-  row("tasks completed", clean.completed_ids.size(), faulty.completed_ids.size());
-  row("tasks quarantined", clean.quarantined_ids.size(), faulty.quarantined_ids.size());
-  row("retries", clean.retries, faulty.retries);
-  row("requeues after worker death", clean.requeues, faulty.requeues);
-  row("workers lost", clean.dead_workers.size(), faulty.dead_workers.size());
-  util::WorkUnits clean_wu = 0;
-  util::WorkUnits faulty_wu = 0;
-  for (const auto& m : clean.measurements) clean_wu += m.cost();
-  for (const auto& m : faulty.measurements) faulty_wu += m.cost();
-  row("useful work (wu)", clean_wu, faulty_wu);
-  table.print(std::cout, "every task id accounted for exactly once in both runs");
-  std::cout << "\nInjected faults cost retries and a worker, but the surviving\n"
-               "processes drain the queue: failed attempts roll back the working\n"
-               "memory (with original timetags), so retried tasks recompute\n"
-               "bit-identical results. Useful work shifts by well under 1% --\n"
-               "that is task placement across engines, not lost or repeated\n"
-               "results.\n";
-  bench::emit_csv(std::cout, "robust_executor", table);
+  row("tasks completed", clean.report.completed_ids.size(),
+      faulty.report.completed_ids.size());
+  row("tasks quarantined", clean.report.quarantined_ids.size(),
+      faulty.report.quarantined_ids.size());
+  row("retries", clean.metrics.retries, faulty.metrics.retries);
+  row("requeues after worker death", clean.metrics.requeues, faulty.metrics.requeues);
+  row("workers lost", clean.metrics.dead_workers, faulty.metrics.dead_workers);
+  row("useful work (wu)", clean.metrics.total_cost_wu(), faulty.metrics.total_cost_wu());
+  table.print(os, "every task id accounted for exactly once in both runs");
+  ctx.table("robust_executor", table);
+  // The unified executor's full metrics snapshot, straight into the JSON.
+  ctx.metrics(clean.metrics, "clean_");
+  ctx.metrics(faulty.metrics, "faulty_");
+  os << "\nInjected faults cost retries and a worker, but the surviving\n"
+        "processes drain the queue: failed attempts roll back the working\n"
+        "memory (with original timetags), so retried tasks recompute\n"
+        "bit-identical results. Useful work shifts by well under 1% --\n"
+        "that is task placement across engines, not lost or repeated\n"
+        "results.\n";
 }
 
-}  // namespace
-
-int main() {
-  std::cout << "=== Fault tolerance: speedup under message loss, SVM failure, and "
-               "injected task faults ===\n\n";
-  const auto measured = bench::measure_lcc(spam::sf_config(), 3);
-  const auto costs = psm::task_costs(measured.tasks);
-  psm::TlpConfig one;
-  one.task_processes = 1;
-  const util::WorkUnits base = psm::simulate_tlp(costs, one).makespan;
-
-  loss_rate_curve(costs, base);
-  svm_degradation(measured.tasks);
-  robust_executor_report();
-  return 0;
-}
+}  // namespace psmsys::bench

@@ -13,40 +13,46 @@
 // have hundreds of tasks with moderate variance; Level 1 has thousands of
 // tiny tasks near the task-management overhead.
 
-#include <iostream>
-
-#include "bench/common.hpp"
+#include "bench/harness.hpp"
 #include "util/stats.hpp"
 
-using namespace psmsys;
+namespace psmsys::bench {
 
-int main() {
-  std::cout << "=== Tables 5-7: task granularity by decomposition level ===\n\n";
+PSMSYS_BENCH_CASE(granularity, "lcc", "Tables 5-7: task granularity by decomposition level") {
+  auto& os = ctx.out();
 
-  for (const auto& config : spam::all_datasets()) {
+  // Level 1 means thousands of tiny tasks; measuring it dominates the quick
+  // run's wall time, so --quick stops at Level 2.
+  const int min_level = ctx.quick() ? 2 : 1;
+  for (const auto& config : ctx.datasets()) {
     util::Table table({"Level", "Avg time per task (s)", "Std deviation (s)",
                        "Coeff. of variance", "Number of tasks"});
-    for (int level = 4; level >= 1; --level) {
-      const auto measured = bench::measure_lcc(config, level);
+    for (int level = 4; level >= min_level; --level) {
+      const auto& measured = ctx.lcc(config, level);
       util::RunningStats stats;
       for (const auto& m : measured.tasks) stats.add(util::to_seconds(m.cost()));
       table.add_row({"Level " + std::to_string(level), util::Table::fmt(stats.mean(), 3),
                      util::Table::fmt(stats.stddev(), 3),
                      util::Table::fmt(stats.coefficient_of_variance(), 3),
                      util::Table::fmt(stats.count())});
+      ctx.metric(config.name + "_L" + std::to_string(level) + "_tasks",
+                 static_cast<double>(stats.count()));
+      ctx.metric(config.name + "_L" + std::to_string(level) + "_cv",
+                 stats.coefficient_of_variance());
     }
-    table.print(std::cout, "--- " + config.name + " ---");
-    std::cout << '\n';
-    bench::emit_csv(std::cout, "granularity_" + config.name, table);
-    std::cout << '\n';
+    table.print(os, "--- " + config.name + " ---");
+    os << '\n';
+    ctx.table("granularity_" + config.name, table);
+    os << '\n';
   }
 
-  std::cout
-      << "Decision logic (Section 4), checked against the rows above:\n"
-         "  * Level 4: 9 tasks < 14 processors -> rejected (ratio below one)\n"
-         "  * Levels 3 and 2: hundreds of tasks, granularity well above task\n"
-         "    management overhead -> both viable; Level 3 needs less effort\n"
-         "  * Level 1: task:processor ratio ~1000, granularity near overheads\n"
-         "    -> rejected\n";
-  return 0;
+  ctx.note("decision logic: L4 too few tasks, L3/L2 viable, L1 near task overhead");
+  os << "Decision logic (Section 4), checked against the rows above:\n"
+        "  * Level 4: 9 tasks < 14 processors -> rejected (ratio below one)\n"
+        "  * Levels 3 and 2: hundreds of tasks, granularity well above task\n"
+        "    management overhead -> both viable; Level 3 needs less effort\n"
+        "  * Level 1: task:processor ratio ~1000, granularity near overheads\n"
+        "    -> rejected\n";
 }
+
+}  // namespace psmsys::bench

@@ -11,11 +11,9 @@
 //   MOFF Level 3    991     209   4.74     22203       23637
 //   MOFF Level 2    973     700   1.39     21294       22728
 
-#include <iostream>
+#include "bench/harness.hpp"
 
-#include "bench/common.hpp"
-
-using namespace psmsys;
+namespace psmsys::bench {
 
 namespace {
 
@@ -37,15 +35,15 @@ constexpr PaperRow kPaper[] = {
 
 }  // namespace
 
-int main() {
-  std::cout << "=== Table 8: LCC baseline (single task process) ===\n\n";
+PSMSYS_BENCH_CASE(lcc_baseline, "lcc", "Table 8: LCC baseline (single task process)") {
+  auto& os = ctx.out();
 
   util::Table table({"Dataset", "Total time (s)", "Number of tasks", "Avg time per task (s)",
                      "Prods fired", "RHS actions", "paper: total/tasks/avg"});
 
-  for (const auto& config : spam::all_datasets()) {
+  for (const auto& config : ctx.datasets()) {
     for (const int level : {3, 2}) {
-      const auto measured = bench::measure_lcc(config, level);
+      const auto& measured = ctx.lcc(config, level);
       util::WorkUnits total = 0;
       std::uint64_t prods = 0;
       std::uint64_t rhs = 0;
@@ -68,13 +66,19 @@ int main() {
                                util::Table::fmt(std::uint64_t(paper->tasks)) + "/" +
                                util::Table::fmt(paper->avg, 2)
                          : "-"});
+      const std::string key = config.name + "_L" + std::to_string(level);
+      ctx.metric(key + "_total_s", total_s);
+      ctx.metric(key + "_tasks", static_cast<double>(measured.tasks.size()));
+      ctx.metric(key + "_firings", static_cast<double>(prods));
     }
   }
 
-  table.print(std::cout, "Measurements for baseline system on the datasets");
-  bench::emit_csv(std::cout, "table8", table);
+  table.print(os, "Measurements for baseline system on the datasets");
+  ctx.table("table8", table);
 
-  std::cout << "\nShape checks: totals nearly level-independent per dataset; SF is the\n"
-               "largest run; Level 3 tasks are ~3.3x coarser than Level 2 tasks.\n";
-  return 0;
+  ctx.note("totals nearly level-independent; Level 3 tasks ~3.3x coarser than Level 2");
+  os << "\nShape checks: totals nearly level-independent per dataset; SF is the\n"
+        "largest run; Level 3 tasks are ~3.3x coarser than Level 2 tasks.\n";
 }
+
+}  // namespace psmsys::bench

@@ -6,21 +6,21 @@
 // or fewer match processes. The limits come from LCC spending < 50% of its
 // time in match.
 
-#include <iostream>
+#include "bench/harness.hpp"
 
-#include "bench/common.hpp"
+namespace psmsys::bench {
 
-using namespace psmsys;
+PSMSYS_BENCH_CASE(lcc_match, "lcc", "Figure 7: LCC match parallelism (Level 3)") {
+  auto& os = ctx.out();
 
-int main() {
-  std::cout << "=== Figure 7: LCC match parallelism (Level 3) ===\n\n";
+  const auto procs = ctx.trim({1, 2, 3, 4, 6, 8, 13});
+  std::vector<std::string> headers{"dataset", "limit"};
+  for (const std::size_t m : procs) headers.push_back("m=" + std::to_string(m));
+  headers.emplace_back("achieved/limit");
+  util::Table table(std::move(headers));
 
-  const std::vector<std::size_t> procs{1, 2, 3, 4, 6, 8, 13};
-  util::Table table({"dataset", "limit", "m=1", "m=2", "m=3", "m=4", "m=6", "m=8", "m=13",
-                     "achieved/limit"});
-
-  for (const auto& config : spam::all_datasets()) {
-    const auto measured = bench::measure_lcc(config, 3, /*record_cycles=*/true);
+  for (const auto& config : ctx.datasets()) {
+    const auto& measured = ctx.lcc(config, 3, /*record_cycles=*/true);
     const double limit = psm::match_speedup_limit(measured.tasks);
 
     psm::TlpConfig one_proc;
@@ -29,6 +29,7 @@ int main() {
 
     std::vector<std::string> row{config.name, util::Table::fmt(limit, 2)};
     std::vector<std::pair<std::size_t, double>> curve;
+    std::vector<SpeedupPoint> points;
     double best = 0.0;
     for (const std::size_t m : procs) {
       psm::MatchModel model;
@@ -38,20 +39,25 @@ int main() {
                                     psm::simulate_tlp(costs, one_proc).makespan);
       row.push_back(util::Table::fmt(s, 2));
       curve.emplace_back(m, s);
+      points.push_back({m, s});
       best = std::max(best, s);
     }
     row.push_back(util::Table::fmt(100.0 * best / limit, 0) + "%");
     table.add_row(std::move(row));
-    bench::plot_curve(std::cout,
-                      config.name + " (speedup vs match processes, dotted limit " +
-                          util::Table::fmt(limit, 2) + ")",
-                      curve, 2.5);
-    std::cout << '\n';
+    ctx.speedup_series(config.name + "_match", std::move(points));
+    ctx.metric(config.name + "_limit", limit);
+    ctx.metric(config.name + "_achieved", best);
+    plot_curve(os,
+               config.name + " (speedup vs match processes, dotted limit " +
+                   util::Table::fmt(limit, 2) + ")",
+               curve, 2.5);
+    os << '\n';
   }
 
-  table.print(std::cout, "Speed-ups varying the number of dedicated match processes");
-  std::cout << "\npaper: limits 1.95/1.36/1.54 (SF/DC/MOFF); achieved 1.71/1.28/1.45\n"
-               "(88-94% of the limits), peaking at <= 6 match processes.\n";
-  bench::emit_csv(std::cout, "figure7", table);
-  return 0;
+  table.print(os, "Speed-ups varying the number of dedicated match processes");
+  os << "\npaper: limits 1.95/1.36/1.54 (SF/DC/MOFF); achieved 1.71/1.28/1.45\n"
+        "(88-94% of the limits), peaking at <= 6 match processes.\n";
+  ctx.table("figure7", table);
 }
+
+}  // namespace psmsys::bench

@@ -7,47 +7,51 @@
 // little better (<10%) because Level 3's outlier tasks have greater relative
 // disparity (tail-end effect).
 
-#include <iostream>
+#include "bench/harness.hpp"
 
-#include "bench/common.hpp"
+namespace psmsys::bench {
 
-using namespace psmsys;
+PSMSYS_BENCH_CASE(lcc_tlp, "lcc", "Figure 6: LCC task-level parallelism") {
+  auto& os = ctx.out();
 
-int main() {
-  std::cout << "=== Figure 6: LCC task-level parallelism ===\n\n";
-
-  const std::vector<std::size_t> procs{1, 2, 4, 6, 8, 10, 12, 14};
-  util::Table table({"dataset", "level", "p=1", "p=2", "p=4", "p=6", "p=8", "p=10", "p=12",
-                     "p=14", "util@14"});
+  const auto procs = ctx.trim({1, 2, 4, 6, 8, 10, 12, 14});
+  std::vector<std::string> headers{"dataset", "level"};
+  for (const std::size_t p : procs) headers.push_back("p=" + std::to_string(p));
+  headers.emplace_back("util@14");
+  util::Table table(std::move(headers));
 
   for (const int level : {3, 2}) {
-    for (const auto& config : spam::all_datasets()) {
-      const auto measured = bench::measure_lcc(config, level);
+    for (const auto& config : ctx.datasets()) {
+      const auto& measured = ctx.lcc(config, level);
       const auto costs = psm::task_costs(measured.tasks);
       std::vector<std::string> row{config.name, std::to_string(level)};
       std::vector<std::pair<std::size_t, double>> curve;
+      std::vector<SpeedupPoint> points;
       for (const std::size_t p : procs) {
-        const double s = bench::tlp_speedup(costs, p);
+        const double s = tlp_speedup(costs, p);
         row.push_back(util::Table::fmt(s, 2));
         curve.emplace_back(p, s);
+        points.push_back({p, s});
       }
       psm::TlpConfig c14;
       c14.task_processes = 14;
       row.push_back(util::Table::fmt(psm::simulate_tlp(costs, c14).utilization(), 2));
       table.add_row(std::move(row));
+      ctx.speedup_series(config.name + "_L" + std::to_string(level), std::move(points));
       if (config.name == "SF") {
-        bench::plot_curve(std::cout,
-                          "SF Level " + std::to_string(level) +
-                              " (speedup vs task processes)",
-                          curve, 14.0);
-        std::cout << '\n';
+        plot_curve(os,
+                   "SF Level " + std::to_string(level) + " (speedup vs task processes)",
+                   curve, 14.0);
+        os << '\n';
       }
     }
   }
 
-  table.print(std::cout, "Speed-ups varying the number of task-level processes");
-  std::cout << "\npaper: max 11.90x (Level 3) / 12.58x (Level 2) at 14 processes;\n"
-               "Level 2 consistently slightly better than Level 3 (<10%).\n";
-  bench::emit_csv(std::cout, "figure6", table);
-  return 0;
+  table.print(os, "Speed-ups varying the number of task-level processes");
+  os << "\npaper: max 11.90x (Level 3) / 12.58x (Level 2) at 14 processes;\n"
+        "Level 2 consistently slightly better than Level 3 (<10%).\n";
+  ctx.table("figure6", table);
+  ctx.note("paper: max 11.90x (L3) / 12.58x (L2) at 14 processes");
 }
+
+}  // namespace psmsys::bench

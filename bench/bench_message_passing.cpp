@@ -4,17 +4,16 @@
 // measured SF Level 3 LCC tasks are scheduled on a message-passing model
 // under static vs dynamic task distribution across message latencies.
 
-#include <iostream>
-
-#include "bench/common.hpp"
+#include "bench/harness.hpp"
 #include "psm/message_passing.hpp"
 
-using namespace psmsys;
+namespace psmsys::bench {
 
-int main() {
-  std::cout << "=== Future work (Section 9): message-passing task distribution ===\n\n";
+PSMSYS_BENCH_CASE(message_passing, "message_passing",
+                  "Future work (Section 9): message-passing task distribution") {
+  auto& os = ctx.out();
 
-  const auto measured = bench::measure_lcc(spam::sf_config(), 3);
+  const auto& measured = ctx.lcc(spam::sf_config(), 3);
   const auto costs = psm::task_costs(measured.tasks);
 
   psm::TlpConfig one;
@@ -23,6 +22,7 @@ int main() {
   psm::TlpConfig c14;
   c14.task_processes = 14;
   const double shared14 = psm::speedup(base, psm::simulate_tlp(costs, c14).makespan);
+  ctx.metric("shared_memory_speedup_at_14", shared14);
 
   util::Table table({"latency (wu)", "static @14", "dynamic @14", "dynamic stall %",
                      "winner"});
@@ -45,13 +45,14 @@ int main() {
                    sd > ss ? "dynamic" : "static"});
   }
 
-  table.print(std::cout, "SF Level 3 tasks on a 14-node message-passing machine "
-                         "(shared-memory queue reaches " +
-                             util::Table::fmt(shared14, 2) + "x)");
-  std::cout << "\nAt SPAM's task granularity the dynamic (queue-like) distribution\n"
-               "tolerates large message latencies; only when the round trip\n"
-               "approaches the mean task time does static pre-assignment win —\n"
-               "Section 4's granularity tradeoff with a network constant.\n";
-  bench::emit_csv(std::cout, "message_passing", table);
-  return 0;
+  table.print(os, "SF Level 3 tasks on a 14-node message-passing machine "
+                  "(shared-memory queue reaches " +
+                      util::Table::fmt(shared14, 2) + "x)");
+  os << "\nAt SPAM's task granularity the dynamic (queue-like) distribution\n"
+        "tolerates large message latencies; only when the round trip\n"
+        "approaches the mean task time does static pre-assignment win —\n"
+        "Section 4's granularity tradeoff with a network constant.\n";
+  ctx.table("message_passing", table);
 }
+
+}  // namespace psmsys::bench

@@ -11,24 +11,26 @@
 // Entries marked * exceed the paper's 16-processor machine:
 // processors used = 1 control + T + T*M.
 
-#include <iostream>
+#include "bench/harness.hpp"
 
-#include "bench/common.hpp"
+namespace psmsys::bench {
 
-using namespace psmsys;
+PSMSYS_BENCH_CASE(multiplicative, "multiplicative",
+                  "Table 9: multiplicative speed-ups (SF, Level 2)") {
+  auto& os = ctx.out();
 
-int main() {
-  std::cout << "=== Table 9: multiplicative speed-ups (SF, Level 2) ===\n\n";
-
-  const auto measured = bench::measure_lcc(spam::sf_config(), 2, /*record_cycles=*/true);
+  const auto& measured = ctx.lcc(spam::sf_config(), 2, /*record_cycles=*/true);
 
   psm::TlpConfig one;
   one.task_processes = 1;
   const auto plain_costs = psm::task_costs(measured.tasks);
   const util::WorkUnits baseline = psm::simulate_tlp(plain_costs, one).makespan;
 
-  const std::vector<std::size_t> task_procs{1, 2, 3, 4, 5, 6, 7};
-  const std::vector<std::size_t> match_procs{0, 1, 2, 3, 4};
+  const std::vector<std::size_t> task_procs =
+      ctx.quick() ? std::vector<std::size_t>{1, 2, 4, 7}
+                  : std::vector<std::size_t>{1, 2, 3, 4, 5, 6, 7};
+  const std::vector<std::size_t> match_procs =
+      ctx.quick() ? std::vector<std::size_t>{0, 1, 2} : std::vector<std::size_t>{0, 1, 2, 3, 4};
   constexpr std::size_t kMachineProcessors = 16;  // Encore Multimax
   constexpr std::size_t kUsable = kMachineProcessors - 2;  // control + OS
 
@@ -48,7 +50,9 @@ int main() {
     task_iso[ti] = psm::speedup(baseline, psm::simulate_tlp(plain_costs, cfg).makespan);
   }
 
-  util::Table table({"", "Match0", "Match1", "Match2", "Match3", "Match4"});
+  std::vector<std::string> headers{""};
+  for (const std::size_t m : match_procs) headers.push_back("Match" + std::to_string(m));
+  util::Table table(std::move(headers));
   double worst_rel_err = 0.0;
   for (std::size_t ti = 0; ti < task_procs.size(); ++ti) {
     std::vector<std::string> row{"Task" + std::to_string(task_procs[ti])};
@@ -75,13 +79,16 @@ int main() {
     table.add_row(std::move(row));
   }
 
-  table.print(std::cout,
+  table.print(os,
               "Achieved multiplicative speed-ups (predicted = taskN x matchM in parens);\n"
               "* = configuration exceeds the 16-processor machine");
-  std::cout << "\nworst |achieved - predicted| / predicted over combined cells: "
-            << util::Table::fmt(100.0 * worst_rel_err, 2) << "%\n"
-            << "paper: \"the achieved speed-ups to be very close to the predicted\n"
-               "speed-ups\" (e.g. Task4/Match2: 5.82 achieved vs 5.96 predicted).\n";
-  bench::emit_csv(std::cout, "table9", table);
-  return 0;
+  ctx.metric("worst_rel_err_pct", 100.0 * worst_rel_err);
+  os << "\nworst |achieved - predicted| / predicted over combined cells: "
+     << util::Table::fmt(100.0 * worst_rel_err, 2) << "%\n"
+     << "paper: \"the achieved speed-ups to be very close to the predicted\n"
+        "speed-ups\" (e.g. Task4/Match2: 5.82 achieved vs 5.96 predicted).\n";
+  ctx.table("table9", table);
+  ctx.note("task-level and match speedups combine multiplicatively");
 }
+
+}  // namespace psmsys::bench

@@ -13,17 +13,15 @@
 // the per-phase *profile* is comparable: LCC dominates, MODEL is smallest,
 // and hypotheses decrease monotonically through the phases.
 
-#include <iostream>
+#include "bench/harness.hpp"
 
-#include "bench/common.hpp"
+namespace psmsys::bench {
 
-using namespace psmsys;
+PSMSYS_BENCH_CASE(phase_stats, "phases", "Tables 1-3: interpretation phase statistics") {
+  auto& os = ctx.out();
+  os << "(paper: Lisp OPS5 wall hours; here: engine virtual seconds)\n\n";
 
-int main() {
-  std::cout << "=== Tables 1-3: interpretation phase statistics ===\n"
-            << "(paper: Lisp OPS5 wall hours; here: engine virtual seconds)\n\n";
-
-  for (const auto& config : spam::all_datasets()) {
+  for (const auto& config : ctx.datasets()) {
     const spam::Scene scene = spam::generate_scene(config);
     const spam::PipelineResult result = spam::run_pipeline(scene);
 
@@ -46,17 +44,22 @@ int main() {
                    util::Table::fmt(total.firings / total_seconds, 2),
                    util::Table::fmt(total_hyps), util::Table::fmt(total.match_fraction(), 2)});
 
-    table.print(std::cout, "--- " + config.name + " (" + std::to_string(scene.size()) +
-                               " regions, " + std::to_string(result.fragments.size()) +
-                               " RTF hypotheses) ---");
-    std::cout << '\n';
-    bench::emit_csv(std::cout, "phase_stats_" + config.name, table);
-    std::cout << '\n';
+    table.print(os, "--- " + config.name + " (" + std::to_string(scene.size()) +
+                        " regions, " + std::to_string(result.fragments.size()) +
+                        " RTF hypotheses) ---");
+    os << '\n';
+    ctx.table("phase_stats_" + config.name, table);
+    ctx.metric(config.name + "_total_virtual_s", total_seconds);
+    ctx.metric(config.name + "_total_firings", static_cast<double>(total.firings));
+    ctx.metric(config.name + "_match_fraction", total.match_fraction());
+    os << '\n';
   }
 
-  std::cout << "Shape checks vs the paper:\n"
-               "  * LCC is by far the most expensive phase on every dataset\n"
-               "  * RTF produces hundreds of hypotheses, FA tens, MODEL exactly 1\n"
-               "  * the whole system spends well under half its time in match\n";
-  return 0;
+  ctx.note("shape: LCC dominates every dataset; hypotheses shrink RTF -> FA -> MODEL");
+  os << "Shape checks vs the paper:\n"
+        "  * LCC is by far the most expensive phase on every dataset\n"
+        "  * RTF produces hundreds of hypotheses, FA tens, MODEL exactly 1\n"
+        "  * the whole system spends well under half its time in match\n";
 }
+
+}  // namespace psmsys::bench

@@ -1,14 +1,11 @@
 // Rete design ablation: the two network optimizations this implementation
 // shares with ParaOPS5 — node sharing between productions with common
 // prefixes, and hash-indexed join memories. Both are toggled off to show
-// their contribution on the DC LCC workload.
+// their contribution on the LCC workload.
 
-#include <iostream>
+#include "bench/harness.hpp"
 
-#include "bench/common.hpp"
-#include "spam/decomposition.hpp"
-
-using namespace psmsys;
+namespace psmsys::bench {
 
 namespace {
 
@@ -37,10 +34,12 @@ util::WorkUnits run_with(const spam::Scene& scene, const std::vector<spam::Fragm
 
 }  // namespace
 
-int main() {
-  std::cout << "=== Rete ablation: node sharing and hashed join memories ===\n\n";
+PSMSYS_BENCH_CASE(rete_ablation, "rete",
+                  "Rete ablation: node sharing and hashed join memories") {
+  auto& os = ctx.out();
 
-  const auto scene = spam::generate_scene(spam::dc_config());
+  const auto config = ctx.quick() ? spam::sf_config() : spam::dc_config();
+  const auto scene = spam::generate_scene(config);
   const auto best = spam::best_fragments(spam::run_rtf(scene, 3).fragments);
 
   util::Table table({"node sharing", "indexed joins", "match cost (wu)", "vs full",
@@ -51,17 +50,20 @@ int main() {
       rete::NetworkStats stats;
       const util::WorkUnits cost = run_with(scene, best, sharing, indexed, &stats);
       if (sharing && indexed) full = cost;
+      const double vs_full = static_cast<double>(cost) / static_cast<double>(full);
+      if (!sharing && !indexed) ctx.metric("both_off_vs_full", vs_full);
       table.add_row({sharing ? "on" : "off", indexed ? "on" : "off", util::Table::fmt(cost),
-                     util::Table::fmt(static_cast<double>(cost) / static_cast<double>(full), 2) +
-                         "x",
+                     util::Table::fmt(vs_full, 2) + "x",
                      util::Table::fmt(stats.alpha_patterns), util::Table::fmt(stats.join_nodes)});
     }
   }
 
-  table.print(std::cout, "Full LCC (Level 4) run on DC under four network configurations");
-  std::cout << "\nBoth optimizations are part of what made ParaOPS5's C implementation\n"
-               "10-20x faster than the Lisp OPS5; indexing dominates on this workload\n"
-               "because LCC's joins are equality-selective (fragment ids, subjects).\n";
-  bench::emit_csv(std::cout, "rete_ablation", table);
-  return 0;
+  table.print(os, "Full LCC (Level 4) run on " + config.name +
+                      " under four network configurations");
+  os << "\nBoth optimizations are part of what made ParaOPS5's C implementation\n"
+        "10-20x faster than the Lisp OPS5; indexing dominates on this workload\n"
+        "because LCC's joins are equality-selective (fragment ids, subjects).\n";
+  ctx.table("rete_ablation", table);
 }
+
+}  // namespace psmsys::bench

@@ -8,16 +8,14 @@
 // time.
 
 #include <chrono>
-#include <iostream>
 #include <memory>
 
-#include "bench/common.hpp"
+#include "bench/harness.hpp"
 #include "rete/naive.hpp"
 #include "rete/network.hpp"
-#include "spam/phases.hpp"
 #include "spam/programs.hpp"
 
-using namespace psmsys;
+namespace psmsys::bench {
 
 namespace {
 
@@ -69,13 +67,15 @@ TraceResult replay(rete::Matcher& matcher, const NullListener& listener,
 
 }  // namespace
 
-int main() {
-  std::cout << "=== Rete vs naive match (the C-port baseline vs Lisp OPS5 analog) ===\n\n";
+PSMSYS_BENCH_CASE(rete_vs_naive, "rete",
+                  "Rete vs naive match (the C-port baseline vs Lisp OPS5 analog)") {
+  auto& os = ctx.out();
 
-  // The LCC program over the DC dataset's fragment WMEs — a realistic
-  // SPAM-sized match load.
+  // The LCC program over a dataset's fragment WMEs — a realistic SPAM-sized
+  // match load (quick mode uses the smaller SF scene).
   const spam::PhaseProgram phase = spam::build_lcc_program();
-  const auto scene = spam::generate_scene(spam::dc_config());
+  const auto config = ctx.quick() ? spam::sf_config() : spam::dc_config();
+  const auto scene = spam::generate_scene(config);
   const auto best = spam::best_fragments(spam::run_rtf(scene, 3).fragments);
 
   // Build fragment WMEs by hand (no engine: we drive matchers directly).
@@ -126,18 +126,21 @@ int main() {
                  util::Table::fmt(rete.wall_ms, 2), util::Table::fmt(rete.final_matches, 0)});
   table.add_row({"naive (full recompute)", util::Table::fmt(nv.match_cost),
                  util::Table::fmt(nv.wall_ms, 2), util::Table::fmt(nv.final_matches, 0)});
-  table.print(std::cout, "Same WM trace (" + std::to_string(wmes.size()) +
-                             " fragment WMEs, add + churn) through both matchers");
+  table.print(os, "Same WM trace (" + std::to_string(wmes.size()) +
+                      " fragment WMEs, add + churn) through both matchers");
+  ctx.table("rete_vs_naive", table);
 
   if (rete.final_matches != nv.final_matches) {
-    std::cout << "\nERROR: matchers disagree on the final match set!\n";
-    return 1;
+    ctx.fail("matchers disagree on the final match set");
+    return;
   }
-  std::cout << "\nmodel-cost ratio: "
-            << util::Table::fmt(double(nv.match_cost) / double(rete.match_cost), 1)
-            << "x   wall-time ratio: " << util::Table::fmt(nv.wall_ms / rete.wall_ms, 1)
-            << "x\npaper: the ParaOPS5/C port gave ~10-20x over Lisp OPS5 (which also\n"
-               "included Lisp->C gains; the match-algorithm share is reproduced here).\n";
-  bench::emit_csv(std::cout, "rete_vs_naive", table);
-  return 0;
+  const double cost_ratio = double(nv.match_cost) / double(rete.match_cost);
+  ctx.metric("model_cost_ratio", cost_ratio);
+  ctx.metric("wall_time_ratio", nv.wall_ms / rete.wall_ms);
+  os << "\nmodel-cost ratio: " << util::Table::fmt(cost_ratio, 1)
+     << "x   wall-time ratio: " << util::Table::fmt(nv.wall_ms / rete.wall_ms, 1)
+     << "x\npaper: the ParaOPS5/C port gave ~10-20x over Lisp OPS5 (which also\n"
+        "included Lisp->C gains; the match-algorithm share is reproduced here).\n";
 }
+
+}  // namespace psmsys::bench

@@ -10,21 +10,20 @@
 // the end) against largest-first ordering at each level, reporting speedup
 // and utilization at 14 task processes.
 
-#include <iostream>
+#include "bench/harness.hpp"
 
-#include "bench/common.hpp"
+namespace psmsys::bench {
 
-using namespace psmsys;
-
-int main() {
-  std::cout << "=== Scheduling ablation: FIFO vs largest-first (14 processes) ===\n\n";
+PSMSYS_BENCH_CASE(scheduling_ablation, "scheduling",
+                  "Scheduling ablation: FIFO vs largest-first (14 processes)") {
+  auto& os = ctx.out();
 
   util::Table table({"dataset", "level", "fifo speedup", "lpt speedup", "fifo util",
                      "lpt util", "gain"});
 
-  for (const auto& config : spam::all_datasets()) {
+  for (const auto& config : ctx.datasets()) {
     for (const int level : {3, 2}) {
-      const auto measured = bench::measure_lcc(config, level);
+      const auto& measured = ctx.lcc(config, level);
       const auto costs = psm::task_costs(measured.tasks);
 
       psm::TlpConfig base_cfg;
@@ -45,14 +44,18 @@ int main() {
                      util::Table::fmt(s_lpt, 2), util::Table::fmt(r_fifo.utilization(), 3),
                      util::Table::fmt(r_lpt.utilization(), 3),
                      util::Table::fmt(100.0 * (s_lpt - s_fifo) / s_fifo, 1) + "%"});
+      const std::string key = config.name + "_L" + std::to_string(level);
+      ctx.metric(key + "_fifo_speedup", s_fifo);
+      ctx.metric(key + "_lpt_speedup", s_lpt);
     }
   }
 
-  table.print(std::cout, "Tail-end effect: FIFO (giants last) vs big-tasks-first");
-  std::cout << "\npaper's prediction: scheduling large tasks first \"would result in\n"
-               "better processor utilization and thus better speed-up curves in both\n"
-               "levels\" — the gain column confirms it, more so at Level 3 where the\n"
-               "relative disparity of the outliers is larger.\n";
-  bench::emit_csv(std::cout, "scheduling_ablation", table);
-  return 0;
+  table.print(os, "Tail-end effect: FIFO (giants last) vs big-tasks-first");
+  os << "\npaper's prediction: scheduling large tasks first \"would result in\n"
+        "better processor utilization and thus better speed-up curves in both\n"
+        "levels\" — the gain column confirms it, more so at Level 3 where the\n"
+        "relative disparity of the outliers is larger.\n";
+  ctx.table("scheduling_ablation", table);
 }
+
+}  // namespace psmsys::bench

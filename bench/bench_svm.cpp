@@ -7,17 +7,15 @@
 // shift "equivalent to the loss of about 1.5 processors"; real speedups
 // continue to 22 processes.
 
-#include <iostream>
-
-#include "bench/common.hpp"
+#include "bench/harness.hpp"
 #include "svm/svm.hpp"
 
-using namespace psmsys;
+namespace psmsys::bench {
 
-int main() {
-  std::cout << "=== Figure 9: shared virtual memory across two Encores ===\n\n";
+PSMSYS_BENCH_CASE(svm_figure9, "svm", "Figure 9: shared virtual memory across two Encores") {
+  auto& os = ctx.out();
 
-  const auto measured = bench::measure_lcc(spam::sf_config(), 3);
+  const auto& measured = ctx.lcc(spam::sf_config(), 3);
   const auto costs = psm::task_costs(measured.tasks);
 
   psm::TlpConfig one;
@@ -29,8 +27,12 @@ int main() {
                      "fault cost (s)"});
   std::vector<std::pair<std::size_t, double>> tlp_curve;
   std::vector<std::pair<std::size_t, double>> svm_curve;
+  std::vector<SpeedupPoint> tlp_points;
+  std::vector<SpeedupPoint> svm_points;
 
-  for (std::size_t p = 1; p <= 22; ++p) {
+  std::vector<std::size_t> sweep;
+  for (std::size_t p = 1; p <= 22; ++p) sweep.push_back(p);
+  for (const std::size_t p : ctx.trim(std::move(sweep))) {
     psm::TlpConfig cfg;
     cfg.task_processes = p;
     const double tlp = psm::speedup(baseline, psm::simulate_tlp(costs, cfg).makespan);
@@ -42,18 +44,21 @@ int main() {
                    util::Table::fmt(tlp, 2), util::Table::fmt(svs, 2),
                    util::Table::fmt(sv.remote_faults),
                    util::Table::fmt(util::to_seconds(sv.remote_fault_cost), 1)});
+    tlp_points.push_back({p, tlp});
+    svm_points.push_back({p, svs});
     if (p % 2 == 0 || p == 1 || p == 13) {
       tlp_curve.emplace_back(p, tlp);
       svm_curve.emplace_back(p, svs);
     }
   }
 
-  bench::plot_curve(std::cout, "Pure TLP (no network)", tlp_curve, 20.0);
-  std::cout << '\n';
-  bench::plot_curve(std::cout, "Shared virtual memory (2nd Encore beyond 13)", svm_curve,
-                    20.0);
-  std::cout << '\n';
-  table.print(std::cout, "Speed-ups with the virtual shared memory server (SF, Level 3)");
+  plot_curve(os, "Pure TLP (no network)", tlp_curve, 20.0);
+  os << '\n';
+  plot_curve(os, "Shared virtual memory (2nd Encore beyond 13)", svm_curve, 20.0);
+  os << '\n';
+  table.print(os, "Speed-ups with the virtual shared memory server (SF, Level 3)");
+  ctx.speedup_series("pure_tlp", std::move(tlp_points));
+  ctx.speedup_series("svm", std::move(svm_points));
 
   // Quantify the translational effect at 22 processes.
   psm::TlpConfig c22;
@@ -62,9 +67,12 @@ int main() {
   const double svm22 =
       psm::speedup(baseline, svm::simulate_svm(measured.tasks, 22, config).makespan);
   const double lost = (tlp22 - svm22) * 22.0 / tlp22;
-  std::cout << "\ntranslational effect at 22 processes: " << util::Table::fmt(svm22, 2)
-            << " vs " << util::Table::fmt(tlp22, 2) << " pure TLP (~"
-            << util::Table::fmt(lost, 1) << " processors lost; paper: ~1.5)\n";
-  bench::emit_csv(std::cout, "figure9", table);
-  return 0;
+  ctx.metric("processors_lost_at_22", lost);
+  os << "\ntranslational effect at 22 processes: " << util::Table::fmt(svm22, 2) << " vs "
+     << util::Table::fmt(tlp22, 2) << " pure TLP (~" << util::Table::fmt(lost, 1)
+     << " processors lost; paper: ~1.5)\n";
+  ctx.table("figure9", table);
+  ctx.note("paper: first remote process costs ~1.5 processors (translational shift)");
 }
+
+}  // namespace psmsys::bench

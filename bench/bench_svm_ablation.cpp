@@ -9,17 +9,16 @@
 //     only small, 64-byte segments of the page that has been modified."
 //     We compare full-page vs diff protocols.
 
-#include <iostream>
-
-#include "bench/common.hpp"
+#include "bench/harness.hpp"
 #include "svm/svm.hpp"
 
-using namespace psmsys;
+namespace psmsys::bench {
 
-int main() {
-  std::cout << "=== SVM ablation: false contention and diff shipping (22 procs) ===\n\n";
+PSMSYS_BENCH_CASE(svm_ablation, "svm",
+                  "SVM ablation: false contention and diff shipping (22 procs)") {
+  auto& os = ctx.out();
 
-  const auto measured = bench::measure_lcc(spam::sf_config(), 3);
+  const auto& measured = ctx.lcc(spam::sf_config(), 3);
   const auto costs = psm::task_costs(measured.tasks);
   psm::TlpConfig one;
   one.task_processes = 1;
@@ -45,12 +44,14 @@ int main() {
     }
   }
 
-  table.print(std::cout, "SF Level 3, 13 local + 9 remote processes; pure TLP at 22 = " +
-                             util::Table::fmt(tlp22, 2) + "x");
-  std::cout << "\npaper: naive data placement (high false contention, full pages) halted\n"
-               "the system; per-node data layout + diff shipping made \"real speed-ups\"\n"
-               "possible. The factor-80/full-pages row is the halt; factor-1/diffs is\n"
-               "the published Figure 9 configuration.\n";
-  bench::emit_csv(std::cout, "svm_ablation", table);
-  return 0;
+  table.print(os, "SF Level 3, 13 local + 9 remote processes; pure TLP at 22 = " +
+                      util::Table::fmt(tlp22, 2) + "x");
+  ctx.metric("pure_tlp_at_22", tlp22);
+  os << "\npaper: naive data placement (high false contention, full pages) halted\n"
+        "the system; per-node data layout + diff shipping made \"real speed-ups\"\n"
+        "possible. The factor-80/full-pages row is the halt; factor-1/diffs is\n"
+        "the published Figure 9 configuration.\n";
+  ctx.table("svm_ablation", table);
 }
+
+}  // namespace psmsys::bench

@@ -1,0 +1,184 @@
+#pragma once
+
+// The benchmark harness: every reproduced table/figure from the paper is a
+// named *case* registered into one `harness` binary. Running a suite prints
+// the same narrative tables the old per-bench mains did AND emits a
+// schema-versioned BENCH_<suite>.json (see src/obs/bench_schema.hpp) with
+// the machine-readable rows, speedup curves, counters and environment
+// fingerprint. `--quick` trims datasets/sweeps for CI.
+//
+// Registering a case:
+//
+//   PSMSYS_BENCH_CASE(lcc_tlp, "lcc", "Figure 6: LCC task-level parallelism") {
+//     const auto& measured = ctx.lcc(spam::sf_config(), 3);
+//     ctx.speedup_series("SF_L3", {{1, 1.0}, {2, 1.99}, ...});
+//     ctx.table("figure6", table);
+//   }
+//
+// The shared measurement cache (`ctx.lcc` / `ctx.rtf`) memoizes the
+// expensive dataset runs so cases in one invocation never re-measure.
+
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "psm/sim.hpp"
+#include "spam/decomposition.hpp"
+#include "spam/phases.hpp"
+#include "spam/scene_generator.hpp"
+#include "util/table.hpp"
+#include "util/work_units.hpp"
+
+namespace psmsys::bench {
+
+// ---------------------------------------------------------------------------
+// Measurement helpers (hoisted from the old bench/common.hpp)
+// ---------------------------------------------------------------------------
+
+/// A fully measured LCC (or RTF) decomposition for one dataset + level.
+struct MeasuredLcc {
+  spam::DatasetConfig config;
+  std::shared_ptr<spam::Scene> scene;
+  std::vector<spam::Fragment> best;
+  int level = 3;
+  bool has_cycle_records = false;
+  std::vector<psm::TaskMeasurement> tasks;
+
+  [[nodiscard]] util::WorkUnits total_cost() const {
+    util::WorkUnits t = 0;
+    for (const auto& m : tasks) t += m.cost();
+    return t;
+  }
+};
+
+/// Run RTF, decompose LCC at `level`, execute every task on the baseline
+/// (single task process) and return the measurements.
+[[nodiscard]] MeasuredLcc measure_lcc(const spam::DatasetConfig& config, int level,
+                                      bool record_cycles = false);
+
+/// Same for the RTF decomposition.
+[[nodiscard]] MeasuredLcc measure_rtf(const spam::DatasetConfig& config,
+                                      bool record_cycles = false);
+
+/// TLP speedup at `procs` from measured task costs.
+[[nodiscard]] double tlp_speedup(const std::vector<util::WorkUnits>& costs, std::size_t procs,
+                                 psm::SchedulePolicy policy = psm::SchedulePolicy::Fifo);
+
+/// ASCII rendering of a speedup curve (x = processes, y = speedup).
+void plot_curve(std::ostream& os, const std::string& title,
+                const std::vector<std::pair<std::size_t, double>>& points, double y_max = 0.0);
+
+/// CSV trailer, so every case's data can be scraped mechanically.
+void emit_csv(std::ostream& os, const std::string& name, const util::Table& table);
+
+// ---------------------------------------------------------------------------
+// Case registry
+// ---------------------------------------------------------------------------
+
+/// One (procs, speedup) point of a speedup curve; serialized per schema v1.
+struct SpeedupPoint {
+  std::size_t procs = 1;
+  double speedup = 1.0;
+};
+
+/// Memoizes the expensive per-dataset measurements across cases. A cached
+/// entry measured with cycle records satisfies requests without them (the
+/// records only add data; costs and counters are identical).
+class MeasureCache {
+ public:
+  const MeasuredLcc& lcc(const spam::DatasetConfig& config, int level, bool record_cycles);
+  const MeasuredLcc& rtf(const spam::DatasetConfig& config, bool record_cycles);
+
+ private:
+  std::map<std::string, MeasuredLcc> lcc_;
+  std::map<std::string, MeasuredLcc> rtf_;
+};
+
+/// What a case produced; assembled into the suite's BENCH_<suite>.json.
+struct CaseResult {
+  std::string id;
+  std::string suite;
+  std::string title;
+  obs::json::Object metrics;            // name -> number
+  std::vector<obs::json::Value> speedups;
+  std::vector<obs::json::Value> tables;
+  std::vector<std::string> notes;
+  bool failed = false;
+  std::int64_t wall_ns = 0;
+  std::int64_t cpu_ns = 0;
+};
+
+/// Handed to each case body: narrative output, quick-mode knobs, the shared
+/// measurement cache, and the JSON accumulators.
+class CaseContext {
+ public:
+  CaseContext(CaseResult& result, MeasureCache& cache, std::ostream& out, bool quick)
+      : result_(result), cache_(cache), out_(out), quick_(quick) {}
+
+  /// True under `--quick`: cases should trim datasets and sweep sizes.
+  [[nodiscard]] bool quick() const noexcept { return quick_; }
+
+  /// Narrative stream (the old printf output); /dev/null under `--quiet`.
+  [[nodiscard]] std::ostream& out() noexcept { return out_; }
+
+  /// Datasets to sweep: all three airports, or SF only under `--quick`.
+  [[nodiscard]] std::vector<spam::DatasetConfig> datasets() const;
+
+  /// Trim a processor sweep under `--quick` (keeps first/last and powers of
+  /// two so curves stay recognizable).
+  [[nodiscard]] std::vector<std::size_t> trim(std::vector<std::size_t> procs) const;
+
+  /// Memoized measurements shared by every case in this invocation.
+  [[nodiscard]] const MeasuredLcc& lcc(const spam::DatasetConfig& config, int level,
+                                       bool record_cycles = false) {
+    return cache_.lcc(config, level, record_cycles);
+  }
+  [[nodiscard]] const MeasuredLcc& rtf(const spam::DatasetConfig& config,
+                                       bool record_cycles = false) {
+    return cache_.rtf(config, record_cycles);
+  }
+
+  /// Record a scalar metric on this case's JSON entry.
+  void metric(const std::string& name, double value);
+  /// Record every RunMetrics field (flat, `prefix` + field name).
+  void metrics(const obs::RunMetrics& m, const std::string& prefix = {});
+  /// Record a named speedup curve (schema: speedups[].points[]).
+  void speedup_series(const std::string& name, std::vector<SpeedupPoint> points);
+  /// Record a table (schema: tables[].columns/rows) and print its CSV block.
+  void table(const std::string& name, const util::Table& t);
+  /// Attach a free-form note to the JSON entry.
+  void note(std::string text);
+  /// Mark the case failed (harness exits nonzero); recorded as a note too.
+  void fail(std::string reason);
+
+ private:
+  CaseResult& result_;
+  MeasureCache& cache_;
+  std::ostream& out_;
+  bool quick_;
+};
+
+using CaseFn = void (*)(CaseContext&);
+
+/// Called by PSMSYS_BENCH_CASE at static-init time; the registry itself is a
+/// function-local static, so registration order never races construction.
+bool register_case(const char* id, const char* suite, const char* title, CaseFn fn);
+
+/// CLI entry point (see --help). Returns the process exit code.
+int run_harness(int argc, char** argv);
+
+}  // namespace psmsys::bench
+
+/// Defines and registers a bench case. Usage:
+///   PSMSYS_BENCH_CASE(case_id, "suite", "Human title") { ... use ctx ... }
+#define PSMSYS_BENCH_CASE(id, suite, title)                                          \
+  static void psmsys_bench_case_##id(::psmsys::bench::CaseContext& ctx);             \
+  static const bool psmsys_bench_registered_##id =                                   \
+      ::psmsys::bench::register_case(#id, suite, title, &psmsys_bench_case_##id);    \
+  static void psmsys_bench_case_##id([[maybe_unused]] ::psmsys::bench::CaseContext& ctx)

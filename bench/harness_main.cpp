@@ -1,0 +1,3 @@
+#include "bench/harness.hpp"
+
+int main(int argc, char** argv) { return psmsys::bench::run_harness(argc, argv); }

@@ -7,8 +7,7 @@
 #include <iostream>
 #include <mutex>
 
-#include "psm/sim.hpp"
-#include "psm/threaded.hpp"
+#include "psm/run.hpp"
 #include "spam/decomposition.hpp"
 #include "spam/scene_generator.hpp"
 #include "util/table.hpp"
@@ -44,12 +43,15 @@ int main() {
               << " results\n";
     merged.insert(merged.end(), records.begin(), records.end());
   };
-  const auto threaded =
-      psm::run_threaded(decomposition.factory, decomposition.tasks, 4, collect);
+  psm::RunOptions options;
+  options.task_processes = 4;
+  options.strict = true;  // any worker error should abort this example
+  options.collect = collect;
+  const auto threaded = psm::run(decomposition.factory, decomposition.tasks, options);
   std::sort(merged.begin(), merged.end());
 
-  std::cout << "4 task processes, " << threaded.measurements.size() << " tasks in "
-            << std::chrono::duration<double, std::milli>(threaded.wall).count()
+  std::cout << "4 task processes, " << threaded.measurements().size() << " tasks in "
+            << std::chrono::duration<double, std::milli>(threaded.elapsed).count()
             << " ms host time; results "
             << (merged == baseline_records ? "IDENTICAL to baseline" : "DIVERGED (bug!)")
             << "\n";
@@ -58,15 +60,16 @@ int main() {
             << "results\n\n";
 
   // --- Encore-scale speedup projection from the measured task costs ---
+  // simulate_tlp shares RunOptions with the real run: one object configures
+  // both the measured execution and its virtual-time replay.
   const auto costs = psm::task_costs(baseline);
-  psm::TlpConfig one;
-  one.task_processes = 1;
-  const auto base_makespan = psm::simulate_tlp(costs, one).makespan;
+  psm::RunOptions sim;
+  sim.task_processes = 1;
+  const auto base_makespan = psm::simulate_tlp(costs, sim).makespan;
   util::Table curve({"task processes", "speedup", "utilization"});
   for (const std::size_t p : {1u, 2u, 4u, 8u, 14u}) {
-    psm::TlpConfig cfg;
-    cfg.task_processes = p;
-    const auto r = psm::simulate_tlp(costs, cfg);
+    sim.task_processes = p;
+    const auto r = psm::simulate_tlp(costs, sim);
     curve.add_row({util::Table::fmt(p), util::Table::fmt(psm::speedup(base_makespan, r.makespan), 2),
                    util::Table::fmt(r.utilization(), 2)});
   }

@@ -1,0 +1,209 @@
+#include "obs/bench_schema.hpp"
+
+#include <cmath>
+
+namespace psmsys::obs {
+
+namespace {
+
+class Checker {
+ public:
+  explicit Checker(std::vector<std::string>& out) : out_(out) {}
+
+  void fail(const std::string& where, const std::string& why) {
+    out_.push_back(where + ": " + why);
+  }
+
+  const json::Value* require(const json::Value& obj, const std::string& where,
+                             const char* key, json::Type type) {
+    const json::Value* v = obj.find(key);
+    if (!v) {
+      fail(where, std::string("missing required key \"") + key + "\"");
+      return nullptr;
+    }
+    if (v->type() != type) {
+      fail(where + "." + key, "wrong type");
+      return nullptr;
+    }
+    return v;
+  }
+
+  /// Optional key: absent is fine, wrong type is a violation.
+  const json::Value* optional(const json::Value& obj, const std::string& where,
+                              const char* key, json::Type type) {
+    const json::Value* v = obj.find(key);
+    if (!v) return nullptr;
+    if (v->type() != type) {
+      fail(where + "." + key, "wrong type");
+      return nullptr;
+    }
+    return v;
+  }
+
+  bool check_int(const json::Value& v, const std::string& where, double min) {
+    if (!v.is_number() || v.as_number() != std::floor(v.as_number())) {
+      fail(where, "expected integer");
+      return false;
+    }
+    if (v.as_number() < min) {
+      fail(where, "below minimum " + std::to_string(static_cast<long>(min)));
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<std::string>& out_;
+};
+
+void check_env(Checker& c, const json::Value& env) {
+  const std::string w = "env";
+  c.require(env, w, "compiler", json::Type::String);
+  c.require(env, w, "build_type", json::Type::String);
+  c.require(env, w, "os", json::Type::String);
+  c.require(env, w, "arch", json::Type::String);
+  if (const auto* ht = c.require(env, w, "hardware_threads",
+                                 json::Type::Number)) {
+    c.check_int(*ht, w + ".hardware_threads", 1);
+  }
+  c.require(env, w, "obs_enabled", json::Type::Bool);
+}
+
+void check_speedups(Checker& c, const json::Value& speedups,
+                    const std::string& where) {
+  std::size_t i = 0;
+  for (const json::Value& s : speedups.as_array()) {
+    const std::string w = where + "[" + std::to_string(i++) + "]";
+    if (!s.is_object()) {
+      c.fail(w, "expected object");
+      continue;
+    }
+    c.require(s, w, "name", json::Type::String);
+    const json::Value* points = c.require(s, w, "points", json::Type::Array);
+    if (!points) continue;
+    if (points->as_array().empty()) {
+      c.fail(w + ".points", "speedup series must not be empty");
+    }
+    std::size_t j = 0;
+    for (const json::Value& p : points->as_array()) {
+      const std::string pw = w + ".points[" + std::to_string(j++) + "]";
+      if (!p.is_object()) {
+        c.fail(pw, "expected object");
+        continue;
+      }
+      if (const auto* procs = c.require(p, pw, "procs", json::Type::Number)) {
+        c.check_int(*procs, pw + ".procs", 1);
+      }
+      if (const auto* sp = c.require(p, pw, "speedup", json::Type::Number)) {
+        if (sp->as_number() <= 0) c.fail(pw + ".speedup", "must be positive");
+      }
+    }
+  }
+}
+
+void check_tables(Checker& c, const json::Value& tables,
+                  const std::string& where) {
+  std::size_t i = 0;
+  for (const json::Value& t : tables.as_array()) {
+    const std::string w = where + "[" + std::to_string(i++) + "]";
+    if (!t.is_object()) {
+      c.fail(w, "expected object");
+      continue;
+    }
+    c.require(t, w, "name", json::Type::String);
+    const json::Value* cols = c.require(t, w, "columns", json::Type::Array);
+    const json::Value* rows = c.require(t, w, "rows", json::Type::Array);
+    std::size_t width = 0;
+    if (cols) {
+      width = cols->as_array().size();
+      for (const json::Value& col : cols->as_array()) {
+        if (!col.is_string()) c.fail(w + ".columns", "entries must be strings");
+      }
+    }
+    if (rows) {
+      std::size_t j = 0;
+      for (const json::Value& row : rows->as_array()) {
+        const std::string rw = w + ".rows[" + std::to_string(j++) + "]";
+        if (!row.is_array()) {
+          c.fail(rw, "expected array");
+          continue;
+        }
+        if (cols && row.as_array().size() != width) {
+          c.fail(rw, "row width does not match columns");
+        }
+        for (const json::Value& cell : row.as_array()) {
+          if (!cell.is_string()) c.fail(rw, "cells must be strings");
+        }
+      }
+    }
+  }
+}
+
+void check_case(Checker& c, const json::Value& cs, const std::string& w) {
+  c.require(cs, w, "name", json::Type::String);
+  if (const auto* wall = c.require(cs, w, "wall_ns", json::Type::Number)) {
+    if (wall->as_number() < 0) c.fail(w + ".wall_ns", "must be >= 0");
+  }
+  if (const auto* cpu = c.require(cs, w, "cpu_ns", json::Type::Number)) {
+    if (cpu->as_number() < 0) c.fail(w + ".cpu_ns", "must be >= 0");
+  }
+  if (const auto* metrics = c.optional(cs, w, "metrics", json::Type::Object)) {
+    for (const auto& [k, v] : metrics->as_object()) {
+      if (!v.is_number()) {
+        c.fail(w + ".metrics." + k, "metric values must be numbers");
+      }
+    }
+  }
+  if (const auto* speedups = c.optional(cs, w, "speedups", json::Type::Array)) {
+    check_speedups(c, *speedups, w + ".speedups");
+  }
+  if (const auto* tables = c.optional(cs, w, "tables", json::Type::Array)) {
+    check_tables(c, *tables, w + ".tables");
+  }
+  if (const auto* notes = c.optional(cs, w, "notes", json::Type::Array)) {
+    for (const json::Value& n : notes->as_array()) {
+      if (!n.is_string()) c.fail(w + ".notes", "entries must be strings");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> validate_bench_json(const json::Value& doc) {
+  std::vector<std::string> violations;
+  Checker c(violations);
+  if (!doc.is_object()) {
+    c.fail("$", "top-level value must be an object");
+    return violations;
+  }
+  if (const auto* ver = c.require(doc, "$", "schema_version",
+                                  json::Type::Number)) {
+    if (ver->as_number() != kBenchSchemaVersion) {
+      c.fail("$.schema_version",
+             "unsupported version (expected " +
+                 std::to_string(kBenchSchemaVersion) + ")");
+    }
+  }
+  c.require(doc, "$", "suite", json::Type::String);
+  c.require(doc, "$", "quick", json::Type::Bool);
+  if (const auto* env = c.require(doc, "$", "env", json::Type::Object)) {
+    check_env(c, *env);
+  }
+  if (const auto* cases = c.require(doc, "$", "cases", json::Type::Array)) {
+    if (cases->as_array().empty()) {
+      c.fail("$.cases", "must contain at least one case");
+    }
+    std::size_t i = 0;
+    for (const json::Value& cs : cases->as_array()) {
+      const std::string w = "$.cases[" + std::to_string(i++) + "]";
+      if (!cs.is_object()) {
+        c.fail(w, "expected object");
+        continue;
+      }
+      check_case(c, cs, w);
+    }
+  }
+  return violations;
+}
+
+}  // namespace psmsys::obs

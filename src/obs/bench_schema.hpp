@@ -1,0 +1,52 @@
+#pragma once
+
+// Schema for the BENCH_<suite>.json documents the bench harness emits
+// (documented prose version: DESIGN.md §11.4).
+//
+// Version 1 layout:
+//
+//   {
+//     "schema_version": 1,
+//     "suite": "<suite name>",
+//     "quick": true|false,
+//     "env": {
+//       "compiler": str, "build_type": str, "os": str, "arch": str,
+//       "hardware_threads": int >= 1, "obs_enabled": bool
+//     },
+//     "cases": [
+//       {
+//         "name": str,
+//         "wall_ns": number >= 0,
+//         "cpu_ns": number >= 0,
+//         "metrics": { str: number, ... },          // optional
+//         "speedups": [                              // optional
+//           { "name": str,
+//             "points": [ {"procs": int >= 1, "speedup": number > 0}, ... ] }
+//         ],
+//         "tables": [                                // optional
+//           { "name": str, "columns": [str...],
+//             "rows": [[str...], ...] }              // row width == columns
+//         ],
+//         "notes": [str...]                          // optional
+//       }, ...
+//     ]
+//   }
+//
+// The validator is deliberately strict about the fields above and silent
+// about unknown extra keys, so documents can grow forward-compatibly.
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace psmsys::obs {
+
+inline constexpr int kBenchSchemaVersion = 1;
+
+/// Validate a parsed BENCH document. Returns a list of human-readable
+/// violations; empty means the document conforms.
+[[nodiscard]] std::vector<std::string> validate_bench_json(
+    const json::Value& doc);
+
+}  // namespace psmsys::obs

@@ -1,0 +1,443 @@
+#include "obs/json.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace psmsys::obs::json {
+
+const Value* Value::find(std::string_view key) const {
+  if (type_ != Type::Object) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Value::set(std::string_view key, Value v) {
+  if (type_ != Type::Object) {
+    *this = Value(Object{});
+  }
+  for (auto& [k, existing] : obj_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  obj_.emplace_back(std::string(key), std::move(v));
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void append_number(std::string& out, double d) {
+  if (!std::isfinite(d)) {
+    // JSON has no Inf/NaN; null is the conventional stand-in.
+    out += "null";
+    return;
+  }
+  // Integers (the common case for counters) print without a fraction.
+  if (d == std::floor(d) && std::fabs(d) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", d);
+    out += buf;
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  // Trim to the shortest representation that round-trips.
+  for (int prec = 1; prec < 17; ++prec) {
+    char probe[32];
+    std::snprintf(probe, sizeof probe, "%.*g", prec, d);
+    double back = 0;
+    std::sscanf(probe, "%lf", &back);
+    if (back == d) {
+      std::memcpy(buf, probe, sizeof probe);
+      break;
+    }
+  }
+  out += buf;
+}
+
+void indent_to(std::string& out, int indent, int depth) {
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Value::dump_to(std::string& out, int indent, int depth) const {
+  switch (type_) {
+    case Type::Null: out += "null"; break;
+    case Type::Bool: out += bool_ ? "true" : "false"; break;
+    case Type::Number: append_number(out, num_); break;
+    case Type::String:
+      out += '"';
+      out += escape(str_);
+      out += '"';
+      break;
+    case Type::Array: {
+      if (arr_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      bool first = true;
+      for (const Value& v : arr_) {
+        if (!first) out += ',';
+        first = false;
+        if (indent) indent_to(out, indent, depth + 1);
+        v.dump_to(out, indent, depth + 1);
+      }
+      if (indent) indent_to(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case Type::Object: {
+      if (obj_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) out += ',';
+        first = false;
+        if (indent) indent_to(out, indent, depth + 1);
+        out += '"';
+        out += escape(k);
+        out += "\":";
+        if (indent) out += ' ';
+        v.dump_to(out, indent, depth + 1);
+      }
+      if (indent) indent_to(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* err) : text_(text), err_(err) {}
+
+  std::optional<Value> run() {
+    skip_ws();
+    auto v = parse_value();
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after JSON value");
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  void fail(const char* why) {
+    if (err_ && err_->empty()) {
+      *err_ = std::string(why) + " at byte " + std::to_string(pos_);
+    }
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!eof()) {
+      char c = peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  std::optional<Value> parse_value() {
+    if (++depth_ > kMaxDepth) {
+      fail("nesting too deep");
+      return std::nullopt;
+    }
+    struct DepthGuard {
+      int& d;
+      ~DepthGuard() { --d; }
+    } guard{depth_};
+    if (eof()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    switch (peek()) {
+      case 'n':
+        if (consume_literal("null")) return Value(nullptr);
+        fail("invalid literal");
+        return std::nullopt;
+      case 't':
+        if (consume_literal("true")) return Value(true);
+        fail("invalid literal");
+        return std::nullopt;
+      case 'f':
+        if (consume_literal("false")) return Value(false);
+        fail("invalid literal");
+        return std::nullopt;
+      case '"': return parse_string_value();
+      case '[': return parse_array();
+      case '{': return parse_object();
+      default: return parse_number();
+    }
+  }
+
+  std::optional<std::string> parse_string() {
+    if (eof() || peek() != '"') {
+      fail("expected string");
+      return std::nullopt;
+    }
+    ++pos_;
+    std::string out;
+    while (true) {
+      if (eof()) {
+        fail("unterminated string");
+        return std::nullopt;
+      }
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (eof()) {
+          fail("unterminated escape");
+          return std::nullopt;
+        }
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            auto cp = parse_hex4();
+            if (!cp) return std::nullopt;
+            unsigned code = *cp;
+            // Surrogate pair handling.
+            if (code >= 0xD800 && code <= 0xDBFF &&
+                text_.substr(pos_, 2) == "\\u") {
+              pos_ += 2;
+              auto lo = parse_hex4();
+              if (!lo) return std::nullopt;
+              if (*lo >= 0xDC00 && *lo <= 0xDFFF) {
+                code = 0x10000 + ((code - 0xD800) << 10) + (*lo - 0xDC00);
+              } else {
+                fail("invalid low surrogate");
+                return std::nullopt;
+              }
+            }
+            append_utf8(out, code);
+            break;
+          }
+          default:
+            fail("invalid escape character");
+            return std::nullopt;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+        return std::nullopt;
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  std::optional<unsigned> parse_hex4() {
+    if (pos_ + 4 > text_.size()) {
+      fail("truncated \\u escape");
+      return std::nullopt;
+    }
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v += static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v += static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v += static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("invalid hex digit in \\u escape");
+        return std::nullopt;
+      }
+    }
+    return v;
+  }
+
+  static void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  std::optional<Value> parse_string_value() {
+    auto s = parse_string();
+    if (!s) return std::nullopt;
+    return Value(std::move(*s));
+  }
+
+  std::optional<Value> parse_number() {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (pos_ == start) {
+      fail("expected value");
+      return std::nullopt;
+    }
+    std::string num(text_.substr(start, pos_ - start));
+    double d = 0;
+    if (std::sscanf(num.c_str(), "%lf", &d) != 1) {
+      fail("malformed number");
+      return std::nullopt;
+    }
+    return Value(d);
+  }
+
+  std::optional<Value> parse_array() {
+    ++pos_;  // '['
+    Array arr;
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return Value(std::move(arr));
+    }
+    while (true) {
+      skip_ws();
+      auto v = parse_value();
+      if (!v) return std::nullopt;
+      arr.push_back(std::move(*v));
+      skip_ws();
+      if (eof()) {
+        fail("unterminated array");
+        return std::nullopt;
+      }
+      char c = text_[pos_++];
+      if (c == ']') return Value(std::move(arr));
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<Value> parse_object() {
+    ++pos_;  // '{'
+    Object obj;
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return Value(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (eof() || text_[pos_++] != ':') {
+        fail("expected ':' in object");
+        return std::nullopt;
+      }
+      skip_ws();
+      auto v = parse_value();
+      if (!v) return std::nullopt;
+      obj.emplace_back(std::move(*key), std::move(*v));
+      skip_ws();
+      if (eof()) {
+        fail("unterminated object");
+        return std::nullopt;
+      }
+      char c = text_[pos_++];
+      if (c == '}') return Value(std::move(obj));
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+        return std::nullopt;
+      }
+    }
+  }
+
+  static constexpr int kMaxDepth = 256;
+
+  std::string_view text_;
+  std::string* err_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::optional<Value> parse(std::string_view text, std::string* err) {
+  if (err) err->clear();
+  return Parser(text, err).run();
+}
+
+}  // namespace psmsys::obs::json

@@ -1,0 +1,95 @@
+#pragma once
+
+// Minimal JSON value model for the observability layer.
+//
+// The repo deliberately carries no third-party JSON dependency, so the trace
+// exporter, the bench harness, and the schema validator share this one small
+// implementation. Objects preserve insertion order so emitted documents diff
+// cleanly across runs; numbers are stored as double (sufficient for work-unit
+// counters well below 2^53).
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace psmsys::obs::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+/// Insertion-ordered object; lookups are linear, which is fine at the sizes
+/// BENCH documents and traces reach (tens of keys).
+using Object = std::vector<std::pair<std::string, Value>>;
+
+enum class Type { Null, Bool, Number, String, Array, Object };
+
+class Value {
+ public:
+  Value() : type_(Type::Null) {}
+  Value(std::nullptr_t) : type_(Type::Null) {}
+  Value(bool b) : type_(Type::Bool), bool_(b) {}
+  Value(double d) : type_(Type::Number), num_(d) {}
+  Value(int i) : type_(Type::Number), num_(i) {}
+  Value(unsigned u) : type_(Type::Number), num_(u) {}
+  Value(long l) : type_(Type::Number), num_(static_cast<double>(l)) {}
+  Value(unsigned long ul) : type_(Type::Number), num_(static_cast<double>(ul)) {}
+  Value(long long ll) : type_(Type::Number), num_(static_cast<double>(ll)) {}
+  Value(unsigned long long ull)
+      : type_(Type::Number), num_(static_cast<double>(ull)) {}
+  Value(const char* s) : type_(Type::String), str_(s) {}
+  Value(std::string_view s) : type_(Type::String), str_(s) {}
+  Value(std::string s) : type_(Type::String), str_(std::move(s)) {}
+  Value(Array a) : type_(Type::Array), arr_(std::move(a)) {}
+  Value(Object o) : type_(Type::Object), obj_(std::move(o)) {}
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::Null; }
+  [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::Bool; }
+  [[nodiscard]] bool is_number() const noexcept { return type_ == Type::Number; }
+  [[nodiscard]] bool is_string() const noexcept { return type_ == Type::String; }
+  [[nodiscard]] bool is_array() const noexcept { return type_ == Type::Array; }
+  [[nodiscard]] bool is_object() const noexcept { return type_ == Type::Object; }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] double as_number() const { return num_; }
+  [[nodiscard]] const std::string& as_string() const { return str_; }
+  [[nodiscard]] const Array& as_array() const { return arr_; }
+  [[nodiscard]] Array& as_array() { return arr_; }
+  [[nodiscard]] const Object& as_object() const { return obj_; }
+  [[nodiscard]] Object& as_object() { return obj_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+  /// Insert-or-assign on an object value.
+  void set(std::string_view key, Value v);
+
+  /// Serialize. indent == 0 emits compact single-line JSON; indent > 0
+  /// pretty-prints with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+/// Strict-enough JSON parser (UTF-8 pass-through, \uXXXX escapes decoded,
+/// no comments, no trailing commas). Returns nullopt on malformed input and,
+/// when err is non-null, a human-readable reason with byte offset.
+[[nodiscard]] std::optional<Value> parse(std::string_view text,
+                                         std::string* err = nullptr);
+
+/// Escape a string for embedding in JSON output (no surrounding quotes).
+[[nodiscard]] std::string escape(std::string_view s);
+
+}  // namespace psmsys::obs::json

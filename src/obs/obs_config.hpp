@@ -1,0 +1,18 @@
+#pragma once
+
+// Compile-time observability switch. The build defines PSMSYS_OBS globally
+// (top-level CMakeLists, option PSMSYS_OBS); default to ON so ad-hoc
+// compiles of a single TU still build. This header is deliberately tiny so
+// the Rete and engine hot paths can test the switch without pulling in the
+// tracer (mutexes, vectors, chrono).
+
+#ifndef PSMSYS_OBS
+#define PSMSYS_OBS 1
+#endif
+
+namespace psmsys::obs {
+
+/// Usable in static_assert and `if constexpr`.
+inline constexpr bool kEnabled = PSMSYS_OBS != 0;
+
+}  // namespace psmsys::obs

@@ -1,0 +1,31 @@
+#include "obs/trace.hpp"
+
+namespace psmsys::obs {
+
+json::Value Tracer::to_json() const {
+  json::Array events;
+  {
+    std::lock_guard lock(mutex_);
+    events.reserve(events_.size());
+    for (const SpanEvent& ev : events_) {
+      json::Object e;
+      e.emplace_back("name", json::Value(ev.name));
+      e.emplace_back("cat", json::Value(ev.category));
+      e.emplace_back("ph", json::Value("X"));
+      e.emplace_back("ts", json::Value(ev.ts_us));
+      e.emplace_back("dur", json::Value(ev.dur_us));
+      e.emplace_back("pid", json::Value(ev.pid));
+      e.emplace_back("tid", json::Value(ev.tid));
+      if (!ev.args.empty()) {
+        e.emplace_back("args", json::Value(ev.args));
+      }
+      events.emplace_back(std::move(e));
+    }
+  }
+  json::Object doc;
+  doc.emplace_back("traceEvents", json::Value(std::move(events)));
+  doc.emplace_back("displayTimeUnit", json::Value("ms"));
+  return json::Value(std::move(doc));
+}
+
+}  // namespace psmsys::obs

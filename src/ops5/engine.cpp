@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace psmsys::ops5 {
 
 Engine::Engine(std::shared_ptr<const Program> program, const ExternalRegistry* externals,
@@ -115,6 +117,9 @@ std::vector<const Wme*> Engine::wmes_of_class(std::string_view class_name) const
 
 void Engine::on_activate(const Production& production, std::span<const Wme* const> wmes) {
   conflict_set_.add(production, std::vector<const Wme*>(wmes.begin(), wmes.end()));
+#if PSMSYS_OBS
+  peak_conflict_set_ = std::max(peak_conflict_set_, conflict_set_.size());
+#endif
 }
 
 void Engine::on_deactivate(const Production& production, std::span<const Wme* const> wmes) {
@@ -271,6 +276,15 @@ void Engine::fire(const Production& production, std::vector<const Wme*> matched)
 bool Engine::step() {
   if (halted_) return false;
 
+#if PSMSYS_OBS
+  // A detached tracer costs one pointer test; an attached one costs a clock
+  // read only on sampled cycles (set_sample_every).
+  const bool traced =
+      tracer_ != nullptr && tracer_->should_sample(counters_.cycles);
+  const auto span_begin =
+      traced ? obs::Tracer::Clock::now() : obs::Tracer::Clock::time_point{};
+#endif
+
   // Match: the network processed WM deltas eagerly; collect this cycle's
   // chunks (the work a parallel matcher would distribute).
   std::vector<util::WorkUnits> chunks = network_->take_chunks();
@@ -304,6 +318,26 @@ bool Engine::step() {
   const util::WorkUnits rhs_before = counters_.rhs_cost;
   fire(production, std::move(matched));
   ++counters_.cycles;
+
+#if PSMSYS_OBS
+  if (traced) {
+    util::WorkUnits match_wu = 0;
+    for (auto c : chunks) match_wu += c;
+    obs::json::Object args;
+    args.emplace_back("cycle", obs::json::Value(counters_.cycles));
+    args.emplace_back("production",
+                      obs::json::Value(program_->symbols().name(production.name())));
+    args.emplace_back("match_wu", obs::json::Value(match_wu));
+    args.emplace_back("resolve_wu", obs::json::Value(resolve_cost));
+    args.emplace_back("rhs_wu",
+                      obs::json::Value(counters_.rhs_cost - rhs_before));
+    args.emplace_back("conflict_set", obs::json::Value(conflict_set_.size()));
+    args.emplace_back("wm_size", obs::json::Value(wm_.size()));
+    tracer_->record_span("cycle", "engine", span_begin,
+                         obs::Tracer::Clock::now(), tracer_tid_,
+                         std::move(args));
+  }
+#endif
 
   if (options_.record_cycles) {
     CycleRecord rec;
@@ -398,6 +432,8 @@ void Engine::reset() {
   halted_ = false;
   undo_active_ = false;
   undo_log_.clear();
+  peak_conflict_set_ = 0;
+  // tracer_/tracer_tid_ deliberately survive, like the watch sink.
 }
 
 }  // namespace psmsys::ops5

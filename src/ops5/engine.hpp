@@ -18,6 +18,10 @@
 #include "rete/network.hpp"
 #include "util/counters.hpp"
 
+namespace psmsys::obs {
+class Tracer;
+}
+
 namespace psmsys::ops5 {
 
 struct EngineOptions {
@@ -148,6 +152,25 @@ class Engine final : private rete::MatchListener {
   void set_watch(int level, std::function<void(const std::string&)> sink);
   [[nodiscard]] int watch_level() const noexcept { return watch_level_; }
 
+  /// Attach a span tracer (nullptr detaches). Fired cycles emit sampled
+  /// "cycle" spans on thread lane `tid` (the executor passes its task-process
+  /// index) with the cycle's match/resolve/RHS work-unit split in args. The
+  /// hooks compile away entirely under PSMSYS_OBS=0; with OBS on, a detached
+  /// engine never touches the clock. The tracer must outlive its attachment
+  /// and is not owned. Survives reset(), like the watch sink.
+  void set_tracer(obs::Tracer* tracer, std::uint32_t tid = 0) noexcept {
+    tracer_ = tracer;
+    tracer_tid_ = tid;
+  }
+  [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
+
+  /// Largest conflict set observed since construction or reset() — the
+  /// contention gauge behind the paper's conflict-resolution discussion.
+  /// Always 0 when built with PSMSYS_OBS=0.
+  [[nodiscard]] std::size_t peak_conflict_set() const noexcept {
+    return peak_conflict_set_;
+  }
+
  private:
   void on_activate(const Production& production, std::span<const Wme* const> wmes) override;
   void on_deactivate(const Production& production, std::span<const Wme* const> wmes) override;
@@ -188,6 +211,12 @@ class Engine final : private rete::MatchListener {
   void* user_data_ = nullptr;
   int watch_level_ = 0;
   std::function<void(const std::string&)> watch_sink_;
+
+  // Observability (members always present to keep the class layout identical
+  // across PSMSYS_OBS settings; only the hot-path code is conditional).
+  obs::Tracer* tracer_ = nullptr;
+  std::uint32_t tracer_tid_ = 0;
+  std::size_t peak_conflict_set_ = 0;
 };
 
 }  // namespace psmsys::ops5

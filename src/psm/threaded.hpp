@@ -1,37 +1,20 @@
 #pragma once
 
-// Real multithreaded execution of a PSM task decomposition.
+// DEPRECATED executor entry points — superseded by psm::run (run.hpp).
 //
-// This is the correctness side of the reproduction: each task process is an
-// independent engine (asynchronous production firing, WME distribution) fed
-// from the shared task queue, exactly the paper's architecture. Tests verify
-// that results are identical for any number of task processes — the property
-// that makes the decomposition legal. Wall-clock speedups are NOT measured
-// here (the benchmark host has one core); the virtual-time models in
-// sim.hpp produce the speedup curves from the measured task costs.
-//
-// Two executors share the worker loop:
-//  * run_threaded — the strict mode: any worker error aborts the run (all
-//    worker errors are aggregated into the thrown WorkerFailure, not just
-//    the first).
-//  * run_robust — fault-tolerant mode: per-task cycle deadlines, bounded
-//    retries with exponential backoff, re-enqueue of work stranded by dead
-//    workers, quarantine of poison tasks, and graceful degradation — a
-//    RunReport accounting for every task id instead of a lost run. Because
-//    tasks are independent OPS5 runs handed out from a central queue (the
-//    very property the paper's TLP argument rests on), any single task is
-//    restartable: a failed attempt is rolled back bit-identically
-//    (TaskRunner::run_guarded), so a retry — even on another process —
-//    produces exactly the result a fault-free run would have.
+// run_threaded / run_robust were the original strict / fault-tolerant pair;
+// psm::run unifies them behind RunOptions (strict=true reproduces
+// run_threaded's abort-on-failure contract exactly; the default is the
+// robust path). The shims below forward to psm::run and stay for one PR so
+// out-of-tree callers get a deprecation warning instead of a hard break.
+// The shared executor vocabulary (CollectFn, WorkerFailure, RobustnessPolicy,
+// RunReport, ...) now lives in run.hpp and is re-exported from here.
 
 #include <chrono>
 #include <cstddef>
-#include <exception>
-#include <string>
 #include <vector>
 
-#include "psm/faults.hpp"
-#include "psm/task.hpp"
+#include "psm/run.hpp"
 
 namespace psmsys::psm {
 
@@ -45,108 +28,22 @@ struct ThreadedRunResult {
   std::chrono::nanoseconds wall{};
 };
 
-/// Called once per task process after the queue is drained, from that
-/// worker's thread, so the control process can collect results from the
-/// process's working memory (Section 5.1: the control process "collects
-/// from them the results"). Must synchronize its own sink.
-using CollectFn = std::function<void(std::size_t process, ops5::Engine& engine)>;
-
-/// Thrown by run_threaded when workers fail: carries *every* worker's
-/// error, not just the first, so multi-worker failures are diagnosable.
-class WorkerFailure : public std::runtime_error {
- public:
-  explicit WorkerFailure(std::vector<std::exception_ptr> worker_errors);
-
-  std::vector<std::exception_ptr> errors;
-};
-
 /// Fork `task_processes` workers over a FIFO queue of `tasks`. Each worker
 /// builds its own engine via `factory` (initialization, untimed), then
 /// drains the queue. If exactly one worker throws, that exception is
 /// rethrown; if several throw, a WorkerFailure aggregating all of them is
 /// thrown instead.
+[[deprecated("use psm::run with RunOptions{.strict = true}")]]
 [[nodiscard]] ThreadedRunResult run_threaded(const TaskProcessFactory& factory,
                                              std::vector<Task> tasks,
                                              std::size_t task_processes,
                                              const CollectFn& collect = {});
 
-// ---------------------------------------------------------------------------
-// Fault-tolerant execution
-// ---------------------------------------------------------------------------
-
-struct RobustnessPolicy {
-  /// Attempts per task before it is quarantined (>= 1).
-  std::size_t max_attempts = 3;
-  /// Sleep before retry k (1-based) is backoff_base * backoff_multiplier^(k-1),
-  /// capped at backoff_cap. Zero base disables sleeping (tests).
-  std::chrono::microseconds backoff_base{0};
-  double backoff_multiplier = 2.0;
-  std::chrono::microseconds backoff_cap{100'000};
-  /// Per-attempt recognize-act cycle budget (0 = unlimited): the deadline
-  /// that cuts off livelocked tasks via the engine's cycle-limit machinery.
-  std::uint64_t cycle_deadline = 0;
-  /// The deadline grows by this factor per retry, so a task that was merely
-  /// slow (not livelocked) can still complete before quarantine.
-  double deadline_growth = 2.0;
-};
-
-/// Why a task attempt ended.
-enum class AttemptResult : std::uint8_t {
-  Completed,         ///< ran to quiescence; measurement recorded
-  Fault,             ///< the attempt threw (injected or real); rolled back
-  DeadlineExceeded,  ///< cut off by the cycle deadline; rolled back
-  WorkerDied,        ///< the executing process died; results lost, task requeued
-};
-
-struct TaskAttempt {
-  std::size_t process = 0;
-  std::uint32_t number = 0;  ///< 1-based attempt number
-  AttemptResult result = AttemptResult::Completed;
-  std::string error;  ///< what() for Fault / DeadlineExceeded
-};
-
-/// Terminal disposition of a task in a robust run.
-enum class TaskStatus : std::uint8_t {
-  Completed,    ///< measurement + collected WM are valid
-  Quarantined,  ///< failed max_attempts times; reported, not lost
-  Abandoned,    ///< every worker died before it could run (no survivors)
-};
-
-/// Graceful degradation: what a robust run produced instead of an
-/// all-or-nothing result. Every task id appears exactly once in
-/// completed_ids ∪ quarantined_ids ∪ abandoned_ids.
-struct RunReport {
-  // Partial results (valid for completed tasks).
-  std::vector<TaskMeasurement> measurements;   ///< by task id; final attempt's
-  std::vector<std::size_t> executed_by;        ///< process of the final completion
-  std::vector<std::size_t> tasks_per_process;  ///< surviving results per process
-  std::chrono::nanoseconds wall{};
-
-  // Accounting.
-  std::vector<TaskStatus> status;                 ///< by task id
-  std::vector<std::vector<TaskAttempt>> attempts; ///< by task id, in order
-  std::vector<std::uint64_t> completed_ids;
-  std::vector<std::uint64_t> quarantined_ids;
-  std::vector<std::uint64_t> abandoned_ids;
-  std::vector<std::size_t> dead_workers;       ///< processes that died mid-run
-  std::uint64_t retries = 0;                   ///< attempts beyond each task's first
-  std::uint64_t requeues = 0;                  ///< strandings recovered from dead workers
-  std::uint64_t backoff_sleeps = 0;
-  /// Errors from quarantined tasks' final attempts (diagnosable, aggregated).
-  std::vector<std::exception_ptr> errors;
-
-  [[nodiscard]] bool complete() const noexcept {
-    return quarantined_ids.empty() && abandoned_ids.empty();
-  }
-  [[nodiscard]] bool degraded() const noexcept {
-    return !complete() || !dead_workers.empty();
-  }
-};
-
 /// Fault-tolerant variant of run_threaded. Never throws for task or worker
 /// failures — degradation is reported in the RunReport. `injector` (may be
 /// null) drives deterministic fault injection; with a null injector and
 /// healthy tasks the completed results are identical to run_threaded's.
+[[deprecated("use psm::run (robust is the default mode)")]]
 [[nodiscard]] RunReport run_robust(const TaskProcessFactory& factory, std::vector<Task> tasks,
                                    std::size_t task_processes, const RobustnessPolicy& policy = {},
                                    const FaultInjector* injector = nullptr,

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/obs_config.hpp"
+
 namespace psmsys::rete {
 
 namespace {
@@ -176,6 +178,11 @@ struct Network::Impl {
 
   std::vector<util::WorkUnits> chunks;
 
+  // Live/peak token gauge (PSMSYS_OBS only): tokens_created/deleted count
+  // churn, this tracks the instantaneous working set.
+  std::uint64_t live_tokens = 0;
+  std::uint64_t peak_live_tokens = 0;
+
   Impl(const ops5::Program& prog, MatchListener& lst, util::WorkCounters& ctr,
        const util::CostModel& cm, const NetworkOptions& opt)
       : program(prog), listener(lst), counters(ctr), costs(cm), options(opt) {}
@@ -198,12 +205,18 @@ struct Network::Impl {
     if (wme != nullptr) wme_data.at(wme).tokens.push_back(t);
     ++counters.tokens_created;
     counters.match_cost += costs.token_op;
+#if PSMSYS_OBS
+    if (++live_tokens > peak_live_tokens) peak_live_tokens = live_tokens;
+#endif
     return t;
   }
 
   void free_token(Token* t) {
     ++counters.tokens_deleted;
     counters.match_cost += costs.token_op;
+#if PSMSYS_OBS
+    --live_tokens;
+#endif
     token_free_list.push_back(t);
   }
 
@@ -549,6 +562,12 @@ struct Network::Impl {
     dummy_token->children.clear();
     erase_one(token_free_list, dummy_token);
     chunks.clear();
+#if PSMSYS_OBS
+    // Back to the post-construction state: only the dummy token is alive and
+    // it is not gauge-counted (it was allocated outside new_token). The peak
+    // deliberately survives clear() — it is a lifetime high-water mark.
+    live_tokens = 0;
+#endif
   }
 
   // ------------------------------- compilation ----------------------------
@@ -798,6 +817,10 @@ void Network::clear() { impl_->clear(); }
 
 std::vector<util::WorkUnits> Network::take_chunks() {
   return std::exchange(impl_->chunks, {});
+}
+
+std::uint64_t Network::peak_live_tokens() const noexcept {
+  return impl_->peak_live_tokens;
 }
 
 const ops5::BindingAnalysis& Network::bindings(const ops5::Production& p) const {

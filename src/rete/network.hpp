@@ -77,6 +77,11 @@ class Network final : public Matcher {
   /// the work-unit cost of one independent alpha-pattern cascade.
   [[nodiscard]] std::vector<util::WorkUnits> take_chunks();
 
+  /// Peak number of simultaneously-live beta-memory tokens over the network's
+  /// lifetime — the working-set gauge behind the paper's memory-contention
+  /// discussion. Always 0 when built with PSMSYS_OBS=0.
+  [[nodiscard]] std::uint64_t peak_live_tokens() const noexcept;
+
   /// Binding analysis computed during compilation, exposed for RHS evaluation.
   [[nodiscard]] const ops5::BindingAnalysis& bindings(const ops5::Production& p) const;
 

@@ -15,7 +15,7 @@
 #include "analysis/lint.hpp"
 #include "ops5/parser.hpp"
 #include "psm/faults.hpp"
-#include "psm/threaded.hpp"
+#include "psm/run.hpp"
 #include "spam/decomposition.hpp"
 #include "spam/phases.hpp"
 #include "spam/scene_generator.hpp"
@@ -202,10 +202,13 @@ TEST(InterferenceCertificate, LicensesFaultInjectedReplay) {
       const std::lock_guard<std::mutex> lock(mu);
       merged.insert(merged.end(), records.begin(), records.end());
     };
-    psm::RobustnessPolicy policy;
-    policy.max_attempts = 8;
-    const auto report = psm::run_robust(d.factory, d.tasks, procs, policy, injector, collect);
-    EXPECT_TRUE(report.complete());
+    psm::RunOptions options;
+    options.task_processes = procs;
+    options.robustness.max_attempts = 8;
+    options.injector = injector;
+    options.collect = collect;
+    const auto result = psm::run(d.factory, d.tasks, options);
+    EXPECT_TRUE(result.complete());
     std::sort(merged.begin(), merged.end());
     return merged;
   };

@@ -5,12 +5,21 @@
 #include <set>
 
 #include "psm/queue.hpp"
-#include "psm/threaded.hpp"
+#include "psm/run.hpp"
 #include "spam/decomposition.hpp"
 #include "spam/scene_generator.hpp"
 
 namespace psmsys::psm {
 namespace {
+
+/// Strict-mode options: the run_threaded contract via the unified API.
+RunOptions strict_opts(std::size_t procs, CollectFn collect = {}) {
+  RunOptions options;
+  options.task_processes = procs;
+  options.strict = true;
+  options.collect = std::move(collect);
+  return options;
+}
 
 // ---------------------------------------------------------------------------
 // Counters delta
@@ -157,8 +166,9 @@ TEST_F(PsmTaskTest, ThreadedResultsIndependentOfProcessCount) {
       const std::lock_guard<std::mutex> lock(mu);
       merged.insert(merged.end(), records.begin(), records.end());
     };
-    const auto result = run_threaded(decomposition_.factory, decomposition_.tasks, procs, collect);
-    EXPECT_EQ(result.measurements.size(), decomposition_.tasks.size());
+    const auto result = run(decomposition_.factory, decomposition_.tasks,
+                            strict_opts(procs, collect));
+    EXPECT_EQ(result.measurements().size(), decomposition_.tasks.size());
     std::sort(merged.begin(), merged.end());
     merged_by_run.push_back(std::move(merged));
   }
@@ -168,35 +178,39 @@ TEST_F(PsmTaskTest, ThreadedResultsIndependentOfProcessCount) {
 }
 
 TEST_F(PsmTaskTest, ThreadedExecutesEveryTaskExactlyOnce) {
-  const auto result = run_threaded(decomposition_.factory, decomposition_.tasks, 3);
-  ASSERT_EQ(result.measurements.size(), decomposition_.tasks.size());
-  for (std::size_t i = 0; i < result.measurements.size(); ++i) {
-    EXPECT_EQ(result.measurements[i].task_id, i);
-    EXPECT_GT(result.measurements[i].cost(), 0u);
+  const auto result = run(decomposition_.factory, decomposition_.tasks, strict_opts(3));
+  ASSERT_EQ(result.measurements().size(), decomposition_.tasks.size());
+  for (std::size_t i = 0; i < result.measurements().size(); ++i) {
+    EXPECT_EQ(result.measurements()[i].task_id, i);
+    EXPECT_GT(result.measurements()[i].cost(), 0u);
   }
-  const std::size_t executed = std::accumulate(result.tasks_per_process.begin(),
-                                               result.tasks_per_process.end(), std::size_t{0});
+  const std::size_t executed = std::accumulate(result.tasks_per_process().begin(),
+                                               result.tasks_per_process().end(), std::size_t{0});
   EXPECT_EQ(executed, decomposition_.tasks.size());
-  for (const std::size_t p : result.executed_by) EXPECT_LT(p, 3u);
+  for (const std::size_t p : result.executed_by()) EXPECT_LT(p, 3u);
+  // The unified result carries an aggregated metrics snapshot.
+  EXPECT_EQ(result.metrics.tasks, decomposition_.tasks.size());
+  EXPECT_GT(result.metrics.total_cost_wu(), 0u);
+  EXPECT_GE(result.elapsed.count(), 0);
 }
 
 TEST_F(PsmTaskTest, ThreadedFiringsConserved) {
   // Total production firings are schedule-independent.
   const auto sequential = spam::run_baseline(decomposition_);
-  const auto threaded = run_threaded(decomposition_.factory, decomposition_.tasks, 4);
+  const auto threaded = run(decomposition_.factory, decomposition_.tasks, strict_opts(4));
   std::uint64_t seq_firings = 0;
   std::uint64_t par_firings = 0;
   for (const auto& m : sequential) seq_firings += m.counters.firings;
-  for (const auto& m : threaded.measurements) par_firings += m.counters.firings;
+  for (const auto& m : threaded.measurements()) par_firings += m.counters.firings;
   EXPECT_EQ(seq_firings, par_firings);
 }
 
 TEST_F(PsmTaskTest, ThreadedRejectsBadInput) {
-  EXPECT_THROW((void)run_threaded(decomposition_.factory, decomposition_.tasks, 0),
+  EXPECT_THROW((void)run(decomposition_.factory, decomposition_.tasks, strict_opts(0)),
                std::invalid_argument);
   auto tasks = decomposition_.tasks;
   tasks[0].id = 42;  // non-dense ids
-  EXPECT_THROW((void)run_threaded(decomposition_.factory, std::move(tasks), 2),
+  EXPECT_THROW((void)run(decomposition_.factory, std::move(tasks), strict_opts(2)),
                std::invalid_argument);
 }
 
@@ -206,7 +220,7 @@ TEST_F(PsmTaskTest, ThreadedPropagatesWorkerExceptions) {
   tasks[0].inject = [](ops5::Engine&) {};
   tasks[1].id = 1;
   tasks[1].inject = [](ops5::Engine&) { throw std::runtime_error("boom"); };
-  EXPECT_THROW((void)run_threaded(decomposition_.factory, std::move(tasks), 2),
+  EXPECT_THROW((void)run(decomposition_.factory, std::move(tasks), strict_opts(2)),
                std::runtime_error);
 }
 

@@ -17,12 +17,29 @@
 
 #include "ops5/parser.hpp"
 #include "psm/faults.hpp"
-#include "psm/threaded.hpp"
+#include "psm/run.hpp"
 #include "spam/decomposition.hpp"
 #include "spam/scene_generator.hpp"
 
 namespace psmsys::psm {
 namespace {
+
+RunOptions robust_opts(std::size_t procs, RobustnessPolicy policy = {},
+                       const FaultInjector* injector = nullptr, CollectFn collect = {}) {
+  RunOptions options;
+  options.task_processes = procs;
+  options.robustness = policy;
+  options.injector = injector;
+  options.collect = std::move(collect);
+  return options;
+}
+
+RunOptions strict_opts(std::size_t procs) {
+  RunOptions options;
+  options.task_processes = procs;
+  options.strict = true;
+  return options;
+}
 
 // ---------------------------------------------------------------------------
 // Synthetic micro-workload: cheap tasks over a tiny rule base
@@ -126,7 +143,8 @@ TEST(RunRobust, PoisonTasksQuarantinedNotLost) {
     const std::lock_guard<std::mutex> lock(mu);
     results += count_results(engine);
   };
-  const auto report = run_robust(workload.factory(), tasks, 2, policy, nullptr, collect);
+  const auto report =
+      run(workload.factory(), tasks, robust_opts(2, policy, nullptr, collect)).report;
 
   expect_exact_accounting(report, 5);
   EXPECT_EQ(report.quarantined_ids, (std::vector<std::uint64_t>{2}));
@@ -162,7 +180,8 @@ TEST(RunRobust, RunawayTaskDeadlineQuarantinedWithoutPollutingProcess) {
   policy.deadline_growth = 2.0;
   std::size_t results = 0;
   const auto collect = [&](std::size_t, ops5::Engine& engine) { results += count_results(engine); };
-  const auto report = run_robust(workload.factory(), tasks, 1, policy, nullptr, collect);
+  const auto report =
+      run(workload.factory(), tasks, robust_opts(1, policy, nullptr, collect)).report;
 
   expect_exact_accounting(report, 3);
   EXPECT_EQ(report.quarantined_ids, (std::vector<std::uint64_t>{1}));
@@ -183,7 +202,7 @@ TEST(RunRobust, SlowTaskCompletesUnderDeadlineGrowth) {
   policy.max_attempts = 3;
   policy.cycle_deadline = 10;  // attempts get 10, 20, 40 cycles
   policy.deadline_growth = 2.0;
-  const auto report = run_robust(workload.factory(), tasks, 1, policy);
+  const auto report = run(workload.factory(), tasks, robust_opts(1, policy)).report;
 
   expect_exact_accounting(report, 1);
   EXPECT_EQ(report.completed_ids.size(), 1u);
@@ -205,7 +224,7 @@ TEST(RunRobust, BackoffSleepsAccompanyRetries) {
   RobustnessPolicy policy;
   policy.max_attempts = 3;  // ...so both tasks burn all attempts
   policy.backoff_base = std::chrono::microseconds{50};
-  const auto report = run_robust(workload.factory(), tasks, 1, policy, &injector);
+  const auto report = run(workload.factory(), tasks, robust_opts(1, policy, &injector)).report;
 
   expect_exact_accounting(report, 2);
   EXPECT_EQ(report.quarantined_ids.size(), 2u);
@@ -234,8 +253,9 @@ class RobustLccTest : public ::testing::Test {
       const std::lock_guard<std::mutex> lock(mu);
       merged.insert(merged.end(), records.begin(), records.end());
     };
-    auto report =
-        run_robust(decomposition_.factory, decomposition_.tasks, procs, policy, injector, collect);
+    auto report = run(decomposition_.factory, decomposition_.tasks,
+                      robust_opts(procs, policy, injector, collect))
+                      .report;
     std::sort(merged.begin(), merged.end());
     if (out != nullptr) *out = std::move(report);
     return merged;
@@ -247,7 +267,8 @@ class RobustLccTest : public ::testing::Test {
 };
 
 TEST_F(RobustLccTest, NoFaultsMatchesStrictExecutorBitIdentically) {
-  const auto strict = run_threaded(decomposition_.factory, decomposition_.tasks, 1);
+  const auto strict =
+      run(decomposition_.factory, decomposition_.tasks, strict_opts(1)).report;
   RunReport report;
   const auto merged_robust = run_and_merge(1, RobustnessPolicy{}, nullptr, &report);
   const auto n = decomposition_.tasks.size();
@@ -298,7 +319,8 @@ TEST_F(RobustLccTest, ResultsIdenticalWithAndWithoutRetriesForAnyProcessCount) {
     // back attempts leave no trace in the engine. (For >1 process the
     // per-task costs legitimately depend on which engine ran the task.)
     if (procs == 1) {
-      const auto clean = run_threaded(decomposition_.factory, decomposition_.tasks, 1);
+      const auto clean =
+          run(decomposition_.factory, decomposition_.tasks, strict_opts(1)).report;
       for (std::size_t i = 0; i < clean.measurements.size(); ++i) {
         EXPECT_EQ(clean.measurements[i].counters.total_cost(),
                   report.measurements[i].counters.total_cost());
@@ -373,7 +395,7 @@ TEST(RunThreaded, AggregatesAllWorkerErrors) {
     };
   }
   try {
-    (void)run_threaded(workload.factory(), std::move(tasks), 2);
+    (void)run(workload.factory(), std::move(tasks), strict_opts(2));
     FAIL() << "expected WorkerFailure";
   } catch (const WorkerFailure& failure) {
     EXPECT_EQ(failure.errors.size(), 2u);
@@ -388,7 +410,8 @@ TEST(RunThreaded, SingleErrorRethrownWithOriginalType) {
   std::vector<Task> tasks(1);
   tasks[0].id = 0;
   tasks[0].inject = [](ops5::Engine&) { throw std::domain_error("specific"); };
-  EXPECT_THROW((void)run_threaded(workload.factory(), std::move(tasks), 2), std::domain_error);
+  EXPECT_THROW((void)run(workload.factory(), std::move(tasks), strict_opts(2)),
+               std::domain_error);
 }
 
 }  // namespace
