@@ -1,0 +1,83 @@
+// Measured intra-task match parallelism: the rete::ParallelMatcher scaling
+// curve on one task process, plus the composed K task x M match budget.
+//
+// Unlike Table 9's virtual-time model (bench_multiplicative), every number
+// here is host wall-clock from the real executor, with the match pool's
+// utilization counters (obs::RunMetrics::match_*) alongside, so the cost of
+// lost Rete node sharing and the canonical conflict-set merge is visible —
+// not just the headline speedup. On hosts with fewer cores than threads the
+// curve degrades honestly instead of being simulated away.
+
+#include <thread>
+
+#include "bench/harness.hpp"
+#include "psm/run.hpp"
+
+namespace psmsys::bench {
+
+PSMSYS_BENCH_CASE(match_measured, "multiplicative",
+                  "Measured intra-task match scaling (SF, Level 2)") {
+  auto& os = ctx.out();
+  const auto& measured = ctx.lcc(spam::sf_config(), 2);
+  const auto decomposition = spam::lcc_decomposition(2, *measured.scene, measured.best);
+  const int reps = ctx.quick() ? 1 : 3;
+
+  // Serial matcher baseline, then the pool at 1 / 2 / 4 workers on a single
+  // task process: pure intra-task match scaling.
+  const std::vector<std::size_t> match_threads =
+      ctx.quick() ? std::vector<std::size_t>{0, 1, 2} : std::vector<std::size_t>{0, 1, 2, 4};
+  const auto baseline = timed_run(decomposition, 1, 0, reps);
+
+  util::Table table({"match threads", "wall ms", "speedup", "pool ops", "busy ms", "util %"});
+  std::vector<SpeedupPoint> curve;
+  const auto ms = [](std::uint64_t ns) {
+    return util::Table::fmt(static_cast<double>(ns) / 1e6, 1);
+  };
+  for (const std::size_t m : match_threads) {
+    const auto run = m == 0 ? baseline : timed_run(decomposition, 1, m, reps);
+    const double speedup = static_cast<double>(baseline.wall.count()) /
+                           static_cast<double>(run.wall.count());
+    curve.push_back({m + 1, speedup});  // x = threads matching (serial counts as 1)
+    table.add_row({m == 0 ? "serial" : std::to_string(m),
+                   ms(static_cast<std::uint64_t>(run.wall.count())),
+                   util::Table::fmt(speedup, 2), util::Table::fmt(run.metrics.match_parallel_ops),
+                   ms(run.metrics.match_busy_ns),
+                   util::Table::fmt(100.0 * run.metrics.match_thread_utilization(), 1)});
+    if (m == 2) ctx.metric("measured_match2_speedup", speedup);
+    if (m != 0) {
+      ctx.metric("match" + std::to_string(m) + "_utilization",
+                 run.metrics.match_thread_utilization());
+    }
+  }
+  table.print(os,
+              "1 task process; busy/util are 0 in PSMSYS_OBS=0 builds (the\n"
+              "op counter is unconditional)");
+  ctx.speedup_series("measured_match_scaling_SF_L2", std::move(curve));
+  ctx.table("match_scaling", table);
+
+  // The thread budget composing K x M: request 4 match threads per process
+  // under a total budget of 4 — at 2 task processes the executor must clamp
+  // each engine to 2 match workers instead of oversubscribing to 8 threads.
+  psm::RunOptions budgeted;
+  budgeted.task_processes = 2;
+  budgeted.strict = true;
+  budgeted.match_threads = 4;
+  budgeted.match_thread_budget = 4;
+  const auto clamped = psm::run(decomposition.factory, decomposition.tasks, budgeted);
+  ctx.metric("budget_clamped_match_threads",
+             static_cast<double>(clamped.metrics.match_threads));
+  os << "\nbudget composition: requested 2 procs x 4 match threads under budget 4\n"
+     << "-> " << clamped.metrics.match_threads << " match threads per process ("
+     << clamped.metrics.match_parallel_ops << " pool ops)\n";
+  if (clamped.metrics.match_threads != budgeted.effective_match_threads()) {
+    ctx.fail("executor reported " + std::to_string(clamped.metrics.match_threads) +
+             " match threads; RunOptions::effective_match_threads() says " +
+             std::to_string(budgeted.effective_match_threads()));
+  }
+
+  ctx.metric("hardware_concurrency", std::thread::hardware_concurrency());
+  ctx.note("measured on the real executor; see bench_multiplicative's "
+           "table9_measured for the full task x match grid");
+}
+
+}  // namespace psmsys::bench

@@ -11,6 +11,9 @@
 // Entries marked * exceed the paper's 16-processor machine:
 // processors used = 1 control + T + T*M.
 
+#include <algorithm>
+#include <thread>
+
 #include "bench/harness.hpp"
 
 namespace psmsys::bench {
@@ -89,6 +92,74 @@ PSMSYS_BENCH_CASE(multiplicative, "multiplicative",
         "speed-ups\" (e.g. Task4/Match2: 5.82 achieved vs 5.96 predicted).\n";
   ctx.table("table9", table);
   ctx.note("task-level and match speedups combine multiplicatively");
+
+  // -------------------------------------------------------------------------
+  // Measured: the same task x match grid on the *real* executor — host
+  // wall-clock of psm::run with T task processes, each engine matching on M
+  // rete::ParallelMatcher workers. The model above replays measured work
+  // units through virtual time; this section is the ground truth it predicts.
+  // M here counts match pool threads (M=1 is a degenerate 1-thread pool:
+  // canonical-merge overhead with no concurrency, so expect <= 1.0x; the
+  // model's match1 column instead assumes one *extra* dedicated match
+  // process, which is why the two columns are aligned by processor count,
+  // not compared cell-for-cell).
+  const auto decomposition = spam::lcc_decomposition(2, *measured.scene, measured.best);
+  const std::vector<std::size_t> m_tasks =
+      ctx.quick() ? std::vector<std::size_t>{1, 2} : std::vector<std::size_t>{1, 2, 4};
+  const std::vector<std::size_t> m_match =
+      ctx.quick() ? std::vector<std::size_t>{0, 2} : std::vector<std::size_t>{0, 1, 2, 4};
+  const int reps = ctx.quick() ? 1 : 3;
+  const auto matrix = measure_matrix(decomposition, m_tasks, m_match, reps);
+
+  std::vector<std::string> m_headers{""};
+  for (const std::size_t m : m_match) m_headers.push_back("Match" + std::to_string(m));
+  util::Table m_table(std::move(m_headers));
+  double match2_speedup_1task = 0.0;
+  for (std::size_t ti = 0; ti < m_tasks.size(); ++ti) {
+    std::vector<std::string> row{"Task" + std::to_string(m_tasks[ti])};
+    std::vector<SpeedupPoint> series;
+    for (std::size_t mi = 0; mi < m_match.size(); ++mi) {
+      const std::size_t T = m_tasks[ti];
+      const std::size_t M = m_match[mi];
+      const double achieved = matrix.speedup(ti, mi);
+      if (T == 1 && M == 2) match2_speedup_1task = achieved;
+      // Predicted from the isolated virtual-time curves, looked up by value
+      // in the modeled sweeps above (their indices differ from this grid's).
+      const auto t_it = std::find(task_procs.begin(), task_procs.end(), T);
+      const auto m_it = std::find(match_procs.begin(), match_procs.end(), M);
+      const double predicted =
+          (t_it != task_procs.end() && m_it != match_procs.end())
+              ? task_iso[static_cast<std::size_t>(t_it - task_procs.begin())] *
+                    match_iso[static_cast<std::size_t>(m_it - match_procs.begin())]
+              : achieved;
+      series.push_back({T + T * M, achieved});
+      row.push_back(util::Table::fmt(achieved, 2) + " (" + util::Table::fmt(predicted, 2) +
+                    ")");
+    }
+    m_table.add_row(std::move(row));
+    ctx.speedup_series("measured_task" + std::to_string(m_tasks[ti]) + "_SF_L2",
+                       std::move(series));
+  }
+  m_table.print(os,
+                "\nMeasured wall-clock speed-ups on the real executor (model prediction\n"
+                "in parens); series x-axis = T + T*M threads carrying the run");
+  ctx.table("table9_measured", m_table);
+  ctx.metric("measured_match2_speedup_1task", match2_speedup_1task);
+
+  const unsigned hardware = std::thread::hardware_concurrency();
+  ctx.metric("hardware_concurrency", hardware);
+  if (hardware >= 4) {
+    if (match2_speedup_1task <= 1.2) {
+      ctx.fail("measured 2-thread match speedup " + util::Table::fmt(match2_speedup_1task, 2) +
+               "x <= 1.2x on SF Level 2 with " + std::to_string(hardware) + " cores");
+    }
+  } else {
+    ctx.note("host has " + std::to_string(hardware) +
+             " hardware thread(s); measured match-speedup gate (>1.2x at 2 threads) "
+             "needs >= 4 and was skipped");
+  }
+  os << "\nmeasured Task1/Match2: " << util::Table::fmt(match2_speedup_1task, 2)
+     << "x (gate: > 1.2x when the host has >= 4 cores; this host: " << hardware << ")\n";
 }
 
 }  // namespace psmsys::bench

@@ -15,6 +15,7 @@
 
 #include "obs/bench_schema.hpp"
 #include "obs/obs_config.hpp"
+#include "psm/run.hpp"
 
 namespace psmsys::bench {
 
@@ -46,6 +47,47 @@ MeasuredLcc measure_rtf(const spam::DatasetConfig& config, bool record_cycles) {
   out.tasks = spam::run_baseline(d);
   out.best = spam::best_fragments(spam::run_rtf(*out.scene, 3).fragments);  // for completeness
   return out;
+}
+
+TimedRun timed_run(const spam::Decomposition& decomposition, std::size_t task_processes,
+                   std::size_t match_threads, int repetitions) {
+  TimedRun best;
+  best.wall = std::chrono::nanoseconds::max();
+  for (int rep = 0; rep < std::max(1, repetitions); ++rep) {
+    psm::RunOptions options;
+    options.task_processes = task_processes;
+    options.strict = true;
+    options.match_threads = match_threads;
+    auto result = psm::run(decomposition.factory, decomposition.tasks, options);
+    if (result.elapsed < best.wall) {
+      best.wall = result.elapsed;
+      best.metrics = std::move(result.metrics);
+    }
+  }
+  return best;
+}
+
+MeasuredMatrix measure_matrix(const spam::Decomposition& decomposition,
+                              std::vector<std::size_t> task_procs,
+                              std::vector<std::size_t> match_threads, int repetitions) {
+  MeasuredMatrix m;
+  m.task_procs = std::move(task_procs);
+  m.match_threads = std::move(match_threads);
+  m.cells.resize(m.task_procs.size());
+  for (std::size_t ti = 0; ti < m.task_procs.size(); ++ti) {
+    for (std::size_t mi = 0; mi < m.match_threads.size(); ++mi) {
+      m.cells[ti].push_back(
+          timed_run(decomposition, m.task_procs[ti], m.match_threads[mi], repetitions));
+      if (m.task_procs[ti] == 1 && m.match_threads[mi] == 0) {
+        m.baseline_wall = m.cells[ti].back().wall;
+      }
+    }
+  }
+  // If the sweep skipped the (1 task, serial match) corner, measure it.
+  if (m.baseline_wall.count() == 0) {
+    m.baseline_wall = timed_run(decomposition, 1, 0, repetitions).wall;
+  }
+  return m;
 }
 
 double tlp_speedup(const std::vector<util::WorkUnits>& costs, std::size_t procs,

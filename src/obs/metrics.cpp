@@ -42,6 +42,12 @@ json::Value RunMetrics::to_json() const {
   o.emplace_back("match_fraction", json::Value(match_fraction()));
   put("peak_conflict_set", peak_conflict_set);
   put("peak_live_tokens", peak_live_tokens);
+  put("match_threads", match_threads);
+  put("match_parallel_ops", match_parallel_ops);
+  put("match_busy_ns", match_busy_ns);
+  put("match_wall_ns", match_wall_ns);
+  o.emplace_back("match_thread_utilization",
+                 json::Value(match_thread_utilization()));
   put("retries", retries);
   put("requeues", requeues);
   put("quarantined", quarantined);
@@ -79,6 +85,11 @@ RunMetrics metrics_delta(const RunMetrics& after,
   // Gauges are peaks, not monotonic counters: the delta keeps the later peak.
   d.peak_conflict_set = after.peak_conflict_set;
   d.peak_live_tokens = after.peak_live_tokens;
+  // Configuration, not a counter; the ns/op tallies are monotonic.
+  d.match_threads = after.match_threads;
+  d.match_parallel_ops = sub_sat(after.match_parallel_ops, before.match_parallel_ops);
+  d.match_busy_ns = sub_sat(after.match_busy_ns, before.match_busy_ns);
+  d.match_wall_ns = sub_sat(after.match_wall_ns, before.match_wall_ns);
   d.retries = sub_sat(after.retries, before.retries);
   d.requeues = sub_sat(after.requeues, before.requeues);
   d.quarantined = sub_sat(after.quarantined, before.quarantined);

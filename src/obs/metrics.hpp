@@ -41,6 +41,12 @@ struct RunMetrics {
   std::uint64_t peak_conflict_set = 0;  ///< max conflict-set size seen
   std::uint64_t peak_live_tokens = 0;   ///< max simultaneously-live rete tokens
 
+  // --- intra-task match parallelism (all 0 with the serial matcher) ---
+  std::uint64_t match_threads = 0;       ///< match workers per task process
+  std::uint64_t match_parallel_ops = 0;  ///< WME ops dispatched to match pools
+  std::uint64_t match_busy_ns = 0;       ///< summed worker busy time (OBS gauge)
+  std::uint64_t match_wall_ns = 0;       ///< summed dispatch wall time (OBS gauge)
+
   // --- executor accounting ---
   std::uint64_t retries = 0;
   std::uint64_t requeues = 0;
@@ -57,6 +63,16 @@ struct RunMetrics {
     const std::uint64_t t = total_cost_wu();
     return t ? static_cast<double>(match_cost_wu) / static_cast<double>(t)
              : 0.0;
+  }
+
+  /// Mean busy fraction of match workers while dispatches were in flight
+  /// (0 for serial match or PSMSYS_OBS=0 builds).
+  [[nodiscard]] double match_thread_utilization() const noexcept {
+    return (match_wall_ns == 0 || match_threads == 0)
+               ? 0.0
+               : static_cast<double>(match_busy_ns) /
+                     (static_cast<double>(match_wall_ns) *
+                      static_cast<double>(match_threads));
   }
 
   /// Fold one task's counters into the aggregate.

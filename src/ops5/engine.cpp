@@ -14,9 +14,36 @@ Engine::Engine(std::shared_ptr<const Program> program, const ExternalRegistry* e
                EngineOptions options)
     : program_(std::move(program)), externals_(externals), options_(options) {
   if (program_ == nullptr) throw std::invalid_argument("engine needs a program");
+  build_matcher();
+}
+
+void Engine::build_matcher() {
   rete::MatchListener& listener = *this;  // private base: convert in member scope
-  network_ = std::make_unique<rete::Network>(*program_, listener, counters_, options_.costs,
-                                             options_.rete);
+  if (options_.match_threads == 0) {
+    matcher_ = std::make_unique<rete::Network>(*program_, listener, counters_, options_.costs,
+                                               options_.rete);
+    parallel_ = nullptr;
+  } else {
+    rete::ParallelMatcherOptions po;
+    po.threads = options_.match_threads;
+    po.network = options_.rete;
+    auto pm = std::make_unique<rete::ParallelMatcher>(*program_, listener, counters_,
+                                                      options_.costs, po);
+    parallel_ = pm.get();
+    matcher_ = std::move(pm);
+  }
+}
+
+void Engine::set_match_threads(std::size_t threads) {
+  if (threads == options_.match_threads) return;
+  if (!wm_.empty() || undo_active_ || conflict_set_.size() != 0) {
+    throw std::logic_error("set_match_threads requires an empty working memory");
+  }
+  options_.match_threads = threads;
+  // Compilation charges alpha/beta construction costs; rebuild from a clean
+  // slate so a thread-count change does not double-charge them.
+  counters_ = util::WorkCounters{};
+  build_matcher();
 }
 
 Engine::~Engine() = default;
@@ -41,7 +68,7 @@ const Wme& Engine::make_wme(ClassIndex cls, std::vector<std::pair<SlotIndex, Val
     watch_sink_("=>WM: " + std::to_string(ref.timetag()) + ": " +
                 ref.to_string(program_->symbols(), decl));
   }
-  network_->add_wme(ref);
+  matcher_->add_wme(ref);
   return ref;
 }
 
@@ -80,7 +107,7 @@ void Engine::remove_wme(const Wme& wme) {
     undo_log_.push_back({false, wme.timetag(), wme.class_index(),
                          std::vector<Value>(wme.slots().begin(), wme.slots().end())});
   }
-  network_->remove_wme(wme);
+  matcher_->remove_wme(wme);
   wm_.erase(it);
 }
 
@@ -194,7 +221,7 @@ std::vector<Value> Engine::build_slots(ClassIndex cls,
 }
 
 void Engine::fire(const Production& production, std::vector<const Wme*> matched) {
-  FiringEnv env{{}, network_->bindings(production), {}};
+  FiringEnv env{{}, matcher_->bindings(production), {}};
   env.wme_slots.reserve(matched.size());
   for (const Wme* w : matched) {
     env.wme_slots.emplace_back(w->slots().begin(), w->slots().end());
@@ -287,7 +314,7 @@ bool Engine::step() {
 
   // Match: the network processed WM deltas eagerly; collect this cycle's
   // chunks (the work a parallel matcher would distribute).
-  std::vector<util::WorkUnits> chunks = network_->take_chunks();
+  std::vector<util::WorkUnits> chunks = matcher_->take_chunks();
 
   // Resolve: the ordered conflict set selects in O(log n); charge that.
   const util::WorkUnits resolve_cost =
@@ -401,7 +428,7 @@ void Engine::rollback_undo_log() {
       const auto live = wm_.find(it->timetag);
       if (live == wm_.end()) throw std::logic_error("undo log corrupt: added WME not live");
       ++counters_.wmes_removed;
-      network_->remove_wme(*live->second);
+      matcher_->remove_wme(*live->second);
       wm_.erase(live);
     } else {
       // Restore with the *original* timetag so recency ordering — and every
@@ -411,7 +438,7 @@ void Engine::rollback_undo_log() {
       Wme& ref = *wme;
       wm_.emplace(ref.timetag(), std::move(wme));
       ++counters_.wmes_added;
-      network_->add_wme(ref);
+      matcher_->add_wme(ref);
     }
   }
   undo_log_.clear();
@@ -419,11 +446,11 @@ void Engine::rollback_undo_log() {
   halted_ = undo_mark_halted_;
   watch_level_ = saved_watch;
   // Match work done while rolling back is recovery, not a cycle's chunks.
-  (void)network_->take_chunks();
+  (void)matcher_->take_chunks();
 }
 
 void Engine::reset() {
-  network_->clear();
+  matcher_->clear();
   conflict_set_.clear();
   wm_.clear();
   cycles_.clear();

@@ -16,6 +16,7 @@
 #include "ops5/production.hpp"
 #include "ops5/wme.hpp"
 #include "rete/network.hpp"
+#include "rete/parallel.hpp"
 #include "util/counters.hpp"
 
 namespace psmsys::obs {
@@ -33,6 +34,12 @@ struct EngineOptions {
   bool record_cycles = false;
   util::CostModel costs;
   rete::NetworkOptions rete;
+  /// Intra-task match parallelism: 0 = single serial Rete network; N >= 1 =
+  /// rete::ParallelMatcher with N match workers (1 is the degenerate pool,
+  /// useful because it exercises the canonical delta merge). Firing order is
+  /// identical for all N >= 1; N = 0 may differ only where conflict
+  /// resolution ties down to insertion order.
+  std::size_t match_threads = 0;
 };
 
 /// Per recognize-act cycle: the independently-schedulable match chunk costs
@@ -135,8 +142,26 @@ class Engine final : private rete::MatchListener {
   [[nodiscard]] const Program& program() const noexcept { return *program_; }
   [[nodiscard]] const util::WorkCounters& counters() const noexcept { return counters_; }
   [[nodiscard]] std::span<const CycleRecord> cycle_records() const noexcept { return cycles_; }
-  [[nodiscard]] const rete::Network& network() const noexcept { return *network_; }
+  /// The active matcher (serial Rete network or ParallelMatcher), exposed
+  /// through the common instrumentation interface. The historical name stays:
+  /// every matcher is still a compiled Rete network underneath.
+  [[nodiscard]] const rete::Matcher& network() const noexcept { return *matcher_; }
   [[nodiscard]] std::size_t conflict_set_size() const noexcept { return conflict_set_.size(); }
+
+  // --------------------------- match parallelism ---------------------------
+
+  /// Configured match workers (0 = serial matcher).
+  [[nodiscard]] std::size_t match_threads() const noexcept { return options_.match_threads; }
+
+  /// Rebuild the matcher with `threads` match workers (0 = serial). Only
+  /// legal while working memory is empty (freshly constructed or reset) —
+  /// the executor applies it between engine construction and task setup.
+  void set_match_threads(std::size_t threads);
+
+  /// Match-thread utilization gauges; all-zero for the serial matcher.
+  [[nodiscard]] rete::MatchThreadStats match_thread_stats() const noexcept {
+    return parallel_ != nullptr ? parallel_->thread_stats() : rete::MatchThreadStats{};
+  }
 
   /// Sink for (write ...) output; defaults to discarding. The string is one
   /// whole write action's output.
@@ -187,9 +212,12 @@ class Engine final : private rete::MatchListener {
   std::shared_ptr<const Program> program_;
   const ExternalRegistry* externals_;
   EngineOptions options_;
+  void build_matcher();
+
   util::WorkCounters counters_;
   ConflictSet conflict_set_{options_.strategy};
-  std::unique_ptr<rete::Network> network_;
+  std::unique_ptr<rete::Matcher> matcher_;
+  rete::ParallelMatcher* parallel_ = nullptr;  // matcher_, when parallel
   std::vector<CycleRecord> cycles_;
 
   std::unordered_map<TimeTag, std::unique_ptr<Wme>> wm_;

@@ -11,7 +11,9 @@
 // shows up in the queue-management overhead the benchmarks charge.
 // Requeueing (fault recovery: a task stranded by a dead worker goes back on
 // the queue) re-hands-out indices and never grows the list, so pointers
-// stay valid for the queue's lifetime.
+// stay valid for the queue's lifetime. Requeued tasks are drained before
+// fresh ones: a stranded task already waited a full scheduling round, so it
+// must not queue again behind every untouched task.
 
 #include <atomic>
 #include <cstdint>
@@ -30,20 +32,20 @@ class TaskQueue {
   explicit TaskQueue(std::vector<Task> tasks) : tasks_(std::move(tasks)) {}
 
   /// Pop the next task, or nullptr when the queue is exhausted. Thread-safe;
-  /// fresh tasks are handed out in queue order, then requeued tasks in
-  /// requeue order. The pointer stays valid for the queue's lifetime.
+  /// requeued tasks are handed out first (in requeue order), then fresh
+  /// tasks in queue order. The pointer stays valid for the queue's lifetime.
+  /// The fast path stays lock-free: the requeue check is one relaxed load of
+  /// a counter that is zero for the whole run unless a worker died.
   [[nodiscard]] const Task* pop() {
+    if (const Task* t = pop_requeued()) return t;
     const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
     if (i < tasks_.size()) {
       pops_.fetch_add(1, std::memory_order_relaxed);
       return &tasks_[i];
     }
-    const std::lock_guard<std::mutex> lock(requeue_mutex_);
-    if (requeued_.empty()) return nullptr;
-    const std::size_t r = requeued_.front();
-    requeued_.pop_front();
-    pops_.fetch_add(1, std::memory_order_relaxed);
-    return &tasks_[r];
+    // A requeue may have landed after the check above; never report an empty
+    // queue while a stranded task is still waiting.
+    return pop_requeued();
   }
 
   /// Put a task back on the queue (strand recovery after a worker death).
@@ -51,15 +53,28 @@ class TaskQueue {
     if (task_id >= tasks_.size()) throw std::out_of_range("requeue: unknown task id");
     const std::lock_guard<std::mutex> lock(requeue_mutex_);
     requeued_.push_back(static_cast<std::size_t>(task_id));
+    requeue_pending_.fetch_add(1, std::memory_order_release);
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
   [[nodiscard]] std::uint64_t pops() const noexcept { return pops_.load(); }
 
  private:
+  [[nodiscard]] const Task* pop_requeued() {
+    if (requeue_pending_.load(std::memory_order_acquire) == 0) return nullptr;
+    const std::lock_guard<std::mutex> lock(requeue_mutex_);
+    if (requeued_.empty()) return nullptr;
+    const std::size_t r = requeued_.front();
+    requeued_.pop_front();
+    requeue_pending_.fetch_sub(1, std::memory_order_release);
+    pops_.fetch_add(1, std::memory_order_relaxed);
+    return &tasks_[r];
+  }
+
   std::vector<Task> tasks_;
   std::atomic<std::size_t> next_{0};
   std::atomic<std::uint64_t> pops_{0};
+  std::atomic<std::size_t> requeue_pending_{0};
   std::mutex requeue_mutex_;
   std::deque<std::size_t> requeued_;
 };

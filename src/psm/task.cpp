@@ -23,9 +23,11 @@ util::WorkCounters counters_delta(const util::WorkCounters& before,
   return d;
 }
 
-TaskRunner::TaskRunner(const TaskProcessFactory& factory) {
+TaskRunner::TaskRunner(const TaskProcessFactory& factory,
+                       std::optional<std::size_t> match_threads) {
   if (!factory.make_engine) throw std::invalid_argument("factory needs make_engine");
   engine_ = factory.make_engine();
+  if (match_threads) engine_->set_match_threads(*match_threads);
   if (factory.base_init) factory.base_init(*engine_);
   // Base-WM loading is initialization, not task work; its cycle records (none
   // should exist, the engine has not run) and counters are excluded by the

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -66,7 +67,12 @@ class TaskDeadlineExceeded : public std::runtime_error {
 /// One task process: engine + base WM, executing tasks sequentially.
 class TaskRunner {
  public:
-  explicit TaskRunner(const TaskProcessFactory& factory);
+  /// `match_threads`: when set, the engine is rebuilt with that many match
+  /// workers (0 = serial) *before* base_init loads the base working memory —
+  /// the only point where the matcher can still be swapped. nullopt leaves
+  /// the factory's engine configuration untouched.
+  explicit TaskRunner(const TaskProcessFactory& factory,
+                      std::optional<std::size_t> match_threads = std::nullopt);
 
   /// Inject the task, run to quiescence, and return the measured deltas.
   TaskMeasurement run(const Task& task);

@@ -1,13 +1,24 @@
 #pragma once
 
-// Matcher abstraction: the engine drives any matcher (Rete or the naive
-// oracle) through this interface, and the matcher reports conflict-set
-// changes through MatchListener.
+// Matcher abstraction: the engine drives any matcher (Rete, the parallel
+// Rete, or the naive oracle) through this interface, and the matcher reports
+// conflict-set changes through MatchListener.
+//
+// Beyond the three WM-delta entry points, the interface carries the
+// instrumentation surface the engine and executors consume: compiled network
+// shape, per-cascade match chunks, the live-token gauge, and the binding
+// analysis RHS evaluation needs. Matchers that do not compile a network
+// (the naive oracle) inherit the empty defaults.
 
+#include <cstdint>
 #include <span>
+#include <stdexcept>
+#include <vector>
 
+#include "ops5/bindings.hpp"
 #include "ops5/production.hpp"
 #include "ops5/wme.hpp"
+#include "util/counters.hpp"
 
 namespace psmsys::rete {
 
@@ -25,6 +36,17 @@ class MatchListener {
                              std::span<const ops5::Wme* const> wmes) = 0;
 };
 
+/// Summary of the compiled network shape (for tests and DESIGN docs). A
+/// partitioned matcher reports the sum over its partition networks.
+struct NetworkStats {
+  std::size_t alpha_patterns = 0;
+  std::size_t alpha_memories = 0;
+  std::size_t beta_memories = 0;
+  std::size_t join_nodes = 0;
+  std::size_t negative_nodes = 0;
+  std::size_t production_nodes = 0;
+};
+
 class Matcher {
  public:
   virtual ~Matcher() = default;
@@ -37,6 +59,24 @@ class Matcher {
 
   /// Forget all WMEs (between PSM tasks); the network structure is retained.
   virtual void clear() = 0;
+
+  /// Compiled network shape; zeros for matchers without a network.
+  [[nodiscard]] virtual NetworkStats stats() const noexcept { return {}; }
+
+  /// Match chunks recorded since the last take_chunks() call. Each entry is
+  /// the work-unit cost of one independent alpha-pattern cascade.
+  [[nodiscard]] virtual std::vector<util::WorkUnits> take_chunks() { return {}; }
+
+  /// Peak number of simultaneously-live beta-memory tokens over the matcher's
+  /// lifetime (the working-set gauge behind the paper's memory-contention
+  /// discussion). Always 0 when built with PSMSYS_OBS=0.
+  [[nodiscard]] virtual std::uint64_t peak_live_tokens() const noexcept { return 0; }
+
+  /// Binding analysis computed during compilation, exposed for RHS
+  /// evaluation. Throws for matchers that do not compile productions.
+  [[nodiscard]] virtual const ops5::BindingAnalysis& bindings(const ops5::Production&) const {
+    throw std::logic_error("matcher has no binding analysis");
+  }
 };
 
 }  // namespace psmsys::rete

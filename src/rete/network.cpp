@@ -792,7 +792,11 @@ Network::Network(const ops5::Program& program, MatchListener& listener,
   impl_->dummy_token->node = impl_->dummy_store;
   impl_->dummy_store->tokens.push_back(impl_->dummy_token);
 
-  for (const auto& p : program.productions()) impl_->compile(p, stats_);
+  const auto& filter = options.production_filter;
+  for (const auto& p : program.productions()) {
+    if (!filter.empty() && !std::binary_search(filter.begin(), filter.end(), p.id())) continue;
+    impl_->compile(p, stats_);
+  }
 
   stats_.alpha_patterns = impl_->patterns.size();
   stats_.alpha_memories = impl_->alpha_memories.size();

@@ -43,16 +43,10 @@ struct NetworkOptions {
   /// whose key matches instead of scanning the whole opposite memory.
   /// Disable for the ablation bench.
   bool indexed_joins = true;
-};
-
-/// Summary of the compiled network shape (for tests and DESIGN docs).
-struct NetworkStats {
-  std::size_t alpha_patterns = 0;
-  std::size_t alpha_memories = 0;
-  std::size_t beta_memories = 0;
-  std::size_t join_nodes = 0;
-  std::size_t negative_nodes = 0;
-  std::size_t production_nodes = 0;
+  /// Compile only the productions with these ids (sorted ascending); empty =
+  /// all of them. The partition networks of rete::ParallelMatcher use this to
+  /// split one frozen program into disjoint sub-networks.
+  std::vector<std::uint32_t> production_filter;
 };
 
 class Network final : public Matcher {
@@ -71,19 +65,19 @@ class Network final : public Matcher {
   void remove_wme(const ops5::Wme& wme) override;
   void clear() override;
 
-  [[nodiscard]] NetworkStats stats() const noexcept { return stats_; }
+  [[nodiscard]] NetworkStats stats() const noexcept override { return stats_; }
 
   /// Match chunks recorded since the last take_chunks() call. Each entry is
   /// the work-unit cost of one independent alpha-pattern cascade.
-  [[nodiscard]] std::vector<util::WorkUnits> take_chunks();
+  [[nodiscard]] std::vector<util::WorkUnits> take_chunks() override;
 
   /// Peak number of simultaneously-live beta-memory tokens over the network's
   /// lifetime — the working-set gauge behind the paper's memory-contention
   /// discussion. Always 0 when built with PSMSYS_OBS=0.
-  [[nodiscard]] std::uint64_t peak_live_tokens() const noexcept;
+  [[nodiscard]] std::uint64_t peak_live_tokens() const noexcept override;
 
   /// Binding analysis computed during compilation, exposed for RHS evaluation.
-  [[nodiscard]] const ops5::BindingAnalysis& bindings(const ops5::Production& p) const;
+  [[nodiscard]] const ops5::BindingAnalysis& bindings(const ops5::Production& p) const override;
 
  private:
   struct Impl;

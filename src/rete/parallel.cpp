@@ -1,0 +1,425 @@
+#include "rete/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <iterator>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/obs_config.hpp"
+
+namespace psmsys::rete {
+
+namespace {
+
+/// Static per-production match weight for the LPT partitioner: a crude but
+/// deterministic proxy for per-WME cascade cost (tests to run + joins to
+/// probe). Exact values only steer balance; correctness never depends on them.
+std::uint64_t production_weight(const ops5::Production& p) {
+  std::uint64_t w = 1;
+  for (const auto& ce : p.lhs()) w += 2 + ce.tests.size();
+  return w;
+}
+
+util::WorkCounters counters_diff(const util::WorkCounters& after,
+                                 const util::WorkCounters& before) noexcept {
+  util::WorkCounters d;
+  d.match_cost = after.match_cost - before.match_cost;
+  d.alpha_tests = after.alpha_tests - before.alpha_tests;
+  d.alpha_activations = after.alpha_activations - before.alpha_activations;
+  d.join_probes = after.join_probes - before.join_probes;
+  d.tokens_created = after.tokens_created - before.tokens_created;
+  d.tokens_deleted = after.tokens_deleted - before.tokens_deleted;
+  d.resolve_cost = after.resolve_cost - before.resolve_cost;
+  d.rhs_cost = after.rhs_cost - before.rhs_cost;
+  d.firings = after.firings - before.firings;
+  d.rhs_actions = after.rhs_actions - before.rhs_actions;
+  d.wmes_added = after.wmes_added - before.wmes_added;
+  d.wmes_removed = after.wmes_removed - before.wmes_removed;
+  d.cycles = after.cycles - before.cycles;
+  return d;
+}
+
+/// One buffered conflict-set delta. WMEs are kept by pointer (they are owned
+/// by the engine's working memory) but ordered by timetag so the canonical
+/// merge is independent of allocation addresses.
+struct Delta {
+  const ops5::Production* production = nullptr;
+  std::vector<const ops5::Wme*> wmes;
+  bool activate = false;
+};
+
+bool delta_less(const Delta& a, const Delta& b) {
+  if (a.production->id() != b.production->id()) return a.production->id() < b.production->id();
+  const std::size_t n = std::min(a.wmes.size(), b.wmes.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a.wmes[i]->timetag() != b.wmes[i]->timetag())
+      return a.wmes[i]->timetag() < b.wmes[i]->timetag();
+  }
+  if (a.wmes.size() != b.wmes.size()) return a.wmes.size() < b.wmes.size();
+  return a.activate && !b.activate;  // activations before deactivations
+}
+
+/// Same instantiation key: production plus matched timetags (timetags are
+/// unique per WME, so timetag equality implies WME identity).
+bool delta_same_key(const Delta& a, const Delta& b) {
+  if (a.production->id() != b.production->id()) return false;
+  if (a.wmes.size() != b.wmes.size()) return false;
+  for (std::size_t i = 0; i < a.wmes.size(); ++i) {
+    if (a.wmes[i]->timetag() != b.wmes[i]->timetag()) return false;
+  }
+  return true;
+}
+
+/// Buffers a partition network's deltas until the barrier.
+struct DeltaBuffer final : MatchListener {
+  std::vector<Delta> deltas;
+
+  void on_activate(const ops5::Production& production,
+                   std::span<const ops5::Wme* const> wmes) override {
+    deltas.push_back({&production, {wmes.begin(), wmes.end()}, true});
+  }
+  void on_deactivate(const ops5::Production& production,
+                     std::span<const ops5::Wme* const> wmes) override {
+    deltas.push_back({&production, {wmes.begin(), wmes.end()}, false});
+  }
+};
+
+}  // namespace
+
+struct ParallelMatcher::Impl {
+  struct Partition {
+    DeltaBuffer buffer;
+    util::WorkCounters counters;       // charged by the owning worker only
+    util::WorkCounters folded;         // snapshot already folded into shared
+    std::unique_ptr<Network> network;  // compiled over this partition's ids
+    std::uint64_t busy_ns = 0;         // written by owner, read after barrier
+  };
+
+  MatchListener& listener;
+  util::WorkCounters& shared_counters;
+  std::vector<Partition> partitions;
+  std::unordered_map<std::uint32_t, std::size_t> owner_of;  // production id
+  std::vector<util::WorkUnits> merged_chunks;
+  std::vector<Delta> merged;
+  std::vector<Delta> net_merged;
+  MatchThreadStats stats;
+
+  // --- pool state (epoch barrier over partitions.size() - 1 workers) ---
+  enum class Op : std::uint8_t { Add, Remove };
+  std::mutex mutex;
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  std::atomic<std::uint64_t> epoch{0};
+  std::atomic<std::size_t> remaining{0};
+  std::atomic<bool> stop{false};
+  Op pending_op = Op::Add;                 // published by the epoch store
+  const ops5::Wme* pending_wme = nullptr;  // published by the epoch store
+  std::vector<std::exception_ptr> errors;  // slot per partition, owner-written
+  std::vector<std::thread> workers;
+
+  explicit Impl(MatchListener& l, util::WorkCounters& c) : listener(l), shared_counters(c) {}
+
+  /// Run one WME operation against partition `k` on the calling thread,
+  /// capturing any exception into the partition's error slot.
+  void run_partition(std::size_t k) {
+    try {
+#if PSMSYS_OBS
+      const auto t0 = std::chrono::steady_clock::now();
+#endif
+      Partition& part = partitions[k];
+      if (pending_op == Op::Add) {
+        part.network->add_wme(*pending_wme);
+      } else {
+        part.network->remove_wme(*pending_wme);
+      }
+#if PSMSYS_OBS
+      part.busy_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                               t0)
+              .count());
+#endif
+    } catch (...) {
+      errors[k] = std::current_exception();
+    }
+  }
+
+  void worker_loop(std::size_t k) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::uint64_t target = seen + 1;
+      // Bounded spin keeps dispatch latency low when cores are free; the cv
+      // fallback keeps the pool correct (and schedulable) on loaded or
+      // single-core hosts.
+      for (int i = 0; i < 4096 && epoch.load(std::memory_order_acquire) < target; ++i) {
+        std::this_thread::yield();
+      }
+      if (epoch.load(std::memory_order_acquire) < target) {
+        std::unique_lock lock(mutex);
+        work_cv.wait(lock, [&] {
+          return stop.load(std::memory_order_acquire) ||
+                 epoch.load(std::memory_order_acquire) >= target;
+        });
+      }
+      if (stop.load(std::memory_order_acquire)) return;
+      seen = target;
+      run_partition(k);
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Pair the final decrement with the dispatcher's cv wait (see
+        // dispatch() for why the empty critical section is required).
+        { std::lock_guard lock(mutex); }
+        done_cv.notify_one();
+      }
+    }
+  }
+
+  /// Run `op` on every partition (workers take partitions 1..N-1, the caller
+  /// takes partition 0), wait for the barrier, then merge deltas in canonical
+  /// order and forward them to the engine's listener.
+  void dispatch(Op op, const ops5::Wme& wme) {
+    ++stats.ops;
+#if PSMSYS_OBS
+    const auto t0 = std::chrono::steady_clock::now();
+#endif
+    pending_op = op;
+    pending_wme = &wme;
+    if (!workers.empty()) {
+      remaining.store(workers.size(), std::memory_order_relaxed);
+      epoch.fetch_add(1, std::memory_order_release);
+      // Empty critical section: a worker that evaluated the wait predicate
+      // just before the epoch bump cannot block until we release the mutex,
+      // so the notify below can never be lost.
+      { std::lock_guard lock(mutex); }
+      work_cv.notify_all();
+    }
+    run_partition(0);
+    if (!workers.empty()) {
+      for (int i = 0; i < 4096 && remaining.load(std::memory_order_acquire) > 0; ++i) {
+        std::this_thread::yield();
+      }
+      if (remaining.load(std::memory_order_acquire) > 0) {
+        std::unique_lock lock(mutex);
+        done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+      }
+    }
+#if PSMSYS_OBS
+    stats.wall_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() - t0)
+            .count());
+#endif
+    for (std::size_t k = 0; k < partitions.size(); ++k) {
+      if (errors[k]) {
+        auto err = std::exchange(errors[k], nullptr);
+        discard_pending();
+        std::rethrow_exception(err);
+      }
+    }
+    fold();
+    merge_and_forward();
+  }
+
+  /// Fold each partition's counter growth and chunk list into the shared
+  /// engine counters / merged chunk list (partition order, so the result is
+  /// deterministic).
+  void fold() {
+    for (Partition& part : partitions) {
+#if PSMSYS_OBS
+      stats.busy_ns += part.busy_ns;
+      part.busy_ns = 0;
+#endif
+      shared_counters += counters_diff(part.counters, part.folded);
+      part.folded = part.counters;
+      auto chunks = part.network->take_chunks();
+      merged_chunks.insert(merged_chunks.end(), chunks.begin(), chunks.end());
+    }
+  }
+
+  /// Canonical merge: sort the operation's deltas by (production id,
+  /// timetags, add-first), then cancel transient activate/deactivate pairs of
+  /// the same instantiation. The raw delta multiset is NOT layout-invariant —
+  /// a WME matching both a positive and a negated condition of one production
+  /// can transiently activate it or not depending on intra-network
+  /// propagation order, which differs between partition layouts. The *net*
+  /// delta per (production, timetags) key is a pure function of the
+  /// production's before/after match state, so forwarding nets in sorted
+  /// order yields the identical listener sequence for every thread count.
+  void merge_and_forward() {
+    merged.clear();
+    for (Partition& part : partitions) {
+      merged.insert(merged.end(), std::make_move_iterator(part.buffer.deltas.begin()),
+                    std::make_move_iterator(part.buffer.deltas.end()));
+      part.buffer.deltas.clear();
+    }
+    std::sort(merged.begin(), merged.end(), delta_less);
+    net_merged.clear();
+    for (std::size_t i = 0; i < merged.size();) {
+      std::size_t j = i;
+      std::ptrdiff_t net = 0;
+      while (j < merged.size() && delta_same_key(merged[i], merged[j])) {
+        net += merged[j].activate ? 1 : -1;
+        ++j;
+      }
+      // The sort puts the group's activations first, so the first `net`
+      // entries (net > 0) or the last `-net` entries (net < 0) have the
+      // surviving polarity.
+      for (std::ptrdiff_t k = 0; k < net; ++k) net_merged.push_back(std::move(merged[i + k]));
+      for (std::ptrdiff_t k = net; k < 0; ++k) net_merged.push_back(std::move(merged[j + k]));
+      i = j;
+    }
+    merged.clear();
+    for (const Delta& d : net_merged) {
+      if (d.activate) {
+        listener.on_activate(*d.production, d.wmes);
+      } else {
+        listener.on_deactivate(*d.production, d.wmes);
+      }
+    }
+    net_merged.clear();
+  }
+
+  /// After a partition threw, drop whatever the other partitions buffered so
+  /// a later operation does not replay half of the failed one. The engine
+  /// treats matcher exceptions as fatal for the task (undo-log rollback), so
+  /// no listener call may escape a failed dispatch.
+  void discard_pending() {
+    for (Partition& part : partitions) {
+      part.buffer.deltas.clear();
+#if PSMSYS_OBS
+      stats.busy_ns += part.busy_ns;
+      part.busy_ns = 0;
+#endif
+      shared_counters += counters_diff(part.counters, part.folded);
+      part.folded = part.counters;
+      auto chunks = part.network->take_chunks();
+      merged_chunks.insert(merged_chunks.end(), chunks.begin(), chunks.end());
+    }
+  }
+
+  void shutdown() {
+    if (workers.empty()) return;
+    {
+      std::lock_guard lock(mutex);
+      stop.store(true, std::memory_order_release);
+    }
+    work_cv.notify_all();
+    for (auto& w : workers) w.join();
+    workers.clear();
+  }
+};
+
+ParallelMatcher::ParallelMatcher(const ops5::Program& program, MatchListener& listener,
+                                 util::WorkCounters& counters, const util::CostModel& costs,
+                                 const ParallelMatcherOptions& options)
+    : impl_(std::make_unique<Impl>(listener, counters)) {
+  if (options.threads == 0) {
+    throw std::invalid_argument("ParallelMatcher: threads must be >= 1");
+  }
+  const auto productions = program.productions();
+  const std::size_t want = std::max<std::size_t>(1, std::min(options.threads, productions.size()));
+
+  // Deterministic greedy LPT: heaviest production first, into the lightest
+  // partition (lowest index on ties). Depends only on the frozen program.
+  std::vector<std::uint32_t> order(productions.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<std::uint32_t>(i);
+  std::stable_sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return production_weight(productions[a]) > production_weight(productions[b]);
+  });
+  std::vector<std::uint64_t> load(want, 0);
+  std::vector<std::vector<std::uint32_t>> members(want);
+  for (const std::uint32_t idx : order) {
+    const std::size_t k = static_cast<std::size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    load[k] += production_weight(productions[idx]);
+    members[k].push_back(productions[idx].id());
+    impl_->owner_of.emplace(productions[idx].id(), k);
+  }
+
+  impl_->partitions = std::vector<Impl::Partition>(want);
+  impl_->errors.resize(want);
+  impl_->stats.threads = want;
+  for (std::size_t k = 0; k < want; ++k) {
+    NetworkOptions net = options.network;
+    net.production_filter = members[k];
+    std::sort(net.production_filter.begin(), net.production_filter.end());
+    // A partition with an empty filter would compile *every* production
+    // (empty means "all"); `want` <= production count prevents that, except
+    // for the degenerate empty program, where compiling "all" is still none.
+    impl_->partitions[k].network = std::make_unique<Network>(
+        program, impl_->partitions[k].buffer, impl_->partitions[k].counters, costs, net);
+  }
+  // Compilation charged partition-local counters; surface it immediately so
+  // the engine's view matches the serial network's timing of those costs.
+  impl_->fold();
+
+  impl_->workers.reserve(want - 1);
+  for (std::size_t k = 1; k < want; ++k) {
+    impl_->workers.emplace_back([impl = impl_.get(), k] { impl->worker_loop(k); });
+  }
+}
+
+ParallelMatcher::~ParallelMatcher() { impl_->shutdown(); }
+
+void ParallelMatcher::add_wme(const ops5::Wme& wme) { impl_->dispatch(Impl::Op::Add, wme); }
+
+void ParallelMatcher::remove_wme(const ops5::Wme& wme) { impl_->dispatch(Impl::Op::Remove, wme); }
+
+void ParallelMatcher::clear() {
+  // Serial: clear() runs between tasks, never on the match hot path. The
+  // preceding barrier makes the partitions safe to touch from this thread.
+  for (auto& part : impl_->partitions) part.network->clear();
+  impl_->fold();
+  impl_->merged_chunks.clear();
+}
+
+NetworkStats ParallelMatcher::stats() const noexcept {
+  NetworkStats total;
+  for (const auto& part : impl_->partitions) {
+    const NetworkStats s = part.network->stats();
+    total.alpha_patterns += s.alpha_patterns;
+    total.alpha_memories += s.alpha_memories;
+    total.beta_memories += s.beta_memories;
+    total.join_nodes += s.join_nodes;
+    total.negative_nodes += s.negative_nodes;
+    total.production_nodes += s.production_nodes;
+  }
+  return total;
+}
+
+std::vector<util::WorkUnits> ParallelMatcher::take_chunks() {
+  return std::exchange(impl_->merged_chunks, {});
+}
+
+std::uint64_t ParallelMatcher::peak_live_tokens() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& part : impl_->partitions) total += part.network->peak_live_tokens();
+  return total;
+}
+
+const ops5::BindingAnalysis& ParallelMatcher::bindings(const ops5::Production& p) const {
+  const auto it = impl_->owner_of.find(p.id());
+  if (it == impl_->owner_of.end()) {
+    throw std::logic_error("ParallelMatcher: production not compiled");
+  }
+  return impl_->partitions[it->second].network->bindings(p);
+}
+
+std::size_t ParallelMatcher::threads() const noexcept { return impl_->partitions.size(); }
+
+std::size_t ParallelMatcher::partition_of(std::uint32_t production_id) const {
+  const auto it = impl_->owner_of.find(production_id);
+  if (it == impl_->owner_of.end()) {
+    throw std::out_of_range("ParallelMatcher: unknown production id");
+  }
+  return it->second;
+}
+
+MatchThreadStats ParallelMatcher::thread_stats() const noexcept { return impl_->stats; }
+
+}  // namespace psmsys::rete

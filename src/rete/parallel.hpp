@@ -1,0 +1,116 @@
+#pragma once
+
+// ParallelMatcher: measured intra-task match parallelism.
+//
+// ParaOPS5 distributes match work over dedicated match processes
+// (Section 3.1); until this matcher, our Table 9 reproduction obtained its
+// match factor purely from the bin-packing cost model in psm/sim.hpp. This
+// class makes the factor measurable: the production set is split into
+// deterministic, disjoint partitions (greedy LPT over static production
+// weight), each partition compiled into its own Rete sub-network, and every
+// WME add/remove is executed against all partitions concurrently by a
+// per-matcher worker pool.
+//
+// Determinism contract: after the per-operation barrier, the partitions'
+// conflict-set deltas are merged, transient activate/deactivate pairs of the
+// same instantiation are cancelled (intra-network propagation order — which
+// varies with the partition layout — can transiently activate a production
+// whose negated condition the same WME also satisfies; only the *net* delta
+// is layout-invariant), and the nets are forwarded to the engine's listener
+// in *canonical order* — sorted by (production id, matched timetags,
+// add-before-remove) — so the listener-visible sequence is byte-identical
+// for any thread count and any thread schedule. Since conflict-resolution
+// ties ultimately break on conflict-set insertion sequence, this is what
+// makes firing logs reproducible across `match_threads` ∈ {1,2,4}
+// (tests/match_determinism_test.cpp) and lets the differential oracle
+// (tests/match_oracle_test.cpp) compare conflict sets exactly.
+//
+// The partitions repeat alpha tests that node sharing would have merged —
+// the classic cost of production-level partitioning (Gupta) — so summed work
+// counters can exceed the serial network's; wall clock is what the split
+// buys.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ops5/production.hpp"
+#include "rete/matcher.hpp"
+#include "rete/network.hpp"
+#include "util/counters.hpp"
+
+namespace psmsys::rete {
+
+/// Match-thread utilization gauges, surfaced through obs::RunMetrics.
+/// busy/wall are recorded only when built with PSMSYS_OBS (0 otherwise);
+/// `ops` always counts dispatched WME operations.
+struct MatchThreadStats {
+  std::uint64_t threads = 0;   ///< configured match workers (partition count)
+  std::uint64_t ops = 0;       ///< WME add/remove operations dispatched
+  std::uint64_t busy_ns = 0;   ///< per-partition match time, summed over workers
+  std::uint64_t wall_ns = 0;   ///< caller-side dispatch-to-barrier wall time
+
+  /// Mean busy fraction of the match workers while a dispatch is in flight.
+  [[nodiscard]] double utilization() const noexcept {
+    return (wall_ns == 0 || threads == 0)
+               ? 0.0
+               : static_cast<double>(busy_ns) /
+                     (static_cast<double>(wall_ns) * static_cast<double>(threads));
+  }
+};
+
+struct ParallelMatcherOptions {
+  /// Match workers (= production partitions). 1 is the degenerate pool: the
+  /// calling thread does everything, but deltas still flow through the
+  /// canonical merge so results are identical to any other thread count.
+  std::size_t threads = 2;
+  /// Options applied to every partition network. production_filter is
+  /// overwritten per partition.
+  NetworkOptions network;
+};
+
+class ParallelMatcher final : public Matcher {
+ public:
+  /// Compiles one sub-network per partition. The program must be frozen and
+  /// must outlive the matcher; merged costs are charged to `counters` (from
+  /// the calling thread only — workers charge partition-local counters that
+  /// are folded after each barrier).
+  ParallelMatcher(const ops5::Program& program, MatchListener& listener,
+                  util::WorkCounters& counters, const util::CostModel& costs = {},
+                  const ParallelMatcherOptions& options = {});
+  ~ParallelMatcher() override;
+
+  ParallelMatcher(const ParallelMatcher&) = delete;
+  ParallelMatcher& operator=(const ParallelMatcher&) = delete;
+
+  void add_wme(const ops5::Wme& wme) override;
+  void remove_wme(const ops5::Wme& wme) override;
+  void clear() override;
+
+  /// Aggregated shape of all partition networks.
+  [[nodiscard]] NetworkStats stats() const noexcept override;
+
+  /// Merged chunks (partition order within each operation).
+  [[nodiscard]] std::vector<util::WorkUnits> take_chunks() override;
+
+  /// Sum of the partition peaks — an upper bound on the true simultaneous
+  /// peak (partitions peak at different times).
+  [[nodiscard]] std::uint64_t peak_live_tokens() const noexcept override;
+
+  [[nodiscard]] const ops5::BindingAnalysis& bindings(const ops5::Production& p) const override;
+
+  /// Configured worker count (== partition count actually built).
+  [[nodiscard]] std::size_t threads() const noexcept;
+
+  /// Which partition owns production `id` (for tests of the deterministic
+  /// partitioning).
+  [[nodiscard]] std::size_t partition_of(std::uint32_t production_id) const;
+
+  [[nodiscard]] MatchThreadStats thread_stats() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace psmsys::rete

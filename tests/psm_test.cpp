@@ -92,6 +92,28 @@ TEST(TaskQueue, PopHandsOutStablePointersNotCopies) {
   EXPECT_EQ(a->id, 0u);
 }
 
+TEST(TaskQueue, RequeuedTasksDrainBeforeFreshOnes) {
+  // Regression for the fairness note in queue.hpp: a stranded task already
+  // waited a full scheduling round, so it must be handed out before the
+  // untouched remainder of the fresh list — not after it.
+  std::vector<Task> tasks(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    tasks[i].id = i;
+    tasks[i].inject = [](ops5::Engine&) {};
+  }
+  TaskQueue q(std::move(tasks));
+  EXPECT_EQ(q.pop()->id, 0u);
+  q.requeue(0);  // stranded while fresh tasks 1..3 still wait
+  EXPECT_EQ(q.pop()->id, 0u);  // requeued first...
+  EXPECT_EQ(q.pop()->id, 1u);  // ...then fresh order resumes
+  q.requeue(1);
+  EXPECT_EQ(q.pop()->id, 1u);
+  EXPECT_EQ(q.pop()->id, 2u);
+  EXPECT_EQ(q.pop()->id, 3u);
+  EXPECT_EQ(q.pop(), nullptr);
+  EXPECT_EQ(q.pops(), 6u);  // successful pops only: 0,0,1,1,2,3
+}
+
 TEST(TaskQueue, RequeueHandsTasksOutAgain) {
   std::vector<Task> tasks(2);
   for (std::size_t i = 0; i < 2; ++i) {
