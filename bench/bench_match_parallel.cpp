@@ -8,8 +8,10 @@
 // not just the headline speedup. On hosts with fewer cores than threads the
 // curve degrades honestly instead of being simulated away.
 
+#include <chrono>
 #include <thread>
 
+#include "analysis/rete_static.hpp"
 #include "bench/harness.hpp"
 #include "psm/run.hpp"
 
@@ -78,6 +80,56 @@ PSMSYS_BENCH_CASE(match_measured, "multiplicative",
   ctx.metric("hardware_concurrency", std::thread::hardware_concurrency());
   ctx.note("measured on the real executor; see bench_multiplicative's "
            "table9_measured for the full task x match grid");
+}
+
+PSMSYS_BENCH_CASE(match_partition, "multiplicative",
+                  "Match partition balance: analyzer cost model vs condition-count "
+                  "heuristic (SF, Level 2)") {
+  auto& os = ctx.out();
+  const auto& measured = ctx.lcc(spam::sf_config(), 2);
+  const auto decomposition = spam::lcc_decomposition(2, *measured.scene, measured.best);
+  const int reps = ctx.quick() ? 1 : 3;
+
+  // How long one analyzer pass costs (what Engine::build_matcher pays per
+  // rebuild when match_cost_source is Analyzer).
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto costs = analysis::static_match_costs(*decomposition.spec.program);
+  const auto analyzer_ns = std::chrono::steady_clock::now() - t0;
+  ctx.metric("analyzer_wall_ns", static_cast<double>(analyzer_ns.count()));
+  ctx.metric("analyzer_productions", static_cast<double>(costs.size()));
+
+  // Measured per-partition match work (RunMetrics partition counters) for
+  // both LPT weight sources at 2 and 4 match threads, one task process each
+  // so the imbalance reads the pool's partition quality directly.
+  util::Table table({"match threads", "cost source", "imbalance", "max wu", "mean wu"});
+  const std::vector<std::size_t> threads = ctx.quick() ? std::vector<std::size_t>{2}
+                                                       : std::vector<std::size_t>{2, 4};
+  for (const std::size_t m : threads) {
+    for (const auto source :
+         {ops5::MatchCostSource::Analyzer, ops5::MatchCostSource::ConditionCount}) {
+      const bool analyzer = source == ops5::MatchCostSource::Analyzer;
+      const auto run = timed_run(decomposition, 1, m, reps, source);
+      const double imbalance = run.metrics.match_partition_imbalance();
+      const double mean =
+          run.metrics.match_partitions == 0
+              ? 0.0
+              : static_cast<double>(run.metrics.match_partition_cost_sum) /
+                    static_cast<double>(run.metrics.match_partitions);
+      table.add_row({std::to_string(m), analyzer ? "analyzer" : "heuristic",
+                     util::Table::fmt(imbalance, 3),
+                     util::Table::fmt(run.metrics.match_partition_cost_max),
+                     util::Table::fmt(mean, 0)});
+      ctx.metric((analyzer ? std::string("analyzer_imbalance_m") : "heuristic_imbalance_m") +
+                     std::to_string(m),
+                 imbalance);
+    }
+  }
+  table.print(os,
+              "imbalance = heaviest partition / mean partition match work\n"
+              "(1.0 = perfectly balanced); lower is better");
+  ctx.table("partition_balance", table);
+  ctx.note("partition work units are deterministic counters, identical across "
+           "repetitions; only the wall clock varies");
 }
 
 }  // namespace psmsys::bench

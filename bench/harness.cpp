@@ -50,7 +50,8 @@ MeasuredLcc measure_rtf(const spam::DatasetConfig& config, bool record_cycles) {
 }
 
 TimedRun timed_run(const spam::Decomposition& decomposition, std::size_t task_processes,
-                   std::size_t match_threads, int repetitions) {
+                   std::size_t match_threads, int repetitions,
+                   ops5::MatchCostSource cost_source) {
   TimedRun best;
   best.wall = std::chrono::nanoseconds::max();
   for (int rep = 0; rep < std::max(1, repetitions); ++rep) {
@@ -58,6 +59,7 @@ TimedRun timed_run(const spam::Decomposition& decomposition, std::size_t task_pr
     options.task_processes = task_processes;
     options.strict = true;
     options.match_threads = match_threads;
+    options.match_cost_source = cost_source;
     auto result = psm::run(decomposition.factory, decomposition.tasks, options);
     if (result.elapsed < best.wall) {
       best.wall = result.elapsed;

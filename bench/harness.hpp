@@ -80,9 +80,10 @@ struct TimedRun {
   std::chrono::nanoseconds wall{};
   obs::RunMetrics metrics;
 };
-[[nodiscard]] TimedRun timed_run(const spam::Decomposition& decomposition,
-                                 std::size_t task_processes, std::size_t match_threads,
-                                 int repetitions);
+[[nodiscard]] TimedRun timed_run(
+    const spam::Decomposition& decomposition, std::size_t task_processes,
+    std::size_t match_threads, int repetitions,
+    ops5::MatchCostSource cost_source = ops5::MatchCostSource::Analyzer);
 
 /// Measured speedup matrix over task_procs x match_threads: wall(1 task
 /// process, serial match) / wall(T, M). matrix[ti][mi] pairs each cell with

@@ -6,6 +6,11 @@
 //   spam_lint --cpp FILE [--seeds a,b,c]    lint OPS5 programs embedded in C++ raw strings
 //   spam_lint --interference sf|dc|moff|all [--level N]
 //                                           certify task decompositions interference-free
+//   spam_lint --rete-report                 emit the Rete static-analysis JSON report
+//   spam_lint --costs                       print per-production static match costs
+//   spam_lint --out DIR                     write reports to DIR/<label>.rete.json
+//   spam_lint --outputs a,b,c               classes the control process extracts
+//                                           (enables AN008 dead-production checks)
 //   spam_lint --strict                      treat warnings as failures
 //
 // Exit status: 0 = clean, 1 = error-severity findings (or any findings with
@@ -13,6 +18,7 @@
 
 #include <cstddef>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -24,6 +30,7 @@
 
 #include "analysis/interference.hpp"
 #include "analysis/lint.hpp"
+#include "analysis/rete_static.hpp"
 #include "ops5/parser.hpp"
 #include "spam/decomposition.hpp"
 #include "spam/phases.hpp"
@@ -37,16 +44,21 @@ using namespace psmsys;
 struct Options {
   bool phases = false;
   bool strict = false;
+  bool rete_report = false;
+  bool costs = false;
+  std::string out_dir;  // empty = reports go to stdout
   std::vector<std::string> files;
   std::vector<std::string> cpp_files;
   std::vector<std::string> seeds;
+  std::vector<std::string> outputs;
   std::vector<std::string> interference;  // dataset names, lower case
   int level = 0;                          // 0 = the experiment levels {4,3,2}
 };
 
 void usage(std::ostream& os) {
   os << "usage: spam_lint [--phases] [FILE...] [--cpp FILE] [--seeds a,b,c]\n"
-        "                 [--interference sf|dc|moff|all [--level N]] [--strict]\n";
+        "                 [--outputs a,b,c] [--interference sf|dc|moff|all [--level N]]\n"
+        "                 [--rete-report] [--costs] [--out DIR] [--strict]\n";
 }
 
 [[nodiscard]] std::vector<std::string> split_csv(const std::string& csv) {
@@ -71,6 +83,18 @@ void usage(std::ostream& os) {
       opt.phases = true;
     } else if (arg == "--strict") {
       opt.strict = true;
+    } else if (arg == "--rete-report") {
+      opt.rete_report = true;
+    } else if (arg == "--costs") {
+      opt.costs = true;
+    } else if (arg == "--out") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      opt.out_dir = *value;
+    } else if (arg == "--outputs") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      for (auto& s : split_csv(*value)) opt.outputs.push_back(std::move(s));
     } else if (arg == "--cpp") {
       const auto value = next();
       if (!value) return std::nullopt;
@@ -137,10 +161,75 @@ struct LintTally {
   std::size_t warnings = 0;
 };
 
+/// Resolves class names against the program's symbol table into `out`.
+/// Leaves `out` unset when `names` is empty (the corresponding whole-program
+/// checks stay disabled).
+[[nodiscard]] bool resolve_classes(const ops5::Program& program, const std::string& label,
+                                   const std::vector<std::string>& names, const char* what,
+                                   std::optional<std::vector<ops5::ClassIndex>>& out) {
+  if (names.empty()) return true;
+  out.emplace();
+  for (const auto& name : names) {
+    const auto sym = program.symbols().find(name);
+    const auto cls = sym ? program.class_index(*sym) : std::nullopt;
+    if (!cls) {
+      std::cerr << label << ": unknown " << what << " class '" << name << "'\n";
+      return false;
+    }
+    out->push_back(*cls);
+  }
+  return true;
+}
+
+/// Runs the Rete static analyzer and emits the report per the CLI flags:
+/// the JSON report to --out DIR (or stdout), the cost table to stdout.
+/// Returns false when a report file cannot be written.
+[[nodiscard]] bool emit_rete_analysis(const ops5::Program& program, const std::string& label,
+                                      const Options& opt) {
+  analysis::ReteStaticReport report = analysis::analyze_rete(program);
+  report.program = label;
+
+  if (opt.costs) {
+    std::cout << label << ": static match costs (analyzer vs condition-count heuristic); "
+              << "alpha sharing " << report.alpha_sharing() << "x, join sharing "
+              << report.join_sharing() << "x\n";
+    for (const auto& p : report.productions) {
+      std::cout << "  " << p.name << ": cost=" << p.match_cost
+                << " heuristic=" << p.heuristic_cost << " beta_degree=" << p.beta_degree
+                << " beta_bound=" << p.beta_bound << '\n';
+    }
+  }
+
+  if (opt.rete_report) {
+    const std::string text = report.to_json().dump(2);
+    if (opt.out_dir.empty()) {
+      std::cout << text << '\n';
+    } else {
+      std::error_code ec;
+      std::filesystem::create_directories(opt.out_dir, ec);
+      std::string fname = label;
+      for (auto& c : fname) {
+        if (c == '/' || c == '\\' || c == '#' || c == ' ') c = '_';
+      }
+      const std::string path = opt.out_dir + "/" + fname + ".rete.json";
+      std::ofstream os(path, std::ios::binary);
+      if (!os) {
+        std::cerr << path << ": cannot write report\n";
+        return false;
+      }
+      os << text << '\n';
+      std::cout << label << ": rete report -> " << path << '\n';
+    }
+  }
+  return true;
+}
+
 /// Parses and lints one OPS5 source; prints diagnostics; updates the tally.
 /// Returns false on parse failure.
 [[nodiscard]] bool lint_source(const std::string& label, const std::string& source,
-                               const std::vector<std::string>& seeds, LintTally& tally) {
+                               const std::vector<std::string>& seeds,
+                               const std::vector<std::string>& outputs, const Options& opt,
+                               LintTally& tally) {
   ops5::Program program;
   try {
     program = ops5::parse_program(source);
@@ -150,17 +239,9 @@ struct LintTally {
   }
 
   analysis::LintOptions options;
-  if (!seeds.empty()) {
-    options.seed_classes.emplace();
-    for (const auto& seed : seeds) {
-      const auto sym = program.symbols().find(seed);
-      const auto cls = sym ? program.class_index(*sym) : std::nullopt;
-      if (!cls) {
-        std::cerr << label << ": unknown seed class '" << seed << "'\n";
-        return false;
-      }
-      options.seed_classes->push_back(*cls);
-    }
+  if (!resolve_classes(program, label, seeds, "seed", options.seed_classes)) return false;
+  if (!resolve_classes(program, label, outputs, "output", options.output_classes)) {
+    return false;
   }
 
   const auto diags = analysis::lint_program(program, options);
@@ -174,31 +255,47 @@ struct LintTally {
   }
   std::cout << label << ": " << program.productions().size() << " productions, "
             << diags.size() << " finding(s)\n";
+
+  if (opt.rete_report || opt.costs) {
+    if (!emit_rete_analysis(program, label, opt)) return false;
+  }
   return true;
 }
 
-[[nodiscard]] bool lint_phases(LintTally& tally) {
+[[nodiscard]] bool lint_phases(const Options& opt, LintTally& tally) {
   struct Phase {
     const char* name;
     std::string source;
     std::vector<std::string> seeds;
+    std::vector<std::string> outputs;  ///< what the control process extracts
   };
   const std::vector<Phase> phases = {
-      {"rtf", spam::rtf_source(), {"region", "rtf-task"}},
-      {"lcc", spam::lcc_source(), {"fragment", "constraint", "support", "lcc-task"}},
-      {"fa", spam::fa_source(), {"fragment", "context", "fa-task"}},
-      {"model", spam::model_source(), {"functional-area", "model-task"}},
+      {"rtf", spam::rtf_source(), {"region", "rtf-task"}, {"fragment"}},
+      // relation WMEs are write-only inside LCC by design: they record the
+      // named spatial relations for downstream interpretation, so they are
+      // phase outputs even though only contexts/consistency are re-seeded.
+      {"lcc",
+       spam::lcc_source(),
+       {"fragment", "constraint", "support", "lcc-task"},
+       {"context", "consistency", "relation"}},
+      {"fa", spam::fa_source(), {"fragment", "context", "fa-task"},
+       {"functional-area", "fa-size"}},
+      {"model", spam::model_source(), {"functional-area", "model-task"}, {"model"}},
   };
   bool ok = true;
   for (const auto& phase : phases) {
-    ok = lint_source(phase.name, phase.source, phase.seeds, tally) && ok;
+    ok = lint_source(phase.name, phase.source, phase.seeds, phase.outputs, opt, tally) && ok;
   }
   return ok;
 }
 
 /// Certifies the decompositions of one dataset; returns the number of
-/// reported conflicts.
-[[nodiscard]] std::size_t check_dataset(const std::string& name, int level) {
+/// reported conflicts. With --rete-report / --costs, also runs the static
+/// analyzer over each decomposition's phase program (labelled
+/// "<dataset>-<phase>", e.g. "sf-lcc-L3") — the per-dataset artifacts CI
+/// uploads.
+[[nodiscard]] std::size_t check_dataset(const std::string& name, int level,
+                                        const Options& opt, bool& report_ok) {
   const spam::DatasetConfig config = spam::dataset_by_name(
       name == "sf" ? "SF" : name == "dc" ? "DC" : name == "moff" ? "MOFF" : name);
   const spam::Scene scene = spam::generate_scene(config);
@@ -210,6 +307,13 @@ struct LintTally {
     std::cout << config.name << ' ' << label << ": " << report.summary(*d.spec.program)
               << '\n';
     conflicts += report.conflicts.size();
+    if (opt.rete_report || opt.costs) {
+      std::string tag = name + "-" + label;
+      for (auto& c : tag) {
+        if (c == ' ') c = '-';
+      }
+      report_ok = emit_rete_analysis(*d.spec.program, tag, opt) && report_ok;
+    }
   };
 
   certify("rtf", spam::rtf_decomposition(scene, 3));
@@ -233,7 +337,7 @@ int main(int argc, char** argv) {
   LintTally tally;
   bool parse_ok = true;
 
-  if (opt->phases) parse_ok = lint_phases(tally) && parse_ok;
+  if (opt->phases) parse_ok = lint_phases(*opt, tally) && parse_ok;
 
   for (const auto& path : opt->files) {
     const auto source = read_file(path);
@@ -242,7 +346,7 @@ int main(int argc, char** argv) {
       parse_ok = false;
       continue;
     }
-    parse_ok = lint_source(path, *source, opt->seeds, tally) && parse_ok;
+    parse_ok = lint_source(path, *source, opt->seeds, opt->outputs, *opt, tally) && parse_ok;
   }
 
   for (const auto& path : opt->cpp_files) {
@@ -260,14 +364,15 @@ int main(int argc, char** argv) {
     }
     for (std::size_t i = 0; i < programs.size(); ++i) {
       const std::string label = path + "#" + std::to_string(i);
-      parse_ok = lint_source(label, programs[i], opt->seeds, tally) && parse_ok;
+      parse_ok =
+          lint_source(label, programs[i], opt->seeds, opt->outputs, *opt, tally) && parse_ok;
     }
   }
 
   std::size_t conflicts = 0;
   for (const auto& dataset : opt->interference) {
     try {
-      conflicts += check_dataset(dataset, opt->level);
+      conflicts += check_dataset(dataset, opt->level, *opt, parse_ok);
     } catch (const std::exception& e) {
       std::cerr << "--interference " << dataset << ": " << e.what() << '\n';
       return 2;

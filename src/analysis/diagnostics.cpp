@@ -29,6 +29,8 @@ Severity default_severity(Code c) noexcept {
     case Code::ModifyTargetsNegatedCe: return Severity::Warning;
     case Code::NonEqualityFirstUse: return Severity::Error;
     case Code::DuplicateAttributeSet: return Severity::Warning;
+    case Code::DeadProduction: return Severity::Warning;
+    case Code::UnproducibleClass: return Severity::Warning;
   }
   return Severity::Warning;
 }

@@ -25,6 +25,8 @@ enum class Code : std::uint16_t {
   ModifyTargetsNegatedCe = 5,  ///< AN005: modify/remove index lands on a negated LHS element
   NonEqualityFirstUse = 6,     ///< AN006: variable's first occurrence uses a non-= predicate
   DuplicateAttributeSet = 7,   ///< AN007: same attribute assigned twice in one make/modify
+  DeadProduction = 8,          ///< AN008: nothing it writes is consumed or output
+  UnproducibleClass = 9,       ///< AN009: positive CE class transitively unproducible from seeds
 };
 
 /// "AN001" etc.

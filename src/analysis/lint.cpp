@@ -28,15 +28,77 @@ using ops5::Value;
 using ops5::VariableId;
 using ops5::WriteAction;
 
+/// Whole-program pre-analysis shared by every per-production linter pass:
+/// the dependency-graph substrate of AN003/AN008/AN009.
+struct WholeProgram {
+  /// Classes some production makes.
+  std::unordered_set<ClassIndex> producers;
+  /// Class -> productions with a (positive or negated) CE on it.
+  std::unordered_map<ClassIndex, std::unordered_set<const Production*>> readers;
+  /// Classes producible from the seeds through live productions (fixpoint);
+  /// meaningful only when seed_classes was provided.
+  std::unordered_set<ClassIndex> producible;
+};
+
+[[nodiscard]] std::unordered_set<ClassIndex> make_producers(const Program& program) {
+  std::unordered_set<ClassIndex> producers;
+  for (const auto& p : program.productions()) {
+    for (const auto& action : p.rhs()) {
+      if (const auto* make = std::get_if<MakeAction>(&action)) producers.insert(make->cls);
+    }
+  }
+  return producers;
+}
+
+[[nodiscard]] WholeProgram whole_program_analysis(const Program& program,
+                                                  const LintOptions& options) {
+  WholeProgram wp;
+  wp.producers = make_producers(program);
+  for (const auto& p : program.productions()) {
+    for (const auto& ce : p.lhs()) wp.readers[ce.cls].insert(&p);
+  }
+  if (options.seed_classes.has_value()) {
+    wp.producible.insert(options.seed_classes->begin(), options.seed_classes->end());
+    // Liveness fixpoint: a production is live once every positive CE class is
+    // producible; a live production's makes extend producibility. Negated CEs
+    // never block liveness (absence is free).
+    std::unordered_set<const Production*> live;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& p : program.productions()) {
+        if (live.contains(&p)) continue;
+        bool matchable = true;
+        for (const auto& ce : p.lhs()) {
+          if (!ce.negated && !wp.producible.contains(ce.cls)) {
+            matchable = false;
+            break;
+          }
+        }
+        if (!matchable) continue;
+        live.insert(&p);
+        changed = true;
+        for (const auto& action : p.rhs()) {
+          if (const auto* make = std::get_if<MakeAction>(&action)) {
+            wp.producible.insert(make->cls);
+          }
+        }
+      }
+    }
+  }
+  return wp;
+}
+
 class ProductionLinter {
  public:
   ProductionLinter(const Program& program, const Production& production,
-                   const LintOptions& options, const std::unordered_set<ClassIndex>& producers,
+                   const LintOptions& options, const WholeProgram& whole,
                    std::vector<Diagnostic>& out)
       : program_(program),
         production_(production),
         options_(options),
-        producers_(producers),
+        whole_(whole),
+        producers_(whole.producers),
         out_(out) {}
 
   void run() {
@@ -47,6 +109,8 @@ class ProductionLinter {
     check_contradictions();    // AN004
     check_modify_targets();    // AN005
     check_duplicate_sets();    // AN007
+    check_dead();              // AN008
+    check_unproducible();      // AN009
   }
 
  private:
@@ -359,39 +423,106 @@ class ProductionLinter {
     }
   }
 
+  // AN008 — a production whose every write lands on classes no *other*
+  // production reads and the phase never outputs does work nobody observes.
+  // Externally visible actions (write/halt) always count as consumption.
+  void check_dead() {
+    if (!options_.output_classes.has_value()) return;
+    const std::unordered_set<ClassIndex> outputs(options_.output_classes->begin(),
+                                                 options_.output_classes->end());
+    std::vector<ClassIndex> written;  // first-write order, deduplicated
+    const auto add_written = [&](ClassIndex cls) {
+      if (std::find(written.begin(), written.end(), cls) == written.end()) {
+        written.push_back(cls);
+      }
+    };
+    for (const auto& action : production_.rhs()) {
+      if (std::holds_alternative<WriteAction>(action) ||
+          std::holds_alternative<ops5::HaltAction>(action)) {
+        return;  // externally visible effect: never dead
+      }
+      if (const auto* make = std::get_if<MakeAction>(&action)) {
+        add_written(make->cls);
+      } else if (const auto* mod = std::get_if<ModifyAction>(&action)) {
+        const ConditionElement* target = positive_ce(production_, mod->ce_index);
+        if (target == nullptr) return;  // AN005 error territory; don't pile on
+        add_written(target->cls);
+      } else if (const auto* rem = std::get_if<RemoveAction>(&action)) {
+        const ConditionElement* target = positive_ce(production_, rem->ce_index);
+        if (target == nullptr) return;
+        add_written(target->cls);
+      }
+    }
+    for (const ClassIndex cls : written) {
+      if (outputs.contains(cls)) return;
+      const auto it = whole_.readers.find(cls);
+      if (it != whole_.readers.end()) {
+        for (const Production* reader : it->second) {
+          if (reader != &production_) return;  // someone else consumes it
+        }
+      }
+    }
+    if (written.empty()) {
+      report(Code::DeadProduction,
+             "production is dead: its RHS writes no working-memory class and has "
+             "no externally visible action");
+      return;
+    }
+    std::string classes;
+    for (const ClassIndex cls : written) {
+      if (!classes.empty()) classes += ", ";
+      classes += "'" + class_of(cls) + "'";
+    }
+    report(Code::DeadProduction,
+           "production is dead: it writes only " + classes +
+               ", which no other production reads and the phase does not output");
+  }
+
+  // AN009 — a positive CE class that *has* producers but none of them is
+  // reachable from the seeds can still never match: the whole producer chain
+  // is unreachable. AN003 already covers classes with no producer at all.
+  void check_unproducible() {
+    if (!options_.seed_classes.has_value()) return;
+    const std::unordered_set<ClassIndex> seeds(options_.seed_classes->begin(),
+                                               options_.seed_classes->end());
+    std::unordered_set<ClassIndex> reported;
+    for (const auto& ce : production_.lhs()) {
+      if (ce.negated) continue;
+      if (whole_.producible.contains(ce.cls)) continue;
+      if (!producers_.contains(ce.cls) && !seeds.contains(ce.cls)) continue;  // AN003's case
+      if (!reported.insert(ce.cls).second) continue;
+      report(Code::UnproducibleClass,
+             "condition element matches class '" + class_of(ce.cls) +
+                 "', which has producers but none reachable from the seeds — the "
+                 "production can never fire",
+             ce.loc);
+    }
+  }
+
   const Program& program_;
   const Production& production_;
   const LintOptions& options_;
+  const WholeProgram& whole_;
   const std::unordered_set<ClassIndex>& producers_;
   std::vector<Diagnostic>& out_;
   std::unordered_set<VariableId> bound_;
 };
-
-[[nodiscard]] std::unordered_set<ClassIndex> make_producers(const Program& program) {
-  std::unordered_set<ClassIndex> producers;
-  for (const auto& p : program.productions()) {
-    for (const auto& action : p.rhs()) {
-      if (const auto* make = std::get_if<MakeAction>(&action)) producers.insert(make->cls);
-    }
-  }
-  return producers;
-}
 
 }  // namespace
 
 std::vector<Diagnostic> lint_production(const Program& program, const Production& production,
                                         const LintOptions& options) {
   std::vector<Diagnostic> out;
-  const auto producers = make_producers(program);
-  ProductionLinter(program, production, options, producers, out).run();
+  const WholeProgram whole = whole_program_analysis(program, options);
+  ProductionLinter(program, production, options, whole, out).run();
   return out;
 }
 
 std::vector<Diagnostic> lint_program(const Program& program, const LintOptions& options) {
   std::vector<Diagnostic> out;
-  const auto producers = make_producers(program);
+  const WholeProgram whole = whole_program_analysis(program, options);
   for (const auto& production : program.productions()) {
-    ProductionLinter(program, production, options, producers, out).run();
+    ProductionLinter(program, production, options, whole, out).run();
   }
   return out;
 }

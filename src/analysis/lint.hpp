@@ -13,6 +13,16 @@
 //                  (OPS5 numbers only matchable CEs — likely off-by-one)
 //   AN006 error    variable's first occurrence uses a non-equality predicate
 //   AN007 warning  same attribute assigned twice in one make/modify
+//
+// Two whole-program rules ride on the production dependency graph (ISSUE 5):
+//
+//   AN008 warning  dead production: nothing it writes is read by any other
+//                  production or declared a phase output, and it has no
+//                  externally visible action (write/halt)
+//   AN009 warning  unreachable production: a positive CE class is
+//                  *transitively* unproducible from the declared seeds —
+//                  it has producers, but no producer chain starts at a seed
+//                  (AN003 covers the no-producer-at-all case)
 
 #include <optional>
 #include <vector>
@@ -24,9 +34,13 @@ namespace psmsys::analysis {
 
 struct LintOptions {
   /// WME classes seeded from outside the rule base (the control process's
-  /// make_wme calls). Unset disables AN003 — without knowing the seeds,
-  /// "no producer" proves nothing.
+  /// make_wme calls). Unset disables AN003 and AN009 — without knowing the
+  /// seeds, "no producer" and "unreachable" prove nothing.
   std::optional<std::vector<ops5::ClassIndex>> seed_classes;
+  /// WME classes the control process extracts after quiescence (the phase's
+  /// results). Unset disables AN008 — without knowing the outputs, "nobody
+  /// consumes it" proves nothing.
+  std::optional<std::vector<ops5::ClassIndex>> output_classes;
 };
 
 /// Lint a whole program. Diagnostics are ordered by production, then by

@@ -47,6 +47,13 @@ struct RunMetrics {
   std::uint64_t match_busy_ns = 0;       ///< summed worker busy time (OBS gauge)
   std::uint64_t match_wall_ns = 0;       ///< summed dispatch wall time (OBS gauge)
 
+  // --- match-pool partition balance (deterministic work-unit counters, not
+  //     gauges: available in every build). Summed/maxed over all engines, so
+  //     with one task process imbalance reads the pool's LPT quality. ---
+  std::uint64_t match_partitions = 0;          ///< partition count, summed
+  std::uint64_t match_partition_cost_max = 0;  ///< heaviest partition (wu)
+  std::uint64_t match_partition_cost_sum = 0;  ///< all partition work (wu)
+
   // --- executor accounting ---
   std::uint64_t retries = 0;
   std::uint64_t requeues = 0;
@@ -73,6 +80,16 @@ struct RunMetrics {
                : static_cast<double>(match_busy_ns) /
                      (static_cast<double>(match_wall_ns) *
                       static_cast<double>(match_threads));
+  }
+
+  /// Measured partition imbalance: heaviest partition / mean partition work
+  /// (>= 1 when partitions exist; 0 for serial match). The quantity the
+  /// static partitioning cost model is judged on (ISSUE 5 acceptance).
+  [[nodiscard]] double match_partition_imbalance() const noexcept {
+    if (match_partitions == 0 || match_partition_cost_sum == 0) return 0.0;
+    const double mean = static_cast<double>(match_partition_cost_sum) /
+                        static_cast<double>(match_partitions);
+    return static_cast<double>(match_partition_cost_max) / mean;
   }
 
   /// Fold one task's counters into the aggregate.

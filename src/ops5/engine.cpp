@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "analysis/rete_static.hpp"
 #include "obs/trace.hpp"
 
 namespace psmsys::ops5 {
@@ -27,6 +28,12 @@ void Engine::build_matcher() {
     rete::ParallelMatcherOptions po;
     po.threads = options_.match_threads;
     po.network = options_.rete;
+    if (options_.match_cost_source == MatchCostSource::Analyzer) {
+      // Static join-cost estimates from the whole-rule-base analyzer; any
+      // production it scores <= 0 falls back to the heuristic inside the
+      // matcher, so a partial vector degrades gracefully.
+      po.production_costs = analysis::static_match_costs(*program_, options_.rete);
+    }
     auto pm = std::make_unique<rete::ParallelMatcher>(*program_, listener, counters_,
                                                       options_.costs, po);
     parallel_ = pm.get();
@@ -42,6 +49,17 @@ void Engine::set_match_threads(std::size_t threads) {
   options_.match_threads = threads;
   // Compilation charges alpha/beta construction costs; rebuild from a clean
   // slate so a thread-count change does not double-charge them.
+  counters_ = util::WorkCounters{};
+  build_matcher();
+}
+
+void Engine::set_match_cost_source(MatchCostSource source) {
+  if (source == options_.match_cost_source) return;
+  if (!wm_.empty() || undo_active_ || conflict_set_.size() != 0) {
+    throw std::logic_error("set_match_cost_source requires an empty working memory");
+  }
+  options_.match_cost_source = source;
+  if (options_.match_threads == 0) return;  // recorded; no matcher to rebuild
   counters_ = util::WorkCounters{};
   build_matcher();
 }

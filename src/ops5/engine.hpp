@@ -25,6 +25,16 @@ class Tracer;
 
 namespace psmsys::ops5 {
 
+/// Where the ParallelMatcher's LPT partitioning weights come from.
+enum class MatchCostSource : std::uint8_t {
+  /// Static join-cost estimates from the whole-rule-base Rete analyzer
+  /// (analysis/rete_static) — the default. Falls back to ConditionCount for
+  /// any production the analyzer assigns a non-positive cost.
+  Analyzer,
+  /// The PR 4 condition-count heuristic (1 + sum of 2 + tests per CE).
+  ConditionCount,
+};
+
 struct EngineOptions {
   Strategy strategy = Strategy::Lex;
   /// Safety valve against runaway rule bases.
@@ -40,6 +50,9 @@ struct EngineOptions {
   /// identical for all N >= 1; N = 0 may differ only where conflict
   /// resolution ties down to insertion order.
   std::size_t match_threads = 0;
+  /// LPT partition weights for match_threads >= 1. Cost source only steers
+  /// load balance; results are identical either way (canonical merge).
+  MatchCostSource match_cost_source = MatchCostSource::Analyzer;
 };
 
 /// Per recognize-act cycle: the independently-schedulable match chunk costs
@@ -157,6 +170,21 @@ class Engine final : private rete::MatchListener {
   /// legal while working memory is empty (freshly constructed or reset) —
   /// the executor applies it between engine construction and task setup.
   void set_match_threads(std::size_t threads);
+
+  /// Rebuild the matcher with a different LPT weight source. Same empty-WM
+  /// precondition as set_match_threads; a no-op for the serial matcher apart
+  /// from recording the choice for a later set_match_threads.
+  void set_match_cost_source(MatchCostSource source);
+  [[nodiscard]] MatchCostSource match_cost_source() const noexcept {
+    return options_.match_cost_source;
+  }
+
+  /// Measured per-partition match work (work units) of the parallel matcher;
+  /// empty for the serial matcher. Ground truth for the static cost model.
+  [[nodiscard]] std::vector<std::uint64_t> match_partition_costs() const {
+    return parallel_ != nullptr ? parallel_->partition_match_costs()
+                                : std::vector<std::uint64_t>{};
+  }
 
   /// Match-thread utilization gauges; all-zero for the serial matcher.
   [[nodiscard]] rete::MatchThreadStats match_thread_stats() const noexcept {

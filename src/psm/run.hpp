@@ -160,6 +160,12 @@ struct RunOptions {
   /// hosts deliberately run more threads than cores.
   std::size_t match_thread_budget = 0;
 
+  /// How per-production partition weights are estimated when match_threads
+  /// rebuilds engines with a parallel matcher: the Rete static analyzer's
+  /// join-cost model (default) or the legacy condition-count heuristic.
+  /// Ignored when match_threads == 0 (the factory's engine config rules).
+  ops5::MatchCostSource match_cost_source = ops5::MatchCostSource::Analyzer;
+
   /// match_threads after applying match_thread_budget.
   [[nodiscard]] std::size_t effective_match_threads() const noexcept {
     if (match_threads == 0) return 0;

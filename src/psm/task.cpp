@@ -24,9 +24,11 @@ util::WorkCounters counters_delta(const util::WorkCounters& before,
 }
 
 TaskRunner::TaskRunner(const TaskProcessFactory& factory,
-                       std::optional<std::size_t> match_threads) {
+                       std::optional<std::size_t> match_threads,
+                       std::optional<ops5::MatchCostSource> match_cost_source) {
   if (!factory.make_engine) throw std::invalid_argument("factory needs make_engine");
   engine_ = factory.make_engine();
+  if (match_cost_source) engine_->set_match_cost_source(*match_cost_source);
   if (match_threads) engine_->set_match_threads(*match_threads);
   if (factory.base_init) factory.base_init(*engine_);
   // Base-WM loading is initialization, not task work; its cycle records (none

@@ -70,9 +70,12 @@ class TaskRunner {
   /// `match_threads`: when set, the engine is rebuilt with that many match
   /// workers (0 = serial) *before* base_init loads the base working memory —
   /// the only point where the matcher can still be swapped. nullopt leaves
-  /// the factory's engine configuration untouched.
+  /// the factory's engine configuration untouched. `match_cost_source`, when
+  /// set, selects how partition weights are estimated (static analyzer vs.
+  /// condition-count heuristic) and is applied before the matcher rebuild.
   explicit TaskRunner(const TaskProcessFactory& factory,
-                      std::optional<std::size_t> match_threads = std::nullopt);
+                      std::optional<std::size_t> match_threads = std::nullopt,
+                      std::optional<ops5::MatchCostSource> match_cost_source = std::nullopt);
 
   /// Inject the task, run to quiescence, and return the measured deltas.
   TaskMeasurement run(const Task& task);

@@ -83,6 +83,10 @@ struct AlphaPattern {
   std::vector<IntraTest> intra_tests;
   std::vector<DisjTest> disj_tests;
   AlphaMemory* memory = nullptr;
+  // Topology export (analysis/rete_static): creation-order id and the
+  // productions whose CEs compiled into this pattern.
+  std::uint32_t topo_id = 0;
+  std::vector<std::uint32_t> users;
 };
 
 enum class BetaKind : std::uint8_t { Memory, Negative, Production };
@@ -105,6 +109,12 @@ struct BetaNode {
 
   // Production nodes only:
   const ops5::Production* production = nullptr;
+
+  // Topology export, Negative kind only: shared id space with JoinNode.
+  std::uint32_t topo_id = 0;
+  std::uint32_t topo_alpha = 0;
+  std::uint32_t topo_depth = 0;
+  std::vector<std::uint32_t> users;
 };
 
 struct JoinNode {
@@ -119,6 +129,12 @@ struct JoinNode {
   int index_test = -1;  // -1: unindexed (scan)
   std::unordered_map<Value, std::vector<const Wme*>, ops5::ValueHash> right_index;
   std::unordered_map<Value, std::vector<Token*>, ops5::ValueHash> left_index;
+
+  // Topology export: shared id space with negative BetaNodes.
+  std::uint32_t topo_id = 0;
+  std::uint32_t topo_alpha = 0;
+  std::uint32_t topo_depth = 0;
+  std::vector<std::uint32_t> users;
 };
 
 template <typename T>
@@ -175,6 +191,11 @@ struct Network::Impl {
   Token* dummy_token = nullptr;
 
   std::unordered_map<const ops5::Production*, ops5::BindingAnalysis> bindings;
+
+  // Topology export: creation-order id counter shared by joins and negative
+  // nodes, plus the per-production beta chain recorded during compile().
+  std::uint32_t next_join_id = 0;
+  std::vector<NetworkTopology::ProductionPath> paths;
 
   std::vector<util::WorkUnits> chunks;
 
@@ -600,6 +621,7 @@ struct Network::Impl {
     p.intra_tests = std::move(intra_tests);
     p.disj_tests = std::move(disj_tests);
     p.memory = &alpha_memories.emplace_back();
+    p.topo_id = static_cast<std::uint32_t>(patterns.size() - 1);
     patterns_by_class[cls].push_back(&p);
     return &p;
   }
@@ -621,8 +643,9 @@ struct Network::Impl {
     return &bm;
   }
 
-  JoinNode* build_or_share_join(BetaNode& store, AlphaMemory& amem,
-                                std::vector<JoinTest> tests) {
+  JoinNode* build_or_share_join(BetaNode& store, const AlphaPattern& alpha,
+                                std::vector<JoinTest> tests, std::uint32_t depth) {
+    AlphaMemory& amem = *alpha.memory;
     if (options.node_sharing) {
       for (JoinNode* j : store.join_children) {
         if (j->amem == &amem && j->tests == tests) return j;
@@ -632,6 +655,9 @@ struct Network::Impl {
     j.parent = &store;
     j.amem = &amem;
     j.tests = std::move(tests);
+    j.topo_id = next_join_id++;
+    j.topo_alpha = alpha.topo_id;
+    j.topo_depth = depth;
     if (options.indexed_joins && store.kind == BetaKind::Memory) {
       for (std::size_t i = 0; i < j.tests.size(); ++i) {
         if (j.tests[i].pred == Predicate::Eq) {
@@ -645,8 +671,10 @@ struct Network::Impl {
     return &j;
   }
 
-  BetaNode* build_negative(JoinNode* join_parent, BetaNode* store_parent, AlphaMemory& amem,
-                           std::vector<JoinTest> tests) {
+  BetaNode* build_negative(JoinNode* join_parent, BetaNode* store_parent,
+                           const AlphaPattern& alpha, std::vector<JoinTest> tests,
+                           std::uint32_t depth) {
+    AlphaMemory& amem = *alpha.memory;
     if (options.node_sharing) {
       const auto match = [&](BetaNode* c) {
         return c->kind == BetaKind::Negative && c->amem == &amem && c->tests == tests;
@@ -665,6 +693,9 @@ struct Network::Impl {
     neg.kind = BetaKind::Negative;
     neg.amem = &amem;
     neg.tests = std::move(tests);
+    neg.topo_id = next_join_id++;
+    neg.topo_alpha = alpha.topo_id;
+    neg.topo_depth = depth;
     if (options.indexed_joins) {
       for (std::size_t i = 0; i < neg.tests.size(); ++i) {
         if (neg.tests[i].pred == Predicate::Eq) {
@@ -694,6 +725,8 @@ struct Network::Impl {
     BetaNode* current_store = dummy_store;
     JoinNode* pending_join = nullptr;
     std::uint32_t chain_depth = 0;
+    NetworkTopology::ProductionPath& path = paths.emplace_back();
+    path.production = production.id();
 
     for (const auto& ce : production.lhs()) {
       // Split this CE's tests into alpha-level and join-level tests.
@@ -729,6 +762,7 @@ struct Network::Impl {
 
       AlphaPattern* alpha = build_or_share_alpha(ce.cls, std::move(const_tests),
                                                  std::move(intra_tests), std::move(disj_tests));
+      alpha->users.push_back(production.id());
 
       if (!ce.negated) {
         if (pending_join != nullptr) {
@@ -742,7 +776,9 @@ struct Network::Impl {
         for (const auto& r : join_tests_raw) {
           tests.push_back({r.wme_slot, r.pred, chain_depth - r.binding_depth, r.token_slot});
         }
-        pending_join = build_or_share_join(*current_store, *alpha->memory, std::move(tests));
+        pending_join = build_or_share_join(*current_store, *alpha, std::move(tests), chain_depth);
+        pending_join->users.push_back(production.id());
+        path.nodes.push_back(pending_join->topo_id);
         // This CE's wme lands in the next token-creating node: depth+1.
         for (const auto& [var, slot] : ce_local) {
           bound.emplace(var, BoundVar{chain_depth + 1, slot});
@@ -754,8 +790,10 @@ struct Network::Impl {
         for (const auto& r : join_tests_raw) {
           tests.push_back({r.wme_slot, r.pred, chain_depth + 1 - r.binding_depth, r.token_slot});
         }
-        BetaNode* neg = build_negative(pending_join, current_store, *alpha->memory,
-                                       std::move(tests));
+        BetaNode* neg = build_negative(pending_join, current_store, *alpha, std::move(tests),
+                                       chain_depth);
+        neg->users.push_back(production.id());
+        path.nodes.push_back(neg->topo_id);
         pending_join = nullptr;
         current_store = neg;
         ++chain_depth;
@@ -829,6 +867,53 @@ std::uint64_t Network::peak_live_tokens() const noexcept {
 
 const ops5::BindingAnalysis& Network::bindings(const ops5::Production& p) const {
   return impl_->bindings.at(&p);
+}
+
+NetworkTopology Network::topology() const {
+  const auto sorted_unique = [](std::vector<std::uint32_t> v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+    return v;
+  };
+
+  NetworkTopology topo;
+  topo.alphas.reserve(impl_->patterns.size());
+  for (const auto& p : impl_->patterns) {
+    NetworkTopology::AlphaNode a;
+    a.id = p.topo_id;
+    a.cls = p.cls;
+    a.const_tests = static_cast<std::uint32_t>(p.const_tests.size());
+    a.intra_tests = static_cast<std::uint32_t>(p.intra_tests.size());
+    a.disj_tests = static_cast<std::uint32_t>(p.disj_tests.size());
+    a.users = sorted_unique(p.users);
+    topo.alphas.push_back(std::move(a));
+  }
+
+  topo.joins.resize(impl_->next_join_id);
+  for (const auto& j : impl_->join_nodes) {
+    NetworkTopology::JoinNode& out = topo.joins[j.topo_id];
+    out.id = j.topo_id;
+    out.alpha = j.topo_alpha;
+    out.depth = j.topo_depth;
+    out.tests = static_cast<std::uint32_t>(j.tests.size());
+    out.indexed = j.index_test >= 0;
+    out.negated = false;
+    out.users = sorted_unique(j.users);
+  }
+  for (const auto& n : impl_->beta_nodes) {
+    if (n.kind != BetaKind::Negative) continue;
+    NetworkTopology::JoinNode& out = topo.joins[n.topo_id];
+    out.id = n.topo_id;
+    out.alpha = n.topo_alpha;
+    out.depth = n.topo_depth;
+    out.tests = static_cast<std::uint32_t>(n.tests.size());
+    out.indexed = n.index_test >= 0;
+    out.negated = true;
+    out.users = sorted_unique(n.users);
+  }
+
+  topo.productions = impl_->paths;
+  return topo;
 }
 
 }  // namespace psmsys::rete

@@ -32,6 +32,40 @@
 
 namespace psmsys::rete {
 
+/// Compile-time shape of the network, exported for the whole-rule-base static
+/// analyzer (analysis/rete_static). Node ids are creation-order indices, so
+/// for a fixed frozen program the topology is byte-deterministic. `users`
+/// lists are sorted ascending and deduplicated.
+struct NetworkTopology {
+  struct AlphaNode {
+    std::uint32_t id = 0;
+    ops5::ClassIndex cls = 0;
+    std::uint32_t const_tests = 0;
+    std::uint32_t intra_tests = 0;
+    std::uint32_t disj_tests = 0;
+    std::vector<std::uint32_t> users;  ///< production ids testing this pattern
+  };
+  /// One beta-level two-input node: a positive join or a negative node.
+  struct JoinNode {
+    std::uint32_t id = 0;
+    std::uint32_t alpha = 0;    ///< AlphaNode id feeding the right input
+    std::uint32_t depth = 0;    ///< CEs resolved before this node (0-based)
+    std::uint32_t tests = 0;    ///< variable consistency tests at this node
+    bool indexed = false;       ///< hashed-memory equality index in effect
+    bool negated = false;
+    std::vector<std::uint32_t> users;  ///< production ids sharing this node
+  };
+  /// Per-production chain through the beta network, one node id per LHS CE
+  /// in source order. Entries index into `joins`.
+  struct ProductionPath {
+    std::uint32_t production = 0;
+    std::vector<std::uint32_t> nodes;
+  };
+  std::vector<AlphaNode> alphas;
+  std::vector<JoinNode> joins;
+  std::vector<ProductionPath> productions;
+};
+
 struct NetworkOptions {
   /// Share alpha memories and beta-level nodes between productions with
   /// common prefixes (standard Rete sharing; disable for the ablation bench).
@@ -78,6 +112,10 @@ class Network final : public Matcher {
 
   /// Binding analysis computed during compilation, exposed for RHS evaluation.
   [[nodiscard]] const ops5::BindingAnalysis& bindings(const ops5::Production& p) const override;
+
+  /// Compile-time network shape with per-node sharing (user) information.
+  /// Deterministic for a fixed frozen program and options.
+  [[nodiscard]] NetworkTopology topology() const;
 
  private:
   struct Impl;

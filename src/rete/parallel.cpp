@@ -325,18 +325,26 @@ ParallelMatcher::ParallelMatcher(const ops5::Program& program, MatchListener& li
   const std::size_t want = std::max<std::size_t>(1, std::min(options.threads, productions.size()));
 
   // Deterministic greedy LPT: heaviest production first, into the lightest
-  // partition (lowest index on ties). Depends only on the frozen program.
+  // partition (lowest index on ties). Depends only on the frozen program and
+  // the (optional) analyzer-supplied cost vector.
+  const auto weight_of = [&](std::uint32_t idx) -> double {
+    const std::uint32_t id = productions[idx].id();
+    if (id < options.production_costs.size() && options.production_costs[id] > 0.0) {
+      return options.production_costs[id];
+    }
+    return static_cast<double>(production_weight(productions[idx]));
+  };
   std::vector<std::uint32_t> order(productions.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<std::uint32_t>(i);
   std::stable_sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
-    return production_weight(productions[a]) > production_weight(productions[b]);
+    return weight_of(a) > weight_of(b);
   });
-  std::vector<std::uint64_t> load(want, 0);
+  std::vector<double> load(want, 0.0);
   std::vector<std::vector<std::uint32_t>> members(want);
   for (const std::uint32_t idx : order) {
     const std::size_t k = static_cast<std::size_t>(
         std::min_element(load.begin(), load.end()) - load.begin());
-    load[k] += production_weight(productions[idx]);
+    load[k] += weight_of(idx);
     members[k].push_back(productions[idx].id());
     impl_->owner_of.emplace(productions[idx].id(), k);
   }
@@ -421,5 +429,12 @@ std::size_t ParallelMatcher::partition_of(std::uint32_t production_id) const {
 }
 
 MatchThreadStats ParallelMatcher::thread_stats() const noexcept { return impl_->stats; }
+
+std::vector<std::uint64_t> ParallelMatcher::partition_match_costs() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(impl_->partitions.size());
+  for (const auto& part : impl_->partitions) out.push_back(part.folded.match_cost);
+  return out;
+}
 
 }  // namespace psmsys::rete

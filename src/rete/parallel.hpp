@@ -67,6 +67,12 @@ struct ParallelMatcherOptions {
   /// Options applied to every partition network. production_filter is
   /// overwritten per partition.
   NetworkOptions network;
+  /// Static per-production match-cost estimates indexed by production id,
+  /// used as the LPT partitioning weight. Empty falls back to the built-in
+  /// condition-count heuristic. Costs only steer balance — the partitioning
+  /// stays deterministic for a fixed cost vector, and correctness (canonical
+  /// merge) never depends on the values.
+  std::vector<double> production_costs;
 };
 
 class ParallelMatcher final : public Matcher {
@@ -107,6 +113,12 @@ class ParallelMatcher final : public Matcher {
   [[nodiscard]] std::size_t partition_of(std::uint32_t production_id) const;
 
   [[nodiscard]] MatchThreadStats thread_stats() const noexcept;
+
+  /// Measured per-partition match work (util::WorkCounters::match_cost work
+  /// units, folded at the last barrier) — the ground truth the static
+  /// partitioning cost model is judged against. Deterministic: work units are
+  /// counted, not timed.
+  [[nodiscard]] std::vector<std::uint64_t> partition_match_costs() const;
 
  private:
   struct Impl;

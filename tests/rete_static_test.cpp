@@ -1,0 +1,442 @@
+// Whole-rule-base Rete dataflow analyzer (ISSUE 5): topology export, static
+// join-cost model, dependency graph, golden-file JSON determinism, the
+// engine's analyzer-driven match partitioning, and the AN008/AN009
+// whole-program lint rules with their negative controls.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.hpp"
+#include "analysis/rete_static.hpp"
+#include "ops5/engine.hpp"
+#include "ops5/parser.hpp"
+#include "spam/programs.hpp"
+#include "util/rng.hpp"
+
+namespace psmsys::analysis {
+namespace {
+
+using ops5::ClassIndex;
+using ops5::Program;
+using ops5::parse_program;
+
+// The match-determinism rule base: three shared "item" alpha patterns, real
+// joins, negations, and a remove — small enough to reason about by hand,
+// rich enough to exercise every analyzer code path.
+constexpr const char* kJoinSrc = R"(
+(literalize item k v)
+(literalize pair a b)
+(literalize done a)
+(p join01 (item ^k 0 ^v <x>) (item ^k 1 ^v <x>) -(pair ^a <x> ^b 1)
+   --> (make pair ^a <x> ^b 1))
+(p join12 (item ^k 1 ^v <x>) (item ^k 2 ^v <x>) -(pair ^a <x> ^b 2)
+   --> (make pair ^a <x> ^b 2))
+(p join02 (item ^k 0 ^v <x>) (item ^k 2 ^v <x>) -(pair ^a <x> ^b 3)
+   --> (make pair ^a <x> ^b 3))
+(p chain (pair ^a <x> ^b 1) (pair ^a <x> ^b 2) -(done ^a <x>)
+   --> (make done ^a <x>))
+(p big (item ^v {<x> > 4}) -(pair ^a <x> ^b 9)
+   --> (make pair ^a <x> ^b 9))
+(p prune (done ^a <x>) (item ^k 0 ^v <x>) --> (remove 2))
+)";
+
+[[nodiscard]] std::shared_ptr<const Program> join_program() {
+  return std::make_shared<const Program>(parse_program(kJoinSrc));
+}
+
+[[nodiscard]] ClassIndex cls_of(const Program& p, std::string_view name) {
+  return *p.class_index(*p.symbols().find(name));
+}
+
+[[nodiscard]] bool has_code(const std::vector<Diagnostic>& diags, Code code) {
+  return std::any_of(diags.begin(), diags.end(),
+                     [code](const Diagnostic& d) { return d.code == code; });
+}
+
+// ---------------------------------------------------------------------------
+// Report structure
+// ---------------------------------------------------------------------------
+
+TEST(ReteStatic, ReportCountsAndSharing) {
+  const auto program = join_program();
+  const ReteStaticReport report = analyze_rete(*program);
+
+  EXPECT_EQ(report.production_count, 6u);
+  EXPECT_EQ(report.productions.size(), 6u);
+  EXPECT_GT(report.alpha_nodes, 0u);
+  EXPECT_GT(report.join_nodes, 0u);
+  // join01/join02/prune share the (item ^k 0) pattern etc., so the unshared
+  // compilation must be strictly larger on both levels.
+  EXPECT_GT(report.alpha_nodes_unshared, report.alpha_nodes);
+  EXPECT_GE(report.join_nodes_unshared, report.join_nodes);
+  EXPECT_GT(report.alpha_sharing(), 1.0);
+  EXPECT_GE(report.join_sharing(), 1.0);
+
+  // Node lists are id-ordered and ids are dense.
+  for (std::size_t i = 0; i < report.alphas.size(); ++i) {
+    EXPECT_EQ(report.alphas[i].id, i);
+  }
+  for (std::size_t i = 0; i < report.joins.size(); ++i) {
+    EXPECT_EQ(report.joins[i].id, i);
+    EXPECT_LT(report.joins[i].alpha, report.alphas.size());
+  }
+}
+
+TEST(ReteStatic, PerProductionCostsArePositiveAndHeuristicMatches) {
+  const auto program = join_program();
+  const ReteStaticReport report = analyze_rete(*program);
+
+  const auto prods = program->productions();
+  for (const auto& p : report.productions) {
+    EXPECT_GT(p.match_cost, 0.0) << p.name;
+    EXPECT_GT(p.beta_degree, 0u) << p.name;
+    EXPECT_GE(p.beta_bound, 1.0) << p.name;
+    // The recorded heuristic is exactly the PR 4 condition-count weight.
+    std::uint64_t w = 1;
+    for (const auto& ce : prods[p.id].lhs()) w += 2 + ce.tests.size();
+    EXPECT_EQ(p.heuristic_cost, w) << p.name;
+  }
+
+  // chain joins two written classes (pair, done is negated): its beta degree
+  // counts only positive joins.
+  const auto chain = std::find_if(report.productions.begin(), report.productions.end(),
+                                  [](const ProductionReport& p) { return p.name == "chain"; });
+  ASSERT_NE(chain, report.productions.end());
+  EXPECT_EQ(chain->beta_degree, 2u);
+}
+
+TEST(ReteStatic, CostVectorIsIndexedByProductionId) {
+  const auto program = join_program();
+  const ReteStaticReport report = analyze_rete(*program);
+  const auto costs = report.cost_vector();
+  ASSERT_EQ(costs.size(), 6u);
+  for (const auto& p : report.productions) {
+    EXPECT_DOUBLE_EQ(costs[p.id], p.match_cost);
+  }
+  // static_match_costs (the engine's entry point) agrees with the full pass.
+  const auto engine_costs = static_match_costs(*program);
+  ASSERT_EQ(engine_costs.size(), costs.size());
+  for (std::size_t i = 0; i < costs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(engine_costs[i], costs[i]) << "production " << i;
+  }
+}
+
+TEST(ReteStatic, TrafficWeightsWrittenClassesHigher) {
+  const auto program = join_program();
+  const ReteStaticReport report = analyze_rete(*program);
+  double item_traffic = 0.0, pair_traffic = 0.0;
+  for (const auto& a : report.alphas) {
+    if (a.cls == "item") item_traffic = a.traffic;
+    if (a.cls == "pair") pair_traffic = a.traffic;
+  }
+  // item is only seeded externally (traffic 1 + one remove site); pair is
+  // written by four productions.
+  EXPECT_GT(pair_traffic, item_traffic);
+}
+
+TEST(ReteStatic, DependencyEdgesFollowWritesToReads) {
+  const auto program = join_program();
+  const auto edges = dependency_edges(*program);
+  ASSERT_FALSE(edges.empty());
+
+  const auto id_of = [&](std::string_view name) -> std::uint32_t {
+    const auto prods = program->productions();
+    for (const auto& p : prods) {
+      if (program->symbols().name(p.name()) == name) return p.id();
+    }
+    ADD_FAILURE() << "no production " << name;
+    return 0;
+  };
+  const auto has_edge = [&](std::uint32_t from, std::uint32_t to, const char* cls,
+                            bool negated) {
+    return std::any_of(edges.begin(), edges.end(), [&](const DependencyEdge& e) {
+      return e.from == from && e.to == to && e.class_name == cls && e.negated == negated;
+    });
+  };
+
+  // join01 makes pair; chain reads pair positively; join01 also feeds its own
+  // negation (the refraction guard).
+  EXPECT_TRUE(has_edge(id_of("join01"), id_of("chain"), "pair", false));
+  EXPECT_TRUE(has_edge(id_of("join01"), id_of("join01"), "pair", true));
+  // chain makes done; prune reads done.
+  EXPECT_TRUE(has_edge(id_of("chain"), id_of("prune"), "done", false));
+  // prune's (remove 2) is a write to class item: every item reader gets an
+  // edge from prune, and nobody else writes item.
+  EXPECT_TRUE(has_edge(id_of("prune"), id_of("join01"), "item", false));
+  for (const auto& e : edges) {
+    if (e.class_name == "item") EXPECT_EQ(e.from, id_of("prune"));
+  }
+  // Edges are sorted by (from, to, cls, negated) with no duplicates.
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    const auto& a = edges[i - 1];
+    const auto& b = edges[i];
+    const auto key = [](const DependencyEdge& e) {
+      return std::make_tuple(e.from, e.to, e.cls, e.negated);
+    };
+    EXPECT_LT(key(a), key(b));
+  }
+}
+
+TEST(ReteStatic, RequiresFrozenProgramAndNoFilter) {
+  Program unfrozen;
+  EXPECT_THROW((void)analyze_rete(unfrozen), std::invalid_argument);
+
+  const auto program = join_program();
+  ReteStaticOptions options;
+  options.network.production_filter.push_back(0);
+  EXPECT_THROW((void)analyze_rete(*program, options), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Golden file: the JSON report is byte-deterministic
+// ---------------------------------------------------------------------------
+
+TEST(ReteStatic, GoldenJsonReport) {
+  const auto program = join_program();
+  ReteStaticReport report = analyze_rete(*program);
+  report.program = "join-small";
+  const std::string text = report.to_json().dump(2) + "\n";
+
+  const std::string path = std::string(PSMSYS_TEST_GOLDEN_DIR) + "/rete_static_small.json";
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " — regenerate by writing the EXPECTED text below to it";
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), text)
+      << "analyzer JSON diverged from the golden file; if the change is "
+         "intended, update " << path;
+
+  // Determinism across repeated passes (byte-for-byte).
+  ReteStaticReport again = analyze_rete(*program);
+  again.program = "join-small";
+  EXPECT_EQ(again.to_json().dump(2) + "\n", text);
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration: analyzer-driven LPT partitioning
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] std::string firing_log(std::size_t match_threads,
+                                     ops5::MatchCostSource source) {
+  const auto program = join_program();
+  ops5::EngineOptions options;
+  options.match_threads = match_threads;
+  options.match_cost_source = source;
+  ops5::Engine engine(program, nullptr, options);
+  std::string log;
+  engine.set_watch(1, [&log](const std::string& line) { log += line + "\n"; });
+  util::Rng rng(83);
+  for (int i = 0; i < 40; ++i) {
+    engine.make_wme("item",
+                    {{"k", ops5::Value(static_cast<double>(rng.next_int(0, 2)))},
+                     {"v", ops5::Value(static_cast<double>(rng.next_int(0, 6)))}});
+  }
+  const auto result = engine.run();
+  EXPECT_GT(result.firings, 0u);
+  return log;
+}
+
+TEST(ReteStaticEngine, FiringLogIdenticalAcrossCostSources) {
+  // The cost source only re-weights the partitioning; the canonical merge
+  // keeps the firing log byte-identical to one-thread execution either way.
+  const std::string serial = firing_log(1, ops5::MatchCostSource::Analyzer);
+  for (const std::size_t m : {std::size_t{2}, std::size_t{4}}) {
+    EXPECT_EQ(serial, firing_log(m, ops5::MatchCostSource::Analyzer)) << m;
+    EXPECT_EQ(serial, firing_log(m, ops5::MatchCostSource::ConditionCount)) << m;
+  }
+}
+
+TEST(ReteStaticEngine, SetMatchCostSourceFollowsMatcherLifecycle) {
+  const auto program = join_program();
+  ops5::Engine engine(program, nullptr);
+  EXPECT_EQ(engine.match_cost_source(), ops5::MatchCostSource::Analyzer);
+  engine.set_match_cost_source(ops5::MatchCostSource::ConditionCount);
+  EXPECT_EQ(engine.match_cost_source(), ops5::MatchCostSource::ConditionCount);
+  // Serial engine: no partitions to report.
+  EXPECT_TRUE(engine.match_partition_costs().empty());
+
+  engine.set_match_threads(2);
+  EXPECT_EQ(engine.match_partition_costs().size(), 2u);
+
+  // Like set_match_threads, the cost source cannot change under live WMEs...
+  engine.make_wme("item", {{"k", ops5::Value(0.0)}, {"v", ops5::Value(1.0)}});
+  EXPECT_THROW(engine.set_match_cost_source(ops5::MatchCostSource::Analyzer),
+               std::logic_error);
+  // ...but re-setting the current source is a no-op, not an error.
+  engine.set_match_cost_source(ops5::MatchCostSource::ConditionCount);
+  engine.reset();
+  engine.set_match_cost_source(ops5::MatchCostSource::Analyzer);
+  EXPECT_EQ(engine.match_cost_source(), ops5::MatchCostSource::Analyzer);
+}
+
+TEST(ReteStaticEngine, PartitionCostsAccumulateMatchWork) {
+  const auto program = join_program();
+  ops5::EngineOptions options;
+  options.match_threads = 2;
+  ops5::Engine engine(program, nullptr, options);
+  util::Rng rng(29);
+  for (int i = 0; i < 40; ++i) {
+    engine.make_wme("item",
+                    {{"k", ops5::Value(static_cast<double>(rng.next_int(0, 2)))},
+                     {"v", ops5::Value(static_cast<double>(rng.next_int(0, 6)))}});
+  }
+  (void)engine.run();
+  const auto costs = engine.match_partition_costs();
+  ASSERT_EQ(costs.size(), 2u);
+  std::uint64_t total = 0;
+  for (const auto c : costs) {
+    EXPECT_GT(c, 0u);
+    total += c;
+  }
+  EXPECT_EQ(total, engine.counters().match_cost);
+}
+
+// ---------------------------------------------------------------------------
+// AN008 (dead production) / AN009 (transitively unproducible class)
+// ---------------------------------------------------------------------------
+
+constexpr const char* kLintDecls = R"(
+(literalize seed a)
+(literalize mid a)
+(literalize out a)
+(literalize orphan a)
+(literalize note a)
+)";
+
+[[nodiscard]] Program lint_parse(const std::string& body) {
+  return parse_program(std::string(kLintDecls) + body);
+}
+
+[[nodiscard]] LintOptions lint_opts(const Program& p,
+                                    const std::vector<std::string>& seeds,
+                                    const std::vector<std::string>& outputs) {
+  LintOptions options;
+  options.seed_classes.emplace();
+  for (const auto& s : seeds) options.seed_classes->push_back(cls_of(p, s));
+  options.output_classes.emplace();
+  for (const auto& s : outputs) options.output_classes->push_back(cls_of(p, s));
+  return options;
+}
+
+TEST(Lint, An008DeadProductionFires) {
+  const Program p = lint_parse(R"(
+(p advance (seed ^a <x>) --> (make mid ^a <x>))
+(p finish (mid ^a <x>) --> (make out ^a <x>))
+(p dead-end (seed ^a <x>) --> (make note ^a <x>))
+)");
+  const auto diags = lint_program(p, lint_opts(p, {"seed"}, {"out"}));
+  ASSERT_TRUE(has_code(diags, Code::DeadProduction));
+  const auto it = std::find_if(diags.begin(), diags.end(), [](const Diagnostic& d) {
+    return d.code == Code::DeadProduction;
+  });
+  EXPECT_EQ(p.symbols().name(it->production), "dead-end");
+  EXPECT_GT(it->loc.line, 0u) << "AN008 must carry the production's location";
+  EXPECT_EQ(it->severity, Severity::Warning);
+  // Exactly one: advance feeds finish, finish writes the output.
+  EXPECT_EQ(std::count_if(diags.begin(), diags.end(),
+                          [](const Diagnostic& d) { return d.code == Code::DeadProduction; }),
+            1);
+}
+
+TEST(Lint, An008SilentWithoutDeclaredOutputs) {
+  const Program p = lint_parse(R"(
+(p dead-end (seed ^a <x>) --> (make note ^a <x>))
+)");
+  LintOptions options;
+  options.seed_classes = {std::vector<ClassIndex>{cls_of(p, "seed")}};
+  // output_classes unset: "nobody consumes it" proves nothing.
+  EXPECT_FALSE(has_code(lint_program(p, options), Code::DeadProduction));
+}
+
+TEST(Lint, An008ExemptsOutputsWritersAndHalt) {
+  const Program p = lint_parse(R"(
+(p emit (seed ^a <x>) --> (make out ^a <x>))
+(p log (seed ^a <x>) --> (write logged <x>))
+(p stop (seed ^a 99) --> (halt))
+(p consume-self (seed ^a <x>) -(note ^a <x>) --> (make note ^a <x>))
+(p reader (note ^a <x>) --> (make out ^a <x>))
+)");
+  const auto diags = lint_program(p, lint_opts(p, {"seed"}, {"out"}));
+  EXPECT_FALSE(has_code(diags, Code::DeadProduction))
+      << "outputs, write/halt actions, and consumed classes are all alive";
+}
+
+TEST(Lint, An009TransitivelyUnproducibleFires) {
+  // orphan HAS a producer (from-orphan's upstream is spin), but no chain
+  // from the seeds reaches it: spin itself needs orphan. AN003 stays silent
+  // (a producer exists); AN009 must flag the cycle's dead CEs.
+  const Program p = lint_parse(R"(
+(p real (seed ^a <x>) --> (make out ^a <x>))
+(p spin (orphan ^a <x>) --> (make orphan ^a (compute <x> + 1)))
+)");
+  const auto diags = lint_program(p, lint_opts(p, {"seed"}, {"out"}));
+  ASSERT_TRUE(has_code(diags, Code::UnproducibleClass));
+  EXPECT_FALSE(has_code(diags, Code::UnreachableProduction))
+      << "AN003 and AN009 are mutually exclusive per CE";
+  const auto it = std::find_if(diags.begin(), diags.end(), [](const Diagnostic& d) {
+    return d.code == Code::UnproducibleClass;
+  });
+  EXPECT_EQ(p.symbols().name(it->production), "spin");
+  EXPECT_GT(it->loc.line, 0u) << "AN009 must carry the condition element's location";
+}
+
+TEST(Lint, An009SilentWhenChainReachesSeeds) {
+  const Program p = lint_parse(R"(
+(p advance (seed ^a <x>) --> (make mid ^a <x>))
+(p finish (mid ^a <x>) --> (make out ^a <x>))
+)");
+  const auto diags = lint_program(p, lint_opts(p, {"seed"}, {"out"}));
+  EXPECT_FALSE(has_code(diags, Code::UnproducibleClass));
+}
+
+TEST(Lint, An009SilentWithoutSeeds) {
+  const Program p = lint_parse(R"(
+(p spin (orphan ^a <x>) --> (make orphan ^a (compute <x> + 1)))
+)");
+  EXPECT_FALSE(has_code(lint_program(p), Code::UnproducibleClass));
+}
+
+// ---------------------------------------------------------------------------
+// Negative control: the generated phase rule bases trigger neither rule
+// ---------------------------------------------------------------------------
+
+TEST(Lint, GeneratedPhasesAreCleanOfWholeProgramFindings) {
+  struct Phase {
+    const char* name;
+    std::string source;
+    std::vector<std::string> seeds;
+    std::vector<std::string> outputs;
+  };
+  // Mirrors the spam_lint --phases configuration (see examples/spam_lint.cpp).
+  const std::vector<Phase> phases = {
+      {"rtf", spam::rtf_source(), {"region", "rtf-task"}, {"fragment"}},
+      {"lcc",
+       spam::lcc_source(),
+       {"fragment", "constraint", "support", "lcc-task"},
+       {"context", "consistency", "relation"}},
+      {"fa", spam::fa_source(), {"fragment", "context", "fa-task"},
+       {"functional-area", "fa-size"}},
+      {"model", spam::model_source(), {"functional-area", "model-task"}, {"model"}},
+  };
+  for (const auto& phase : phases) {
+    const Program p = parse_program(phase.source);
+    LintOptions options;
+    options.seed_classes.emplace();
+    for (const auto& s : phase.seeds) options.seed_classes->push_back(cls_of(p, s));
+    options.output_classes.emplace();
+    for (const auto& s : phase.outputs) options.output_classes->push_back(cls_of(p, s));
+    const auto diags = lint_program(p, options);
+    EXPECT_FALSE(has_code(diags, Code::DeadProduction)) << phase.name;
+    EXPECT_FALSE(has_code(diags, Code::UnproducibleClass)) << phase.name;
+  }
+}
+
+}  // namespace
+}  // namespace psmsys::analysis
