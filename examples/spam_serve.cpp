@@ -1,0 +1,234 @@
+// spam_serve: load-spammer CLI for the multi-session interpretation server
+// (DESIGN.md §14). Compiles the SPAM LCC phase ONCE into a SharedRuleBase,
+// then hammers a Server with the dataset's LCC tasks as concurrent scenes —
+// each scene an independent OPS5 run over a resident engine context, rolled
+// back to the base working memory when it finishes.
+//
+//   spam_serve --dataset SF --level 3 --workers 4 --clients 8 --rounds 2
+//              [--queue 64] [--deadline CYCLES] [--watchdog MS]
+//              [--storm RATE [--seed HEX]] [--watch] [--json out.json]
+//
+// `--storm` injects a deterministic fault storm (transient failures, poisoned
+// scenes, deadline overruns) to demonstrate quarantine + graceful
+// degradation; `--watch` streams the session-id-prefixed firing log; `--json`
+// writes the drained server rollup (schema-validated before exit).
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/bench_schema.hpp"
+#include "psm/faults.hpp"
+#include "serve/server.hpp"
+#include "spam/decomposition.hpp"
+#include "spam/scene_generator.hpp"
+#include "util/table.hpp"
+
+using namespace psmsys;
+
+namespace {
+
+struct Options {
+  std::string dataset = "SF";
+  int level = 3;
+  std::size_t workers = 4;
+  std::size_t clients = 8;
+  std::size_t rounds = 1;          ///< times the task list is replayed as scenes
+  std::size_t queue = 64;
+  std::uint64_t deadline = 0;      ///< cycles per attempt (0 = unlimited)
+  std::uint64_t watchdog_ms = 0;   ///< wall-clock budget per scene (0 = off)
+  double storm = 0.0;              ///< fault-injection rate (0 = healthy)
+  std::uint64_t seed = 0x5eedULL;
+  bool watch = false;
+  std::string json_path;
+};
+
+void print_help() {
+  std::cout <<
+      "usage: spam_serve [options]\n"
+      "\n"
+      "workload:\n"
+      "  --dataset <SF|DC|MOFF>   airport dataset (default SF)\n"
+      "  --level <1..4>           LCC decomposition level (default 3)\n"
+      "  --rounds <R>             replay the task list R times (default 1)\n"
+      "\n"
+      "server:\n"
+      "  --workers <N>            resident engine contexts (default 4)\n"
+      "  --clients <N>            closed-loop submitter threads (default 8)\n"
+      "  --queue <N>              admission queue capacity (default 64;\n"
+      "                           overflow sheds with a typed reject)\n"
+      "  --deadline <CYCLES>      per-attempt cycle deadline (default off)\n"
+      "  --watchdog <MS>          wall-clock abort budget per scene (default off)\n"
+      "\n"
+      "robustness demo:\n"
+      "  --storm <RATE>           inject faults at RATE (e.g. 0.1); poisoned\n"
+      "                           scenes quarantine, healthy ones are untouched\n"
+      "  --seed <HEX>             fault-injection seed (default 5eed)\n"
+      "\n"
+      "output:\n"
+      "  --watch                  stream session-prefixed firing-log lines\n"
+      "  --json <file>            write the drained server rollup as JSON\n";
+}
+
+[[nodiscard]] bool parse_args(int argc, char** argv, Options& o) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_help();
+      return false;
+    } else if (arg == "--dataset") {
+      o.dataset = next();
+    } else if (arg == "--level") {
+      o.level = std::stoi(next());
+    } else if (arg == "--rounds") {
+      o.rounds = std::stoul(next());
+    } else if (arg == "--workers") {
+      o.workers = std::stoul(next());
+    } else if (arg == "--clients") {
+      o.clients = std::stoul(next());
+    } else if (arg == "--queue") {
+      o.queue = std::stoul(next());
+    } else if (arg == "--deadline") {
+      o.deadline = std::stoull(next());
+    } else if (arg == "--watchdog") {
+      o.watchdog_ms = std::stoull(next());
+    } else if (arg == "--storm") {
+      o.storm = std::stod(next());
+    } else if (arg == "--seed") {
+      o.seed = std::stoull(next(), nullptr, 16);
+    } else if (arg == "--watch") {
+      o.watch = true;
+    } else if (arg == "--json") {
+      o.json_path = next();
+    } else {
+      throw std::runtime_error("unknown option " + arg);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  try {
+    if (!parse_args(argc, argv, options)) return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "spam_serve: " << e.what() << "\n";
+    return 2;
+  }
+
+  // The scene, fragments and decomposition outlive the server: task inject
+  // closures and the phase externals reference them.
+  const auto config = spam::dataset_by_name(options.dataset);
+  spam::Scene scene = spam::generate_scene(config);
+  const auto best = spam::best_fragments(spam::run_rtf(scene, 3).fragments);
+  const auto decomposition = spam::lcc_decomposition(options.level, scene, best);
+  const spam::PhaseProgram phase = spam::build_lcc_program();
+  std::cout << "dataset " << config.name << ": " << scene.size() << " regions, "
+            << decomposition.tasks.size() << " LCC level-" << options.level << " tasks\n";
+
+  // Compile-once: every session engine shares these read-only artifacts.
+  const auto rulebase = serve::SharedRuleBase::compile(phase.program, phase.externals.get());
+
+  psm::FaultConfig fault_config;
+  fault_config.seed = options.seed;
+  fault_config.transient_rate = options.storm;
+  fault_config.poison_rate = options.storm / 2.0;
+  fault_config.overrun_rate = options.storm / 2.0;
+  const psm::FaultInjector injector(fault_config);
+
+  serve::ServerOptions server_options;
+  server_options.workers = options.workers;
+  server_options.queue_capacity = options.queue;
+  server_options.base_init = [&scene, init = decomposition.factory.base_init](ops5::Engine& e) {
+    e.set_user_data(&scene);  // phase externals reach the polygons through this
+    if (init) init(e);
+  };
+  server_options.session.cycle_deadline = options.deadline;
+  if (options.storm > 0.0) {
+    server_options.session.injector = &injector;
+    if (server_options.session.cycle_deadline == 0) {
+      server_options.session.cycle_deadline = 100000;  // contain injected overruns
+    }
+  }
+  if (options.watch) {
+    server_options.session.trace_sink = [](const std::string& line) {
+      std::cout << line << "\n";
+    };
+  }
+  server_options.watchdog_budget = std::chrono::milliseconds(options.watchdog_ms);
+  serve::Server server(rulebase, server_options);
+
+  // Closed-loop clients: each submits its slice of rounds x tasks, waiting
+  // for every report (in-flight <= clients, so the queue never sheds unless
+  // --queue is set below --clients).
+  const std::size_t total = decomposition.tasks.size() * options.rounds;
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> quarantined{0};
+  std::atomic<std::uint64_t> aborted{0};
+  std::atomic<std::uint64_t> shed{0};
+  std::vector<std::thread> clients;
+  clients.reserve(options.clients);
+  for (std::size_t c = 0; c < options.clients; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t i = c; i < total; i += options.clients) {
+        const psm::Task& task = decomposition.tasks[i % decomposition.tasks.size()];
+        serve::SceneJob job;
+        job.label = task.label;
+        job.inject = task.inject;
+        auto r = server.submit(std::move(job));
+        if (!r.admitted()) {
+          ++shed;
+          continue;
+        }
+        switch (r.report.get().status) {
+          case serve::SceneStatus::Completed: ++completed; break;
+          case serve::SceneStatus::Quarantined: ++quarantined; break;
+          case serve::SceneStatus::Aborted: ++aborted; break;
+          default: break;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const serve::ServerStats stats = server.drain();
+
+  util::Table table({"metric", "value"});
+  table.add_row({"submitted", util::Table::fmt(stats.submitted)});
+  table.add_row({"completed", util::Table::fmt(stats.completed)});
+  table.add_row({"quarantined", util::Table::fmt(stats.quarantined)});
+  table.add_row({"aborted (watchdog)", util::Table::fmt(stats.aborted)});
+  table.add_row({"shed (queue full)", util::Table::fmt(stats.rejected_queue_full)});
+  table.add_row({"retries", util::Table::fmt(stats.retries)});
+  table.add_row({"scenes/sec", util::Table::fmt(stats.scenes_per_sec, 1)});
+  table.add_row({"p50 latency (us)",
+                 util::Table::fmt(static_cast<double>(stats.latency.p50_ns) / 1e3, 1)});
+  table.add_row({"p99 latency (us)",
+                 util::Table::fmt(static_cast<double>(stats.latency.p99_ns) / 1e3, 1)});
+  table.print(std::cout, options.clients > 0 ? "drained server rollup" : "rollup");
+
+  const auto doc = stats.to_json();
+  const auto violations = obs::validate_serve_rollup(doc);
+  for (const auto& v : violations) std::cerr << "rollup schema violation: " << v << "\n";
+  if (!options.json_path.empty()) {
+    std::ofstream out(options.json_path);
+    out << doc.dump(2) << "\n";
+    std::cout << "wrote " << options.json_path << "\n";
+  }
+
+  const bool consistent = stats.completed == completed.load() &&
+                          stats.quarantined == quarantined.load() &&
+                          stats.aborted == aborted.load() &&
+                          stats.rejected_queue_full == shed.load();
+  if (!consistent) std::cerr << "accounting mismatch between clients and rollup\n";
+  return (violations.empty() && consistent && stats.completed > 0) ? 0 : 1;
+}

@@ -206,4 +206,77 @@ std::vector<std::string> validate_bench_json(const json::Value& doc) {
   return violations;
 }
 
+std::vector<std::string> validate_serve_rollup(const json::Value& doc) {
+  std::vector<std::string> violations;
+  Checker c(violations);
+  if (!doc.is_object()) {
+    c.fail("$", "top-level value must be an object");
+    return violations;
+  }
+  if (const auto* ver = c.require(doc, "$", "schema_version", json::Type::Number)) {
+    if (ver->as_number() != kServeRollupSchemaVersion) {
+      c.fail("$.schema_version", "unsupported version (expected " +
+                                     std::to_string(kServeRollupSchemaVersion) + ")");
+    }
+  }
+  if (const auto* kind = c.require(doc, "$", "kind", json::Type::String)) {
+    if (kind->as_string() != "serve_rollup") {
+      c.fail("$.kind", "expected \"serve_rollup\"");
+    }
+  }
+
+  // Counters; collected for the accounting cross-checks below.
+  const auto counter = [&](const char* key, double min) -> double {
+    const json::Value* v = c.require(doc, "$", key, json::Type::Number);
+    if (!v || !c.check_int(*v, std::string("$.") + key, min)) return 0.0;
+    return v->as_number();
+  };
+  const double workers = counter("workers", 1);
+  (void)workers;
+  const double submitted = counter("submitted", 0);
+  double rejected = 0.0;
+  if (const auto* rej = c.require(doc, "$", "rejected", json::Type::Object)) {
+    for (const char* key : {"queue_full", "draining"}) {
+      if (const auto* v = c.require(*rej, "$.rejected", key, json::Type::Number)) {
+        if (c.check_int(*v, std::string("$.rejected.") + key, 0)) rejected += v->as_number();
+      }
+    }
+  }
+  const double admitted = counter("admitted", 0);
+  const double completed = counter("completed", 0);
+  const double quarantined = counter("quarantined", 0);
+  const double aborted = counter("aborted", 0);
+  counter("retries", 0);
+  if (const auto* wall = c.require(doc, "$", "wall_ns", json::Type::Number)) {
+    if (wall->as_number() < 0) c.fail("$.wall_ns", "must be >= 0");
+  }
+  if (const auto* sps = c.require(doc, "$", "scenes_per_sec", json::Type::Number)) {
+    if (sps->as_number() < 0) c.fail("$.scenes_per_sec", "must be >= 0");
+  }
+  if (const auto* lat = c.require(doc, "$", "latency_ns", json::Type::Object)) {
+    for (const char* key : {"count", "p50_ns", "p90_ns", "p99_ns", "mean_ns", "max_ns"}) {
+      if (const auto* v = c.require(*lat, "$.latency_ns", key, json::Type::Number)) {
+        c.check_int(*v, std::string("$.latency_ns.") + key, 0);
+      }
+    }
+  }
+  if (const auto* engine = c.require(doc, "$", "engine", json::Type::Object)) {
+    for (const auto& [k, v] : engine->as_object()) {
+      if (!v.is_number()) c.fail("$.engine." + k, "metric values must be numbers");
+    }
+  }
+
+  // Exactly-once accounting: every admission attempt ends in exactly one bin.
+  if (violations.empty()) {
+    if (submitted != admitted + rejected) {
+      c.fail("$", "submitted != admitted + rejected (lost or double-counted scenes)");
+    }
+    if (admitted != completed + quarantined + aborted) {
+      c.fail("$", "admitted != completed + quarantined + aborted "
+                  "(lost or double-counted scenes)");
+    }
+  }
+  return violations;
+}
+
 }  // namespace psmsys::obs

@@ -49,4 +49,41 @@ inline constexpr int kBenchSchemaVersion = 1;
 [[nodiscard]] std::vector<std::string> validate_bench_json(
     const json::Value& doc);
 
+// ---------------------------------------------------------------------------
+// Serve rollup (serve::ServerStats::to_json; prose: DESIGN.md §14.4)
+//
+// Version 1 layout:
+//
+//   {
+//     "schema_version": 1,
+//     "kind": "serve_rollup",
+//     "workers": int >= 1,            // engine contexts in the pool
+//     "submitted": int >= 0,          // admission attempts
+//     "admitted": int >= 0,
+//     "rejected": { "queue_full": int >= 0, "draining": int >= 0 },
+//     "completed": int >= 0,
+//     "quarantined": int >= 0,
+//     "aborted": int >= 0,
+//     "retries": int >= 0,
+//     "wall_ns": number >= 0,
+//     "scenes_per_sec": number >= 0,
+//     "latency_ns": {                 // completed scenes; all 0 when none
+//       "count": int, "p50_ns": int, "p90_ns": int, "p99_ns": int,
+//       "mean_ns": int, "max_ns": int
+//     },
+//     "engine": { ... }               // obs::RunMetrics flat object
+//   }
+//
+// Invariant checked beyond shape: submitted == admitted + rejected.* and
+// admitted == completed + quarantined + aborted (exactly-once accounting —
+// the graceful-drain "no lost or double-counted scenes" contract).
+// ---------------------------------------------------------------------------
+
+inline constexpr int kServeRollupSchemaVersion = 1;
+
+/// Validate a parsed serve rollup document (shape + accounting invariants).
+/// Returns human-readable violations; empty means the document conforms.
+[[nodiscard]] std::vector<std::string> validate_serve_rollup(
+    const json::Value& doc);
+
 }  // namespace psmsys::obs

@@ -1,5 +1,10 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
+#include <vector>
+
+#include "util/stats.hpp"
+
 namespace psmsys::obs {
 
 void RunMetrics::add_counters(const util::WorkCounters& c) noexcept {
@@ -107,6 +112,31 @@ RunMetrics metrics_delta(const RunMetrics& after,
   d.wall_ns = after.wall_ns > before.wall_ns ? after.wall_ns - before.wall_ns
                                              : 0;
   return d;
+}
+
+json::Value LatencySummary::to_json() const {
+  json::Object o;
+  o.emplace_back("count", json::Value(count));
+  o.emplace_back("p50_ns", json::Value(p50_ns));
+  o.emplace_back("p90_ns", json::Value(p90_ns));
+  o.emplace_back("p99_ns", json::Value(p99_ns));
+  o.emplace_back("mean_ns", json::Value(mean_ns));
+  o.emplace_back("max_ns", json::Value(max_ns));
+  return json::Value(std::move(o));
+}
+
+LatencySummary summarize_latency_ns(std::span<const std::int64_t> samples_ns) {
+  LatencySummary s;
+  if (samples_ns.empty()) return s;
+  std::vector<double> xs(samples_ns.begin(), samples_ns.end());
+  const util::Summary sum = util::summarize(xs);
+  s.count = xs.size();
+  s.p50_ns = static_cast<std::int64_t>(util::percentile(xs, 50.0));
+  s.p90_ns = static_cast<std::int64_t>(util::percentile(xs, 90.0));
+  s.p99_ns = static_cast<std::int64_t>(util::percentile(xs, 99.0));
+  s.mean_ns = static_cast<std::int64_t>(sum.mean);
+  s.max_ns = static_cast<std::int64_t>(sum.max);
+  return s;
 }
 
 }  // namespace psmsys::obs

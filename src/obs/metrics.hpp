@@ -9,6 +9,7 @@
 // only the instrumented engine can observe.
 
 #include <cstdint>
+#include <span>
 
 #include "obs/json.hpp"
 #include "util/counters.hpp"
@@ -104,5 +105,23 @@ struct RunMetrics {
 /// bench cases). Fields saturate at zero rather than wrapping.
 [[nodiscard]] RunMetrics metrics_delta(const RunMetrics& after,
                                        const RunMetrics& before) noexcept;
+
+/// Order statistics of a latency sample in nanoseconds — the per-scene
+/// distribution a serve rollup reports (p50/p99 scene latency acceptance).
+/// All fields are 0 for an empty sample.
+struct LatencySummary {
+  std::uint64_t count = 0;
+  std::int64_t p50_ns = 0;
+  std::int64_t p90_ns = 0;
+  std::int64_t p99_ns = 0;
+  std::int64_t mean_ns = 0;
+  std::int64_t max_ns = 0;
+
+  /// Flat JSON object, key order as declared.
+  [[nodiscard]] json::Value to_json() const;
+};
+
+/// Summarize a sample of per-item latencies (ns). Copies + sorts internally.
+[[nodiscard]] LatencySummary summarize_latency_ns(std::span<const std::int64_t> samples_ns);
 
 }  // namespace psmsys::obs

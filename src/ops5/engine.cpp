@@ -32,7 +32,9 @@ void Engine::build_matcher() {
       // Static join-cost estimates from the whole-rule-base analyzer; any
       // production it scores <= 0 falls back to the heuristic inside the
       // matcher, so a partial vector degrades gracefully.
-      po.production_costs = analysis::static_match_costs(*program_, options_.rete);
+      po.production_costs = options_.shared_match_costs
+                                ? *options_.shared_match_costs
+                                : analysis::static_match_costs(*program_, options_.rete);
     }
     auto pm = std::make_unique<rete::ParallelMatcher>(*program_, listener, counters_,
                                                       options_.costs, po);
@@ -424,6 +426,7 @@ void Engine::begin_undo_log() {
   undo_log_.clear();
   undo_mark_timetag_ = next_timetag_;
   undo_mark_halted_ = halted_;
+  undo_mark_cycles_ = counters_.cycles;
 }
 
 void Engine::commit_undo_log() noexcept {
@@ -462,6 +465,13 @@ void Engine::rollback_undo_log() {
   undo_log_.clear();
   next_timetag_ = undo_mark_timetag_;
   halted_ = undo_mark_halted_;
+  // The cycle counter is the engine's observable logical clock: it numbers
+  // watch-trace lines and anchors budget deadlines. Rewind it so a retry (or
+  // the next resident task after a rolled-back one) sees the same clock the
+  // aborted attempt saw — its trace comes out bit-identical. The remaining
+  // WorkCounters stay monotonic: they meter real work done, and an aborted
+  // attempt's match/RHS effort genuinely happened.
+  counters_.cycles = undo_mark_cycles_;
   watch_level_ = saved_watch;
   // Match work done while rolling back is recovery, not a cycle's chunks.
   (void)matcher_->take_chunks();

@@ -53,6 +53,12 @@ struct EngineOptions {
   /// LPT partition weights for match_threads >= 1. Cost source only steers
   /// load balance; results are identical either way (canonical merge).
   MatchCostSource match_cost_source = MatchCostSource::Analyzer;
+  /// Precomputed analyzer cost vector (indexed by production id) for the
+  /// Analyzer cost source. When set, build_matcher() uses it instead of
+  /// re-running the whole-rule-base static analyzer per engine — a
+  /// compile-once artifact shared by every session of a serve pool
+  /// (serve::SharedRuleBase populates it together with rete shared_bindings).
+  std::shared_ptr<const std::vector<double>> shared_match_costs;
 };
 
 /// Per recognize-act cycle: the independently-schedulable match chunk costs
@@ -262,6 +268,7 @@ class Engine final : private rete::MatchListener {
   std::vector<UndoEntry> undo_log_;
   TimeTag undo_mark_timetag_ = 0;
   bool undo_mark_halted_ = false;
+  std::uint64_t undo_mark_cycles_ = 0;
 
   std::function<void(const std::string&)> write_handler_;
   void* user_data_ = nullptr;

@@ -9,7 +9,7 @@
 // *reproducible*: whether a given (task, attempt) throws, runs away past
 // its cycle deadline, or a given worker dies at its Nth queue pop is a pure
 // function of a seed — never of thread timing — so fault-tolerance tests
-// are exact and the robust executor (threaded.hpp) can be driven through
+// are exact and the robust executor (psm::run) can be driven through
 // identical fault schedules on any host.
 //
 // Failure taxonomy:

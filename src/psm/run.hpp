@@ -2,9 +2,9 @@
 
 // The unified PSM executor surface.
 //
-// One entry point — psm::run(factory, tasks, options) — replaces the
-// run_threaded / run_robust pair (which remain one more PR as deprecated
-// shims over this path, see threaded.hpp). Strict mode is sugar over the
+// One entry point — psm::run(factory, tasks, options) — replaced the old
+// run_threaded / run_robust pair (PR 3; the deprecated shims are gone now
+// that every caller goes through here). Strict mode is sugar over the
 // robust core: a single attempt per task, the worker stops at its first
 // failure, and the run throws instead of degrading. Every run returns a
 // RunResult carrying the full RunReport, an obs::RunMetrics snapshot

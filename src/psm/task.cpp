@@ -1,5 +1,6 @@
 #include "psm/task.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace psmsys::psm {
@@ -54,25 +55,80 @@ TaskMeasurement TaskRunner::run(const Task& task) {
   return measure_from(task, before);
 }
 
-TaskMeasurement TaskRunner::run_guarded(const Task& task, std::uint64_t cycle_deadline) {
+void TaskRunner::rollback() {
+  engine_->rollback_undo_log();
+  cycle_offset_ = engine_->cycle_records().size();
+}
+
+// Runs the injected task to quiescence, in cancellation-polled slices when
+// asked to. Returns true when the cycle deadline (or the engine's own
+// max_cycles ceiling) cut the run off; throws TaskAborted when `cancelled`
+// turns true between slices. The caller owns the undo log.
+bool TaskRunner::run_sliced(std::uint64_t cycle_deadline, const std::function<bool()>& cancelled,
+                            std::uint64_t cancel_check_every, std::uint64_t task_id) {
+  if (!cancelled || cancel_check_every == 0) {
+    return engine_->run(cycle_deadline).cycle_limited;
+  }
+  const std::uint64_t start = engine_->counters().cycles;
+  while (true) {
+    if (cancelled()) throw TaskAborted(task_id);
+    std::uint64_t slice = cancel_check_every;
+    if (cycle_deadline != 0) {
+      const std::uint64_t used = engine_->counters().cycles - start;
+      if (used >= cycle_deadline) return true;
+      slice = std::min(slice, cycle_deadline - used);
+    }
+    const std::uint64_t before = engine_->counters().cycles;
+    if (!engine_->run(slice).cycle_limited) return false;  // quiesced or halted
+    // cycle_limited with less progress than the slice budget means the
+    // engine's max_cycles ceiling stopped it — no further slice can advance.
+    if (engine_->counters().cycles - before < slice) return true;
+  }
+}
+
+TaskMeasurement TaskRunner::run_guarded(const Task& task, std::uint64_t cycle_deadline,
+                                        const std::function<bool()>& cancelled,
+                                        std::uint64_t cancel_check_every) {
   const util::WorkCounters before = engine_->counters();
   engine_->begin_undo_log();
-  ops5::RunResult result;
+  bool deadline_hit = false;
   try {
     task.inject(*engine_);
-    result = engine_->run(cycle_deadline);
+    deadline_hit = run_sliced(cycle_deadline, cancelled, cancel_check_every, task.id);
   } catch (...) {
-    engine_->rollback_undo_log();
-    cycle_offset_ = engine_->cycle_records().size();
+    rollback();
     throw;
   }
-  if (result.cycle_limited) {
-    engine_->rollback_undo_log();
-    cycle_offset_ = engine_->cycle_records().size();
+  if (deadline_hit) {
+    rollback();
     throw TaskDeadlineExceeded(task.id, cycle_deadline);
   }
   engine_->commit_undo_log();
   return measure_from(task, before);
+}
+
+TaskMeasurement TaskRunner::run_isolated(const Task& task, std::uint64_t cycle_deadline,
+                                         const std::function<bool()>& cancelled,
+                                         std::uint64_t cancel_check_every,
+                                         const std::function<void(ops5::Engine&)>& collect) {
+  const util::WorkCounters before = engine_->counters();
+  engine_->begin_undo_log();
+  bool deadline_hit = false;
+  try {
+    task.inject(*engine_);
+    deadline_hit = run_sliced(cycle_deadline, cancelled, cancel_check_every, task.id);
+    if (!deadline_hit && collect) collect(*engine_);
+  } catch (...) {
+    rollback();
+    throw;
+  }
+  if (deadline_hit) {
+    rollback();
+    throw TaskDeadlineExceeded(task.id, cycle_deadline);
+  }
+  TaskMeasurement m = measure_from(task, before);
+  rollback();
+  return m;
 }
 
 void TaskRunner::abort_after(const Task& task, std::uint64_t cycles) {

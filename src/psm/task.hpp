@@ -64,6 +64,18 @@ class TaskDeadlineExceeded : public std::runtime_error {
   std::uint64_t cycle_deadline;
 };
 
+/// Thrown by TaskRunner::run_guarded / run_isolated when the caller's
+/// cancellation predicate turns true between execution slices (the serve
+/// watchdog's wall-clock abort). The attempt's working-memory effects have
+/// already been rolled back when this escapes.
+class TaskAborted : public std::runtime_error {
+ public:
+  explicit TaskAborted(std::uint64_t task_id)
+      : std::runtime_error("task " + std::to_string(task_id) + " aborted"), task_id(task_id) {}
+
+  std::uint64_t task_id;
+};
+
 /// One task process: engine + base WM, executing tasks sequentially.
 class TaskRunner {
  public:
@@ -86,7 +98,27 @@ class TaskRunner {
   /// to its pre-attempt state (working memory, timetags, recency) and the
   /// error propagates (TaskDeadlineExceeded for deadline cuts). On success
   /// the measurement is exactly what run() would have produced.
-  TaskMeasurement run_guarded(const Task& task, std::uint64_t cycle_deadline = 0);
+  ///
+  /// When both `cancelled` and `cancel_check_every` are set, execution runs
+  /// in slices of `cancel_check_every` cycles and polls `cancelled` between
+  /// slices; a true result rolls back and throws TaskAborted. Slicing changes
+  /// neither firing order nor measurements — the conflict set carries over
+  /// between run() calls untouched.
+  TaskMeasurement run_guarded(const Task& task, std::uint64_t cycle_deadline = 0,
+                              const std::function<bool()>& cancelled = {},
+                              std::uint64_t cancel_check_every = 0);
+
+  /// Session-style attempt: like run_guarded, but the attempt's WM effects
+  /// are ALWAYS rolled back — after `collect` (if given) has read results out
+  /// of working memory. The engine therefore returns to its base state
+  /// bit-identically (WMEs, timetags, recency) whether the task succeeded,
+  /// overran, or threw, which is what lets one resident engine serve an
+  /// arbitrary scene sequence with per-scene output independent of ordering.
+  /// A throwing `collect` also rolls back, then rethrows.
+  TaskMeasurement run_isolated(const Task& task, std::uint64_t cycle_deadline = 0,
+                               const std::function<bool()>& cancelled = {},
+                               std::uint64_t cancel_check_every = 0,
+                               const std::function<void(ops5::Engine&)>& collect = {});
 
   /// Fault-simulation helper: start the task for real, execute at most
   /// `cycles` recognize-act cycles, then abort and roll back — the mid-task
@@ -98,6 +130,9 @@ class TaskRunner {
 
  private:
   TaskMeasurement measure_from(const Task& task, const util::WorkCounters& before);
+  bool run_sliced(std::uint64_t cycle_deadline, const std::function<bool()>& cancelled,
+                  std::uint64_t cancel_check_every, std::uint64_t task_id);
+  void rollback();
 
   std::unique_ptr<ops5::Engine> engine_;
   std::size_t cycle_offset_ = 0;

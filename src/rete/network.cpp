@@ -190,7 +190,7 @@ struct Network::Impl {
   BetaNode* dummy_store = nullptr;
   Token* dummy_token = nullptr;
 
-  std::unordered_map<const ops5::Production*, ops5::BindingAnalysis> bindings;
+  BindingTable bindings;
 
   // Topology export: creation-order id counter shared by joins and negative
   // nodes, plus the per-production beta chain recorded during compile().
@@ -714,7 +714,9 @@ struct Network::Impl {
   }
 
   void compile(const ops5::Production& production, NetworkStats& stats) {
-    bindings.emplace(&production, ops5::analyze_bindings(production));
+    if (options.shared_bindings == nullptr || !options.shared_bindings->contains(&production)) {
+      bindings.emplace(&production, ops5::analyze_bindings(production));
+    }
 
     struct BoundVar {
       std::uint32_t depth;  // chain depth of the token carrying the binding
@@ -866,6 +868,9 @@ std::uint64_t Network::peak_live_tokens() const noexcept {
 }
 
 const ops5::BindingAnalysis& Network::bindings(const ops5::Production& p) const {
+  if (const BindingTable* shared = impl_->options.shared_bindings) {
+    if (auto it = shared->find(&p); it != shared->end()) return it->second;
+  }
   return impl_->bindings.at(&p);
 }
 
@@ -914,6 +919,15 @@ NetworkTopology Network::topology() const {
 
   topo.productions = impl_->paths;
   return topo;
+}
+
+BindingTable analyze_all_bindings(const ops5::Program& program) {
+  BindingTable table;
+  table.reserve(program.productions().size());
+  for (const auto& p : program.productions()) {
+    table.emplace(&p, ops5::analyze_bindings(p));
+  }
+  return table;
 }
 
 }  // namespace psmsys::rete

@@ -66,6 +66,16 @@ struct NetworkTopology {
   std::vector<ProductionPath> productions;
 };
 
+/// Per-production binding analyses keyed by production identity — the
+/// compile-time artifact a multi-session server shares across every network
+/// built over one frozen program (the analyses depend only on the production
+/// source, never on working memory).
+using BindingTable = std::unordered_map<const ops5::Production*, ops5::BindingAnalysis>;
+
+/// Analyze every production of a frozen program once, for use as
+/// NetworkOptions::shared_bindings by all networks compiled over it.
+[[nodiscard]] BindingTable analyze_all_bindings(const ops5::Program& program);
+
 struct NetworkOptions {
   /// Share alpha memories and beta-level nodes between productions with
   /// common prefixes (standard Rete sharing; disable for the ablation bench).
@@ -81,6 +91,12 @@ struct NetworkOptions {
   /// all of them. The partition networks of rete::ParallelMatcher use this to
   /// split one frozen program into disjoint sub-networks.
   std::vector<std::uint32_t> production_filter;
+  /// Precomputed binding analyses for (a superset of) the program's
+  /// productions. Not owned: the table must outlive the network. When set,
+  /// compilation reuses these entries instead of re-running analyze_bindings
+  /// per production per network — the compile-once half of the serve-time
+  /// split between the shared rule base and per-session match state.
+  const BindingTable* shared_bindings = nullptr;
 };
 
 class Network final : public Matcher {

@@ -1,0 +1,235 @@
+#include "serve/server.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "obs/bench_schema.hpp"
+
+namespace psmsys::serve {
+
+namespace {
+
+std::int64_t ns_between(std::chrono::steady_clock::time_point a,
+                        std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count();
+}
+
+}  // namespace
+
+obs::json::Value ServerStats::to_json() const {
+  obs::json::Object o;
+  o.emplace_back("schema_version", obs::json::Value(obs::kServeRollupSchemaVersion));
+  o.emplace_back("kind", obs::json::Value(std::string("serve_rollup")));
+  const auto put = [&o](const char* key, std::uint64_t v) {
+    o.emplace_back(key, obs::json::Value(v));
+  };
+  put("workers", workers);
+  put("submitted", submitted);
+  put("admitted", admitted);
+  {
+    obs::json::Object rej;
+    rej.emplace_back("queue_full", obs::json::Value(rejected_queue_full));
+    rej.emplace_back("draining", obs::json::Value(rejected_draining));
+    o.emplace_back("rejected", obs::json::Value(std::move(rej)));
+  }
+  put("completed", completed);
+  put("quarantined", quarantined);
+  put("aborted", aborted);
+  put("retries", retries);
+  o.emplace_back("wall_ns", obs::json::Value(wall_ns));
+  o.emplace_back("scenes_per_sec", obs::json::Value(scenes_per_sec));
+  o.emplace_back("latency_ns", latency.to_json());
+  o.emplace_back("engine", engine.to_json());
+  return obs::json::Value(std::move(o));
+}
+
+Server::Server(std::shared_ptr<const SharedRuleBase> rulebase, ServerOptions options)
+    : rulebase_(std::move(rulebase)), options_(std::move(options)) {
+  if (rulebase_ == nullptr) throw std::invalid_argument("server needs a rule base");
+  if (options_.workers == 0) options_.workers = 1;
+
+  // Contexts share one sink but never a line: each context prefixes its
+  // lines with the session id and this wrapper serializes whole lines.
+  SessionOptions session = options_.session;
+  if (session.trace_sink) {
+    session.trace_sink = [this, sink = options_.session.trace_sink](const std::string& line) {
+      const std::lock_guard<std::mutex> lock(sink_mu_);
+      sink(line);
+    };
+  }
+
+  slots_.reserve(options_.workers);
+  contexts_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    slots_.push_back(std::make_unique<WorkerSlot>());
+    // Built serially before any thread starts: engine compilation over the
+    // shared artifacts plus one base_init per context, exactly once.
+    contexts_.push_back(std::make_unique<EngineContext>(rulebase_, options_.base_init, session));
+  }
+
+  engine_.task_processes = options_.workers;
+  engine_.match_threads = rulebase_->engine_options().match_threads;
+  start_ = std::chrono::steady_clock::now();
+
+  threads_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+  if (options_.watchdog_budget.count() > 0) {
+    watchdog_ = std::thread([this] { watchdog_loop(); });
+  }
+}
+
+Server::~Server() { drain(); }
+
+SubmitResult Server::submit(SceneJob job) {
+  SubmitResult result;
+  std::promise<SceneReport> promise;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    result.scene = next_scene_++;
+    if (stopped_) {
+      result.rejected = RejectReason::Stopped;
+      ++rejected_draining_;
+      return result;
+    }
+    if (draining_) {
+      result.rejected = RejectReason::Draining;
+      ++rejected_draining_;
+      return result;
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      result.rejected = RejectReason::QueueFull;
+      ++rejected_queue_full_;
+      return result;
+    }
+    result.report = promise.get_future();
+    Pending& p = queue_.emplace_back();
+    p.id = result.scene;
+    p.job = std::move(job);
+    p.promise = std::move(promise);
+    p.enqueued = std::chrono::steady_clock::now();
+  }
+  work_cv_.notify_one();
+  return result;
+}
+
+void Server::worker_loop(std::size_t index) {
+  WorkerSlot& slot = *slots_[index];
+  EngineContext& context = *contexts_[index];
+  for (;;) {
+    Pending pending;
+    std::chrono::steady_clock::time_point dequeued;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return !queue_.empty() || draining_; });
+      if (queue_.empty()) return;  // draining and nothing left: exit
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+      dequeued = std::chrono::steady_clock::now();
+      slot.scene = pending.id;
+      slot.busy_since = dequeued;
+      slot.busy = true;
+      slot.abort.store(false, std::memory_order_relaxed);
+    }
+
+    Session session(pending.id, context);
+    SceneReport report =
+        session.run(pending.job, [&slot] { return slot.abort.load(std::memory_order_relaxed); });
+    const auto finished = std::chrono::steady_clock::now();
+    report.queued_ns = ns_between(pending.enqueued, dequeued);
+    report.service_ns = ns_between(dequeued, finished);
+    report.latency_ns = ns_between(pending.enqueued, finished);
+
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      slot.busy = false;
+      if (report.attempts > 1) retries_ += report.attempts - 1;
+      switch (report.status) {
+        case SceneStatus::Completed:
+          ++completed_;
+          latencies_ns_.push_back(report.latency_ns);
+          engine_.add_counters(report.counters);
+          ++engine_.tasks;
+          break;
+        case SceneStatus::Quarantined:
+          ++quarantined_;
+          ++engine_.quarantined;
+          break;
+        case SceneStatus::Aborted:
+          ++aborted_;
+          break;
+        case SceneStatus::Rejected:
+          break;  // unreachable: rejected scenes are never enqueued
+      }
+    }
+    // Resolve the client's future exactly once, outside the lock.
+    pending.promise.set_value(std::move(report));
+  }
+}
+
+void Server::watchdog_loop() {
+  while (!watchdog_stop_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(options_.watchdog_poll);
+    const auto now = std::chrono::steady_clock::now();
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& slot : slots_) {
+      if (slot->busy && now - slot->busy_since > options_.watchdog_budget) {
+        // The scene observes this between cycle slices, throws TaskAborted,
+        // and rolls back; start/finish transitions happen under mu_, so the
+        // flag can never hit a scene other than the one scanned here.
+        slot->abort.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+ServerStats Server::drain() {
+  ServerStats out;
+  std::call_once(drain_once_, [this] {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      draining_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+    watchdog_stop_.store(true, std::memory_order_relaxed);
+    if (watchdog_.joinable()) watchdog_.join();
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+    final_wall_ns_ = ns_between(start_, std::chrono::steady_clock::now());
+  });
+  return stats();
+}
+
+ServerStats Server::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_locked();
+}
+
+ServerStats Server::stats_locked() const {
+  ServerStats s;
+  s.workers = options_.workers;
+  s.rejected_queue_full = rejected_queue_full_;
+  s.rejected_draining = rejected_draining_;
+  s.submitted = next_scene_;
+  s.admitted = next_scene_ - rejected_queue_full_ - rejected_draining_;
+  s.completed = completed_;
+  s.quarantined = quarantined_;
+  s.aborted = aborted_;
+  s.retries = retries_;
+  s.wall_ns =
+      final_wall_ns_ >= 0 ? final_wall_ns_ : ns_between(start_, std::chrono::steady_clock::now());
+  s.scenes_per_sec = s.wall_ns > 0 ? static_cast<double>(s.completed) /
+                                         (static_cast<double>(s.wall_ns) * 1e-9)
+                                   : 0.0;
+  s.latency = obs::summarize_latency_ns(latencies_ns_);
+  s.engine = engine_;
+  s.engine.retries = retries_;
+  s.engine.wall_ns = s.wall_ns;
+  return s;
+}
+
+}  // namespace psmsys::serve

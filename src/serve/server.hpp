@@ -1,0 +1,161 @@
+#pragma once
+
+// The multi-session interpretation server (DESIGN.md §14).
+//
+// One SharedRuleBase, a fixed pool of worker-owned EngineContexts, and a
+// bounded admission queue in front. The robustness surface:
+//
+//  * Admission control — submit() never blocks and never grows memory
+//    without bound: a full queue (or a draining/stopped server) sheds the
+//    scene with a typed RejectReason instead.
+//  * Runaway containment — per-session cycle deadlines (deterministic,
+//    retry-then-quarantine) plus a wall-clock watchdog thread that aborts
+//    sessions stuck past their host-time budget; both paths roll the
+//    session's engine back to base working memory.
+//  * Fault isolation — every scene executes under the undo log and is
+//    always rolled back after collection, so faulted/poisoned scenes cannot
+//    perturb healthy ones (their firing logs stay byte-identical).
+//  * Graceful drain — drain() stops admission, finishes everything already
+//    admitted, joins the pool, and rolls per-session metrics up into a
+//    schema-versioned server-level JSON document (p50/p99 scene latency,
+//    scenes/sec, exactly-once accounting).
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "serve/rulebase.hpp"
+#include "serve/session.hpp"
+
+namespace psmsys::serve {
+
+struct ServerOptions {
+  /// Worker threads == resident engine contexts. Scenes multiplex over them.
+  std::size_t workers = 4;
+  /// Bounded admission queue (scenes admitted but not yet executing).
+  std::size_t queue_capacity = 64;
+  /// Loads the base working memory into every context at startup.
+  std::function<void(ops5::Engine&)> base_init;
+  /// Per-session execution policy (deadlines, retries, capture, injection).
+  SessionOptions session;
+  /// Wall-clock budget per scene before the watchdog aborts it (0 = off).
+  std::chrono::milliseconds watchdog_budget{0};
+  std::chrono::milliseconds watchdog_poll{1};
+};
+
+/// Outcome of submit(). Admitted scenes resolve through `report` exactly
+/// once; shed scenes carry the reason and no future.
+struct SubmitResult {
+  SceneId scene = 0;
+  RejectReason rejected = RejectReason::None;
+  std::future<SceneReport> report;  ///< valid only when admitted()
+
+  [[nodiscard]] bool admitted() const noexcept { return rejected == RejectReason::None; }
+};
+
+/// Server-level rollup of per-session metrics, produced by drain()/stats().
+struct ServerStats {
+  std::uint64_t workers = 0;
+  std::uint64_t submitted = 0;  ///< admission attempts (admitted + rejected)
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_draining = 0;  ///< shed while draining or stopped
+  std::uint64_t completed = 0;
+  std::uint64_t quarantined = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t retries = 0;  ///< extra attempts beyond the first
+  std::int64_t wall_ns = 0;
+  double scenes_per_sec = 0.0;            ///< completed / wall
+  obs::LatencySummary latency;            ///< completed scenes, admission->done
+  obs::RunMetrics engine;                 ///< engine counters over completed scenes
+
+  /// Schema-versioned rollup document (obs::validate_serve_rollup).
+  [[nodiscard]] obs::json::Value to_json() const;
+};
+
+class Server {
+ public:
+  Server(std::shared_ptr<const SharedRuleBase> rulebase, ServerOptions options);
+  /// Drains (blocking) if the server was not drained explicitly.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Admit one scene, or shed it. Never blocks on the pool; never allocates
+  /// past the bounded queue.
+  [[nodiscard]] SubmitResult submit(SceneJob job);
+
+  /// Graceful shutdown: stop admitting, execute everything already admitted,
+  /// join workers and watchdog, return the final rollup. Idempotent and
+  /// thread-safe; later submits shed with RejectReason::Stopped.
+  ServerStats drain();
+
+  /// Point-in-time rollup (wall = elapsed so far until drained).
+  [[nodiscard]] ServerStats stats() const;
+
+  [[nodiscard]] const SharedRuleBase& rulebase() const noexcept { return *rulebase_; }
+
+ private:
+  struct Pending {
+    SceneId id = 0;
+    SceneJob job;
+    std::promise<SceneReport> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  /// Watchdog view of one worker, guarded by mu_ except the abort flag,
+  /// which the session's cancel predicate reads lock-free mid-scene.
+  struct WorkerSlot {
+    SceneId scene = 0;
+    std::chrono::steady_clock::time_point busy_since{};
+    bool busy = false;
+    std::atomic<bool> abort{false};
+  };
+
+  void worker_loop(std::size_t index);
+  void watchdog_loop();
+  [[nodiscard]] ServerStats stats_locked() const;
+
+  std::shared_ptr<const SharedRuleBase> rulebase_;
+  ServerOptions options_;
+  std::chrono::steady_clock::time_point start_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<Pending> queue_;
+  bool draining_ = false;
+  bool stopped_ = false;
+  SceneId next_scene_ = 0;
+
+  // Accounting (guarded by mu_).
+  std::uint64_t rejected_queue_full_ = 0;
+  std::uint64_t rejected_draining_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t quarantined_ = 0;
+  std::uint64_t aborted_ = 0;
+  std::uint64_t retries_ = 0;
+  std::vector<std::int64_t> latencies_ns_;
+  obs::RunMetrics engine_;
+  std::int64_t final_wall_ns_ = -1;
+
+  std::mutex sink_mu_;  ///< serializes trace_sink lines across sessions
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;
+  std::vector<std::unique_ptr<EngineContext>> contexts_;
+  std::vector<std::thread> threads_;
+  std::thread watchdog_;
+  std::atomic<bool> watchdog_stop_{false};
+  std::once_flag drain_once_;
+};
+
+}  // namespace psmsys::serve

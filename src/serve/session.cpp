@@ -1,0 +1,137 @@
+#include "serve/session.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <exception>
+
+#include "obs/trace.hpp"
+
+namespace psmsys::serve {
+
+const char* to_string(SceneStatus status) noexcept {
+  switch (status) {
+    case SceneStatus::Completed: return "completed";
+    case SceneStatus::Rejected: return "rejected";
+    case SceneStatus::Quarantined: return "quarantined";
+    case SceneStatus::Aborted: return "aborted";
+  }
+  return "?";
+}
+
+const char* to_string(RejectReason reason) noexcept {
+  switch (reason) {
+    case RejectReason::None: return "none";
+    case RejectReason::QueueFull: return "queue_full";
+    case RejectReason::Draining: return "draining";
+    case RejectReason::Stopped: return "stopped";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Same growth law as the robust executor's per-attempt deadline.
+std::uint64_t grown_deadline(const SessionOptions& options, std::uint32_t attempt) {
+  if (options.cycle_deadline == 0) return 0;
+  const double grown =
+      static_cast<double>(options.cycle_deadline) *
+      std::pow(std::max(options.deadline_growth, 1.0), static_cast<double>(attempt - 1));
+  return static_cast<std::uint64_t>(grown);
+}
+
+/// Cycles an injected mid-scene crash executes before dying (matches the
+/// robust executor's kCrashAfterCycles): enough to leave partial WM state
+/// behind, so isolation genuinely depends on the rollback.
+constexpr std::uint64_t kCrashAfterCycles = 2;
+
+}  // namespace
+
+EngineContext::EngineContext(std::shared_ptr<const SharedRuleBase> rulebase,
+                             const std::function<void(ops5::Engine&)>& base_init,
+                             SessionOptions options)
+    : rulebase_(std::move(rulebase)),
+      options_(std::move(options)),
+      runner_(psm::TaskProcessFactory{[this] { return rulebase_->make_engine(); }, base_init}) {
+  if (options_.max_attempts == 0) options_.max_attempts = 1;
+  if (options_.capture_firing_log || options_.trace_sink) {
+    // Watch level 1 — one line per firing, the byte-identity proof surface.
+    // Every line carries the session prefix, so a shared sink fed by many
+    // contexts still yields separable per-session streams.
+    runner_.engine().set_watch(1, [this](const std::string& line) {
+      if (options_.capture_firing_log) {
+        firing_log_ += prefix_;
+        firing_log_ += line;
+        firing_log_ += '\n';
+      }
+      if (options_.trace_sink) options_.trace_sink(prefix_ + line);
+    });
+  }
+}
+
+SceneReport Session::run(const SceneJob& job, const std::function<bool()>& aborted) {
+  const SessionOptions& options = context_.options_;
+  SceneReport report;
+  report.scene = id_;
+  report.label = job.label;
+
+  context_.prefix_ = "s" + std::to_string(id_) + "| ";
+  if (options.tracer != nullptr) {
+    // One tid lane per session: concurrent sessions never share a lane, so
+    // their spans cannot interleave within one track of the timeline.
+    context_.engine().set_tracer(options.tracer, static_cast<std::uint32_t>(id_));
+  }
+
+  const psm::Task task{id_, job.label, job.inject};
+  const auto begin = obs::Tracer::Clock::now();
+  for (std::uint32_t attempt = 1; attempt <= options.max_attempts; ++attempt) {
+    context_.firing_log_.clear();
+    report.attempts = attempt;
+    try {
+      if (options.injector != nullptr && options.injector->fails(id_, attempt)) {
+        // Mid-scene crash: really execute a couple of cycles, roll back,
+        // then fail — the poisoned-scene path of the fault-storm test.
+        context_.runner_.abort_after(task, kCrashAfterCycles);
+        throw psm::InjectedTaskFault(id_, attempt);
+      }
+      const std::uint64_t deadline =
+          (options.injector != nullptr && options.injector->overruns(id_, attempt))
+              ? 1  // livelock: the deadline machinery must cut it off
+              : grown_deadline(options, attempt);
+      psm::TaskMeasurement m = context_.runner_.run_isolated(
+          task, deadline, aborted, options.abort_check_every, job.collect);
+      report.status = SceneStatus::Completed;
+      report.counters = m.counters;
+      report.firing_log = std::move(context_.firing_log_);
+      break;
+    } catch (const psm::TaskAborted&) {
+      // Watchdog wall-clock abort: terminal, no retry — the budget that
+      // tripped is host time, so a retry would just burn it again.
+      report.status = SceneStatus::Aborted;
+      report.error = "aborted by watchdog";
+      break;
+    } catch (const std::exception& e) {
+      // Transient fault or cycle-deadline overrun: rolled back already;
+      // retry with a grown deadline until attempts run out.
+      report.error = e.what();
+      report.status = SceneStatus::Quarantined;
+    } catch (...) {
+      report.error = "unknown error";
+      report.status = SceneStatus::Quarantined;
+    }
+  }
+  const auto end = obs::Tracer::Clock::now();
+  if (options.tracer != nullptr) {
+    obs::json::Object args;
+    args.emplace_back("status", obs::json::Value(std::string(to_string(report.status))));
+    args.emplace_back("attempts", obs::json::Value(static_cast<std::uint64_t>(report.attempts)));
+    options.tracer->record_span("scene " + std::to_string(id_), "scene", begin, end,
+                                static_cast<std::uint32_t>(id_), std::move(args));
+  }
+  context_.firing_log_.clear();
+  context_.prefix_.clear();
+  ++context_.scenes_run_;
+  return report;
+}
+
+}  // namespace psmsys::serve

@@ -1,0 +1,146 @@
+#pragma once
+
+// Sessions: the per-scene half of the serve-time engine split (DESIGN.md §14).
+//
+// An EngineContext is a resident engine (program + base working memory) owned
+// by one server worker; a Session is the lightweight per-scene execution over
+// a context. Every scene runs under the engine's undo log and is ALWAYS
+// rolled back after its results are collected, so the context returns to the
+// base working memory bit-identically (WMEs, timetags, recency) between
+// scenes. That discipline is what makes sessions isolated: a scene's firing
+// log depends only on the rule base, the base WM, and its own injected WMEs —
+// never on which context ran it or what ran before it — and a quarantined or
+// aborted scene provably cannot leak state into later ones.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "ops5/engine.hpp"
+#include "psm/faults.hpp"
+#include "psm/task.hpp"
+#include "serve/rulebase.hpp"
+#include "util/counters.hpp"
+
+namespace psmsys::obs {
+class Tracer;
+}
+
+namespace psmsys::serve {
+
+using SceneId = std::uint64_t;
+
+/// A unit of server work: one scene interpreted over the shared rule base.
+struct SceneJob {
+  std::string label;
+  /// Adds the scene's WMEs to the session engine (the paper's "task is just
+  /// a working memory element" applied at scene granularity).
+  std::function<void(ops5::Engine&)> inject;
+  /// Optional: read results out of working memory after the scene quiesces,
+  /// before the session's WM effects are rolled back.
+  std::function<void(ops5::Engine&)> collect;
+};
+
+/// Terminal state of an admitted (or shed) scene.
+enum class SceneStatus : std::uint8_t {
+  Completed,    ///< quiesced within its deadline; results collected
+  Rejected,     ///< shed at admission (see RejectReason); never executed
+  Quarantined,  ///< failed/overran max_attempts times; rolled back each time
+  Aborted,      ///< watchdog wall-clock abort; rolled back
+};
+
+/// Why admission shed a scene (SceneStatus::Rejected).
+enum class RejectReason : std::uint8_t {
+  None,       ///< not rejected
+  QueueFull,  ///< bounded queue at capacity — backpressure, not OOM
+  Draining,   ///< server is draining; no new work accepted
+  Stopped,    ///< server already drained and stopped
+};
+
+[[nodiscard]] const char* to_string(SceneStatus status) noexcept;
+[[nodiscard]] const char* to_string(RejectReason reason) noexcept;
+
+/// Everything the server (and the submitting client, via its future) learns
+/// about one scene. The queue/latency fields are filled by the server.
+struct SceneReport {
+  SceneId scene = 0;
+  std::string label;
+  SceneStatus status = SceneStatus::Completed;
+  RejectReason reject = RejectReason::None;
+  std::uint32_t attempts = 0;          ///< execution attempts consumed
+  std::string error;                   ///< last failure cause (non-Completed)
+  util::WorkCounters counters;         ///< successful attempt's engine deltas
+  std::string firing_log;              ///< session-prefixed watch lines (opt-in)
+  std::int64_t queued_ns = 0;          ///< admission -> dequeue
+  std::int64_t service_ns = 0;         ///< dequeue -> terminal state
+  std::int64_t latency_ns = 0;         ///< admission -> terminal state
+};
+
+/// Per-session execution policy, shared by every session of a server.
+struct SessionOptions {
+  /// Recognize-act cycles per attempt (0 = unlimited). The deterministic
+  /// runaway bound: a scene that exceeds it is rolled back and retried with
+  /// a grown deadline, then quarantined after max_attempts.
+  std::uint64_t cycle_deadline = 0;
+  double deadline_growth = 2.0;  ///< deadline multiplier per retry
+  std::size_t max_attempts = 2;  ///< attempts before quarantine (min 1)
+  /// Cycles between watchdog-abort polls while a scene runs; 0 disables
+  /// polling (the wall-clock watchdog then cannot interrupt mid-scene).
+  std::uint64_t abort_check_every = 64;
+  /// Capture each scene's watch-level-1 firing log into SceneReport
+  /// (the byte-identity proof surface; costs a string per firing).
+  bool capture_firing_log = false;
+  /// Forward session-prefixed watch lines to this sink as well. The server
+  /// serializes calls, so concurrent sessions never interleave mid-line.
+  std::function<void(const std::string&)> trace_sink;
+  /// Deterministic fault injection (tests); fails/overruns keyed by scene id.
+  const psm::FaultInjector* injector = nullptr;
+  /// Span timeline; each session records on its own tid lane (= scene id).
+  obs::Tracer* tracer = nullptr;
+};
+
+/// One resident engine over the shared rule base: program + base working
+/// memory, reused by every session its owning worker runs. Not thread-safe;
+/// each server worker owns exactly one.
+class EngineContext {
+ public:
+  EngineContext(std::shared_ptr<const SharedRuleBase> rulebase,
+                const std::function<void(ops5::Engine&)>& base_init, SessionOptions options);
+
+  [[nodiscard]] ops5::Engine& engine() noexcept { return runner_.engine(); }
+  [[nodiscard]] const SessionOptions& options() const noexcept { return options_; }
+  [[nodiscard]] std::uint64_t scenes_run() const noexcept { return scenes_run_; }
+
+ private:
+  friend class Session;
+
+  std::shared_ptr<const SharedRuleBase> rulebase_;
+  SessionOptions options_;
+  psm::TaskRunner runner_;
+  std::string prefix_;       ///< "s<id>| " of the session in flight
+  std::string firing_log_;   ///< captured lines of the session in flight
+  std::uint64_t scenes_run_ = 0;
+};
+
+/// The per-scene execution: binds a session id to a context for the duration
+/// of one scene. `run` fills everything in the report except the
+/// server-level queue/latency fields.
+class Session {
+ public:
+  Session(SceneId id, EngineContext& context) : id_(id), context_(context) {}
+
+  [[nodiscard]] SceneId id() const noexcept { return id_; }
+
+  /// Execute the scene: attempt/retry/quarantine per the context's options,
+  /// polling `aborted` (may be empty) between cycle slices for the
+  /// wall-clock watchdog. The context is back at its base working memory
+  /// when this returns, whatever the outcome.
+  [[nodiscard]] SceneReport run(const SceneJob& job, const std::function<bool()>& aborted);
+
+ private:
+  SceneId id_;
+  EngineContext& context_;
+};
+
+}  // namespace psmsys::serve

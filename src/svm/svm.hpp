@@ -30,7 +30,7 @@
 //    `node1_fails_at`: its processors take no further tasks, the task each
 //    one was running is lost mid-flight and re-executed on a survivor, and
 //    the wasted partial work plus the re-execution are charged. This is the
-//    cluster analog of the dead-worker recovery in psm::run_robust.
+//    cluster analog of the dead-worker recovery in robust psm::run.
 
 #include <cstdint>
 #include <span>

@@ -1,6 +1,6 @@
 // Observability layer tests: JSON round-trips, tracer export, metrics
-// snapshots, the BENCH schema validator, and the contract between the
-// deprecated run_threaded shim and the unified psm::run result. Assertions
+// snapshots, the BENCH schema validator, and the unified psm::run result
+// (metrics + task spans). Assertions
 // that depend on the instrumented engine (peak gauges, cycle spans) are
 // gated on obs::kEnabled so the suite also passes under -DPSMSYS_OBS=OFF.
 
@@ -16,7 +16,6 @@
 #include "obs/obs_config.hpp"
 #include "obs/trace.hpp"
 #include "psm/run.hpp"
-#include "psm/threaded.hpp"
 #include "spam/decomposition.hpp"
 #include "spam/scene_generator.hpp"
 
@@ -282,8 +281,7 @@ TEST(ObsBenchSchema, FlagsViolations) {
 }
 
 // ---------------------------------------------------------------------------
-// Executor integration: psm::run + tracer + metrics, and the deprecated
-// run_threaded shim forwarding to the same path.
+// Executor integration: psm::run + tracer + metrics.
 // ---------------------------------------------------------------------------
 
 class ObsRunTest : public ::testing::Test {
@@ -338,54 +336,6 @@ TEST_F(ObsRunTest, RunAttachesMetricsAndTaskSpans) {
   // The whole trace document survives an export/parse round-trip.
   EXPECT_TRUE(json::parse(tracer.to_string()).has_value());
 }
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-TEST_F(ObsRunTest, ThreadedShimMatchesUnifiedRunBitIdentical) {
-  // One process on both sides: task order and engine state are then fully
-  // deterministic, so the shim must reproduce psm::run's results exactly.
-  const auto shimmed =
-      psm::run_threaded(decomposition_.factory, decomposition_.tasks, 1);
-
-  psm::RunOptions options;
-  options.task_processes = 1;
-  options.strict = true;
-  const auto unified = psm::run(decomposition_.factory, decomposition_.tasks, options);
-
-  ASSERT_EQ(shimmed.measurements.size(), unified.measurements().size());
-  for (std::size_t i = 0; i < shimmed.measurements.size(); ++i) {
-    const auto& a = shimmed.measurements[i];
-    const auto& b = unified.measurements()[i];
-    EXPECT_EQ(a.task_id, b.task_id);
-    EXPECT_EQ(a.cost(), b.cost());
-    EXPECT_EQ(a.counters.cycles, b.counters.cycles);
-    EXPECT_EQ(a.counters.firings, b.counters.firings);
-    EXPECT_EQ(a.counters.match_cost, b.counters.match_cost);
-    EXPECT_EQ(a.counters.rhs_cost, b.counters.rhs_cost);
-    EXPECT_EQ(a.counters.wmes_added, b.counters.wmes_added);
-  }
-  EXPECT_EQ(shimmed.executed_by, unified.executed_by());
-  EXPECT_EQ(shimmed.tasks_per_process, unified.tasks_per_process());
-}
-
-TEST_F(ObsRunTest, RobustShimMatchesUnifiedRun) {
-  const auto shimmed =
-      psm::run_robust(decomposition_.factory, decomposition_.tasks, 1);
-
-  psm::RunOptions options;
-  options.task_processes = 1;
-  const auto unified = psm::run(decomposition_.factory, decomposition_.tasks, options);
-
-  ASSERT_TRUE(unified.complete());
-  ASSERT_EQ(shimmed.completed_ids.size(), unified.report.completed_ids.size());
-  ASSERT_EQ(shimmed.measurements.size(), unified.measurements().size());
-  for (std::size_t i = 0; i < shimmed.measurements.size(); ++i) {
-    EXPECT_EQ(shimmed.measurements[i].cost(), unified.measurements()[i].cost());
-  }
-}
-
-#pragma GCC diagnostic pop
 
 TEST_F(ObsRunTest, CountersCompiledOutWhenObsDisabled) {
   // The gauges only move when the instrumented engine is compiled in; this

@@ -1,4 +1,4 @@
-// Fault-tolerant task execution (run_robust): deterministic fault injection,
+// Fault-tolerant task execution (robust psm::run): deterministic fault injection,
 // retry with rollback, quarantine, dead-worker strand recovery, and graceful
 // degradation. The paper's TLP argument rests on tasks being independent
 // OPS5 runs handed out from a central queue — which is exactly what makes
