@@ -8,7 +8,10 @@
 //      4-worker pool: p50/p99 scene latency and scenes/sec at
 //      N in {1, 8, 64, 256},
 //   2. fault-storm degradation — same pool under injected poison/overrun
-//      storms: throughput, quarantine and retry accounting.
+//      storms: throughput, quarantine and retry accounting,
+//   3. pack-swap overhead — a versioned hot reload (admission gate + atomic
+//      activation + per-worker context rebuilds) lands mid-run; scenes/sec
+//      and p99 with and without the swap.
 //
 // Every rollup is validated against the serve schema
 // (obs::validate_serve_rollup) before it is reported; a violation fails the
@@ -153,6 +156,77 @@ PSMSYS_BENCH_CASE(serve_fault_storm, "serve",
   }
   table.print(os, "16 clients, 4 workers; poisoned scenes quarantine, healthy scenes complete");
   ctx.table("serve_fault_storm", table);
+}
+
+PSMSYS_BENCH_CASE(serve_pack_swap, "serve",
+                  "Session server: hot pack swap overhead under closed-loop load") {
+  auto& os = ctx.out();
+  constexpr std::size_t kWorkers = 4;
+  constexpr std::size_t kClients = 16;
+  const std::size_t per_client = ctx.quick() ? 16 : 128;
+  const std::uint64_t total = kClients * per_client;
+
+  // The candidate carries the same rules under a new version tag: the gate
+  // runs its full pipeline (semantic diff is empty, so it must accept), and
+  // the swap cost measured is pure mechanism — admission analysis, atomic
+  // activation, and every worker rebuilding its resident context mid-stream.
+  util::Table table({"run", "scenes", "swaps", "scenes/sec", "p50 us", "p99 us"});
+  double baseline = 0.0;
+  for (const bool swap : {false, true}) {
+    serve::ServerOptions options;
+    options.workers = kWorkers;
+    options.queue_capacity = kClients + kWorkers;
+    serve::Server server(serve_rulebase(), options);
+
+    std::thread swapper;
+    if (swap) {
+      swapper = std::thread([&server, total, &ctx] {
+        while (server.stats().completed < total / 2) std::this_thread::yield();
+        serve::PackCandidate candidate;
+        candidate.program =
+            std::make_shared<const ops5::Program>(ops5::parse_program(
+                std::string("(pack serve 2)\n") + kServeSrc));
+        const serve::LoadResult load = server.load_pack(candidate);
+        if (!load.activated) ctx.fail("mid-run pack swap did not activate");
+      });
+    }
+
+    std::vector<std::thread> pool;
+    pool.reserve(kClients);
+    for (std::size_t c = 0; c < kClients; ++c) {
+      pool.emplace_back([&server, c, per_client] {
+        for (std::size_t i = 0; i < per_client; ++i) {
+          auto r = server.submit(counting_scene(c * per_client + i));
+          if (r.admitted()) (void)r.report.get();
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+    if (swapper.joinable()) swapper.join();
+    const serve::ServerStats stats = server.drain();
+
+    const auto violations = obs::validate_serve_rollup(stats.to_json());
+    for (const auto& v : violations) ctx.fail("serve rollup schema: " + v);
+    if (stats.completed != total) ctx.fail("closed loop lost scenes");
+    if (swap && stats.pack_swaps != 1) ctx.fail("expected exactly one swap");
+
+    if (!swap) baseline = stats.scenes_per_sec;
+    const std::string tag = swap ? "swap_" : "steady_";
+    ctx.metric(tag + "scenes_per_sec", stats.scenes_per_sec);
+    ctx.metric(tag + "p99_ns", static_cast<double>(stats.latency.p99_ns));
+    table.add_row({swap ? "mid-run swap" : "steady state", util::Table::fmt(stats.completed),
+                   util::Table::fmt(stats.pack_swaps),
+                   util::Table::fmt(stats.scenes_per_sec, 0),
+                   util::Table::fmt(static_cast<double>(stats.latency.p50_ns) / 1e3, 1),
+                   util::Table::fmt(static_cast<double>(stats.latency.p99_ns) / 1e3, 1)});
+    if (swap && baseline > 0.0) {
+      ctx.metric("swap_throughput_ratio", stats.scenes_per_sec / baseline);
+    }
+  }
+  table.print(os, "16 clients, 4 workers; identical-rules candidate through the full gate");
+  ctx.note("swap cost = admission pipeline + activation + per-worker context "
+           "rebuild at next dequeue; in-flight scenes finish on the old pack");
+  ctx.table("serve_pack_swap", table);
 }
 
 }  // namespace psmsys::bench

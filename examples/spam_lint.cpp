@@ -11,10 +11,23 @@
 //   spam_lint --out DIR                     write reports to DIR/<label>.rete.json
 //   spam_lint --outputs a,b,c               classes the control process extracts
 //                                           (enables AN008 dead-production checks)
+//   spam_lint --gate OLD NEW                run the full admission pipeline on the
+//                                           candidate pack NEW against the live pack
+//                                           OLD (files, or @rtf/@lcc/@fa/@model for
+//                                           the built-in phase bases) and print the
+//                                           AdmissionVerdict
+//   spam_lint --gate-dataset sf|dc|moff     attach the dataset's LCC independence
+//                                           certificate (at --level, default 3) to
+//                                           the live side of --gate @lcc NEW, arming
+//                                           the AN011/AN012 interference recheck
+//   spam_lint --verdict-out FILE            write the verdict JSON to FILE
+//   spam_lint --dump-phase NAME             print a built-in phase source (for
+//                                           deriving candidate packs in CI)
 //   spam_lint --strict                      treat warnings as failures
 //
-// Exit status: 0 = clean, 1 = error-severity findings (or any findings with
-// --strict) or interference conflicts, 2 = usage or parse failure.
+// Exit status: 0 = clean (gate: pass/warn), 1 = error-severity findings (or
+// any findings with --strict) or interference conflicts or a rejected gate,
+// 2 = usage or parse failure.
 
 #include <cstddef>
 #include <cstdlib>
@@ -28,6 +41,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/admission.hpp"
 #include "analysis/interference.hpp"
 #include "analysis/lint.hpp"
 #include "analysis/rete_static.hpp"
@@ -53,11 +67,18 @@ struct Options {
   std::vector<std::string> outputs;
   std::vector<std::string> interference;  // dataset names, lower case
   int level = 0;                          // 0 = the experiment levels {4,3,2}
+  std::string gate_old;                   // --gate live pack (file or @phase)
+  std::string gate_new;                   // --gate candidate pack
+  std::string gate_dataset;               // certificate source for --gate
+  std::string verdict_out;                // verdict JSON destination
+  std::string dump_phase;                 // built-in phase source to print
 };
 
 void usage(std::ostream& os) {
   os << "usage: spam_lint [--phases] [FILE...] [--cpp FILE] [--seeds a,b,c]\n"
         "                 [--outputs a,b,c] [--interference sf|dc|moff|all [--level N]]\n"
+        "                 [--gate OLD NEW [--gate-dataset sf|dc|moff] [--verdict-out FILE]]\n"
+        "                 [--dump-phase rtf|lcc|fa|model]\n"
         "                 [--rete-report] [--costs] [--out DIR] [--strict]\n";
 }
 
@@ -116,6 +137,24 @@ void usage(std::ostream& os) {
       if (!value) return std::nullopt;
       opt.level = std::atoi(value->c_str());
       if (opt.level < 1 || opt.level > 4) return std::nullopt;
+    } else if (arg == "--gate") {
+      const auto old_ref = next();
+      const auto new_ref = next();
+      if (!old_ref || !new_ref) return std::nullopt;
+      opt.gate_old = *old_ref;
+      opt.gate_new = *new_ref;
+    } else if (arg == "--gate-dataset") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      opt.gate_dataset = *value;
+    } else if (arg == "--verdict-out") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      opt.verdict_out = *value;
+    } else if (arg == "--dump-phase") {
+      const auto value = next();
+      if (!value) return std::nullopt;
+      opt.dump_phase = *value;
     } else if (arg == "--help" || arg == "-h") {
       usage(std::cout);
       std::exit(0);
@@ -126,7 +165,7 @@ void usage(std::ostream& os) {
     }
   }
   if (!opt.phases && opt.files.empty() && opt.cpp_files.empty() &&
-      opt.interference.empty()) {
+      opt.interference.empty() && opt.gate_new.empty() && opt.dump_phase.empty()) {
     return std::nullopt;
   }
   return opt;
@@ -325,6 +364,141 @@ struct LintTally {
   return conflicts;
 }
 
+// ---------------------------------------------------------------------------
+// --gate: the static admission pipeline, offline
+// ---------------------------------------------------------------------------
+
+struct PhaseDefaults {
+  const char* name;
+  std::string (*source)();
+  std::vector<std::string> seeds;
+  std::vector<std::string> outputs;
+};
+
+[[nodiscard]] const std::vector<PhaseDefaults>& phase_defaults() {
+  static const std::vector<PhaseDefaults> phases = {
+      {"rtf", spam::rtf_source, {"region", "rtf-task"}, {"fragment"}},
+      {"lcc",
+       spam::lcc_source,
+       {"fragment", "constraint", "support", "lcc-task"},
+       {"context", "consistency", "relation"}},
+      {"fa", spam::fa_source, {"fragment", "context", "fa-task"}, {"functional-area", "fa-size"}},
+      {"model", spam::model_source, {"functional-area", "model-task"}, {"model"}},
+  };
+  return phases;
+}
+
+/// One side of the gate: `@rtf|@lcc|@fa|@model` loads a built-in phase base
+/// (with its canonical seed/output classes unless the CLI overrides them), a
+/// plain argument is read as an OPS5 source file.
+[[nodiscard]] bool load_gate_side(const std::string& ref, const Options& opt,
+                                  analysis::PackInput& out) {
+  std::string source;
+  if (!ref.empty() && ref[0] == '@') {
+    const std::string phase = ref.substr(1);
+    for (const auto& p : phase_defaults()) {
+      if (phase == p.name) {
+        source = p.source();
+        out.label = phase;
+        if (opt.seeds.empty()) out.seed_classes = p.seeds;
+        if (opt.outputs.empty()) out.output_classes = p.outputs;
+        break;
+      }
+    }
+    if (source.empty()) {
+      std::cerr << ref << ": unknown built-in phase (try @rtf/@lcc/@fa/@model)\n";
+      return false;
+    }
+  } else {
+    const auto text = read_file(ref);
+    if (!text) {
+      std::cerr << ref << ": cannot read file\n";
+      return false;
+    }
+    source = *text;
+    out.label = ref;
+  }
+  if (!opt.seeds.empty()) out.seed_classes = opt.seeds;
+  if (!opt.outputs.empty()) out.output_classes = opt.outputs;
+  try {
+    out.program = std::make_shared<const ops5::Program>(ops5::parse_program(source));
+  } catch (const ops5::ParseError& e) {
+    std::cerr << ref << ": parse error: " << e.what() << '\n';
+    return false;
+  }
+  // A pack with its own `(pack name version)` metadata names itself.
+  if (!out.program->pack_name().empty()) {
+    out.label = out.program->pack_name();
+    if (!out.program->pack_version().empty()) out.label += "@" + out.program->pack_version();
+  }
+  return true;
+}
+
+/// Runs the admission pipeline on --gate OLD NEW and prints the verdict.
+/// Returns the process exit code.
+[[nodiscard]] int run_gate(const Options& opt) {
+  analysis::PackInput live, candidate;
+  if (!load_gate_side(opt.gate_old, opt, live)) return 2;
+  if (!load_gate_side(opt.gate_new, opt, candidate)) return 2;
+
+  // The interference recheck needs the certificate in force for the live
+  // pack; the dataset decompositions are the certificates this repo ships.
+  // The spec must describe the live program itself, so it replaces the
+  // parsed @lcc side wholesale (same source, plus the task/fact model).
+  std::optional<spam::Scene> scene;
+  std::optional<spam::Decomposition> decomposition;
+  if (!opt.gate_dataset.empty()) {
+    if (opt.gate_old != "@lcc") {
+      std::cerr << "--gate-dataset certifies the built-in LCC base; use `--gate @lcc NEW`\n";
+      return 2;
+    }
+    const std::string& ds = opt.gate_dataset;
+    try {
+      const spam::DatasetConfig config = spam::dataset_by_name(
+          ds == "sf" ? "SF" : ds == "dc" ? "DC" : ds == "moff" ? "MOFF" : ds);
+      scene = spam::generate_scene(config);
+      const auto best = spam::best_fragments(spam::run_rtf(*scene, 3).fragments);
+      const int level = opt.level > 0 ? opt.level : 3;
+      decomposition = spam::lcc_decomposition(level, *scene, best);
+      live.program = decomposition->spec.program;
+      live.spec = &decomposition->spec;
+      live.label = ds + "-lcc-L" + std::to_string(level);
+    } catch (const std::exception& e) {
+      std::cerr << "--gate-dataset " << ds << ": " << e.what() << '\n';
+      return 2;
+    }
+  }
+
+  analysis::AdmissionOptions options;
+  options.strict = opt.strict;
+  const analysis::AnalysisPipeline pipeline(options);
+  const analysis::AdmissionVerdict verdict = pipeline.admit(&live, candidate);
+
+  for (const auto& section : verdict.sections) {
+    std::cout << section.analyzer << ": "
+              << analysis::admission_decision_name(section.decision) << " ("
+              << section.errors << " error(s), " << section.warnings << " warning(s))\n";
+    for (const auto& f : section.findings) {
+      std::cout << "  " << f.code << ' ' << f.severity;
+      if (!f.production.empty()) std::cout << ' ' << f.production;
+      std::cout << ": " << f.message << '\n';
+    }
+  }
+  std::cout << "verdict: " << analysis::admission_decision_name(verdict.decision) << " ("
+            << verdict.live << " -> " << verdict.candidate << ")\n";
+
+  if (!opt.verdict_out.empty()) {
+    std::ofstream os(opt.verdict_out, std::ios::binary);
+    if (!os) {
+      std::cerr << opt.verdict_out << ": cannot write verdict\n";
+      return 2;
+    }
+    os << verdict.to_json().dump(2) << '\n';
+    std::cout << "verdict json -> " << opt.verdict_out << '\n';
+  }
+  return verdict.accepted() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -333,6 +507,19 @@ int main(int argc, char** argv) {
     usage(std::cerr);
     return 2;
   }
+
+  if (!opt->dump_phase.empty()) {
+    for (const auto& p : phase_defaults()) {
+      if (opt->dump_phase == p.name) {
+        std::cout << p.source();
+        return 0;
+      }
+    }
+    std::cerr << opt->dump_phase << ": unknown built-in phase\n";
+    return 2;
+  }
+
+  if (!opt->gate_new.empty()) return run_gate(*opt);
 
   LintTally tally;
   bool parse_ok = true;

@@ -7,24 +7,38 @@
 //   spam_serve --dataset SF --level 3 --workers 4 --clients 8 --rounds 2
 //              [--queue 64] [--deadline CYCLES] [--watchdog MS]
 //              [--storm RATE [--seed HEX]] [--watch] [--json out.json]
+//              [--swap-at N [--swap-rogue]] [--admin "CMD;CMD..."]
 //
 // `--storm` injects a deterministic fault storm (transient failures, poisoned
 // scenes, deadline overruns) to demonstrate quarantine + graceful
 // degradation; `--watch` streams the session-id-prefixed firing log; `--json`
 // writes the drained server rollup (schema-validated before exit).
+//
+// `--swap-at N` demonstrates versioned hot-reload (DESIGN.md §15): once N
+// scenes have completed, a candidate copy of the LCC pack is staged through
+// the static admission gate and — when accepted — atomically activated while
+// the workload keeps running; in-flight scenes finish on the old pack.
+// `--swap-rogue` injects an interference regression into the candidate so
+// the gate rejects it (AN011) and the server keeps serving the live pack.
+// `--admin` runs semicolon-separated admin-channel commands (help / stats /
+// pack list / pack verdict <id> / pack swap <id> / pack rollback) after the
+// workload, before the drain.
 
 #include <atomic>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/bench_schema.hpp"
+#include "ops5/parser.hpp"
 #include "psm/faults.hpp"
 #include "serve/server.hpp"
 #include "spam/decomposition.hpp"
+#include "spam/phases.hpp"
 #include "spam/scene_generator.hpp"
 #include "util/table.hpp"
 
@@ -45,6 +59,9 @@ struct Options {
   std::uint64_t seed = 0x5eedULL;
   bool watch = false;
   std::string json_path;
+  std::size_t swap_at = 0;         ///< hot-swap after N completed scenes (0 = off)
+  bool swap_rogue = false;         ///< make the swapped candidate fail the gate
+  std::string admin;               ///< ';'-separated admin commands to run
 };
 
 void print_help() {
@@ -68,6 +85,16 @@ void print_help() {
       "  --storm <RATE>           inject faults at RATE (e.g. 0.1); poisoned\n"
       "                           scenes quarantine, healthy ones are untouched\n"
       "  --seed <HEX>             fault-injection seed (default 5eed)\n"
+      "\n"
+      "hot-reload demo:\n"
+      "  --swap-at <N>            after N completed scenes, gate + activate a\n"
+      "                           candidate LCC pack mid-run (old scenes finish\n"
+      "                           on the pack they started with)\n"
+      "  --swap-rogue             inject an interference regression into the\n"
+      "                           candidate: the gate rejects it (AN011) and the\n"
+      "                           live pack keeps serving\n"
+      "  --admin <cmds>           run ';'-separated admin-channel commands after\n"
+      "                           the workload (try \"pack list;stats\")\n"
       "\n"
       "output:\n"
       "  --watch                  stream session-prefixed firing-log lines\n"
@@ -108,6 +135,12 @@ void print_help() {
       o.watch = true;
     } else if (arg == "--json") {
       o.json_path = next();
+    } else if (arg == "--swap-at") {
+      o.swap_at = std::stoul(next());
+    } else if (arg == "--swap-rogue") {
+      o.swap_rogue = true;
+    } else if (arg == "--admin") {
+      o.admin = next();
     } else {
       throw std::runtime_error("unknown option " + arg);
     }
@@ -166,6 +199,11 @@ int main(int argc, char** argv) {
     };
   }
   server_options.watchdog_budget = std::chrono::milliseconds(options.watchdog_ms);
+  // The hot-reload gate re-establishes this decomposition's independence
+  // certificate over every candidate pack (AN011/AN012 on regression).
+  server_options.admission_spec = &decomposition.spec;
+  server_options.admission_seeds = {{"fragment", "constraint", "support", "lcc-task"}};
+  server_options.admission_outputs = {{"context", "consistency", "relation"}};
   serve::Server server(rulebase, server_options);
 
   // Closed-loop clients: each submits its slice of rounds x tasks, waiting
@@ -199,7 +237,51 @@ int main(int argc, char** argv) {
       }
     });
   }
+  // Mid-run hot swap: stage a candidate LCC pack through the admission gate
+  // once enough scenes have completed, activate it when accepted, and keep
+  // the workload running throughout.
+  std::atomic<bool> workload_done{false};
+  std::thread swapper;
+  if (options.swap_at > 0) {
+    swapper = std::thread([&] {
+      while (completed.load() < options.swap_at && !workload_done.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      std::string source = "(pack lcc v2)\n" + spam::lcc_source();
+      if (options.swap_rogue) {
+        source +=
+            "\n(p lcc-rogue\n"
+            "   (lcc-task)\n"
+            "   (fragment ^id <f> ^best yes)\n"
+            "   -->\n"
+            "   (make consistency ^constraint 99 ^subject <f> ^object <f> ^result 1))\n";
+      }
+      serve::PackCandidate candidate;
+      candidate.program =
+          std::make_shared<const ops5::Program>(ops5::parse_program(source));
+      candidate.externals = phase.externals.get();
+      const serve::LoadResult r = server.load_pack(candidate);
+      std::cout << "hot swap: pack " << r.pack << " verdict "
+                << analysis::admission_decision_name(r.verdict.decision) << " -> "
+                << (r.activated ? "activated (old scenes finish on their pack)"
+                                : "NOT activated; live pack keeps serving")
+                << "\n";
+    });
+  }
+
   for (auto& t : clients) t.join();
+  workload_done.store(true);
+  if (swapper.joinable()) swapper.join();
+
+  if (!options.admin.empty()) {
+    std::stringstream cmds(options.admin);
+    std::string cmd;
+    while (std::getline(cmds, cmd, ';')) {
+      if (cmd.empty()) continue;
+      std::cout << "admin> " << cmd << "\n" << server.admin_talk(cmd) << "\n";
+    }
+  }
+
   const serve::ServerStats stats = server.drain();
 
   util::Table table({"metric", "value"});
@@ -214,6 +296,12 @@ int main(int argc, char** argv) {
                  util::Table::fmt(static_cast<double>(stats.latency.p50_ns) / 1e3, 1)});
   table.add_row({"p99 latency (us)",
                  util::Table::fmt(static_cast<double>(stats.latency.p99_ns) / 1e3, 1)});
+  if (options.swap_at > 0) {
+    table.add_row({"packs loaded", util::Table::fmt(stats.packs_loaded)});
+    table.add_row({"pack swaps", util::Table::fmt(stats.pack_swaps)});
+    table.add_row({"packs rejected", util::Table::fmt(stats.packs_rejected)});
+    table.add_row({"active pack", util::Table::fmt(stats.active_pack)});
+  }
   table.print(std::cout, options.clients > 0 ? "drained server rollup" : "rollup");
 
   const auto doc = stats.to_json();

@@ -31,6 +31,10 @@ Severity default_severity(Code c) noexcept {
     case Code::DuplicateAttributeSet: return Severity::Warning;
     case Code::DeadProduction: return Severity::Warning;
     case Code::UnproducibleClass: return Severity::Warning;
+    case Code::CostRegression: return Severity::Warning;
+    case Code::NewInterferenceEdge: return Severity::Error;
+    case Code::CertificateInvalidation: return Severity::Error;
+    case Code::OutputSchemaChange: return Severity::Error;
   }
   return Severity::Warning;
 }

@@ -27,6 +27,12 @@ enum class Code : std::uint16_t {
   DuplicateAttributeSet = 7,   ///< AN007: same attribute assigned twice in one make/modify
   DeadProduction = 8,          ///< AN008: nothing it writes is consumed or output
   UnproducibleClass = 9,       ///< AN009: positive CE class transitively unproducible from seeds
+  // Cross-version pack-diff rules (analysis/admission.hpp): findings about a
+  // candidate rule pack RELATIVE to the live pack it would replace.
+  CostRegression = 10,         ///< AN010: static match cost / beta growth regressed past bound
+  NewInterferenceEdge = 11,    ///< AN011: candidate adds a task-interference conflict
+  CertificateInvalidation = 12,///< AN012: live independence certificate no longer holds
+  OutputSchemaChange = 13,     ///< AN013: result/output class removed or its layout changed
 };
 
 /// "AN001" etc.

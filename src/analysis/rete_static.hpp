@@ -25,6 +25,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -96,6 +97,19 @@ struct DependencyEdge {
   bool negated = false;  ///< the read side is a negated CE
 };
 
+/// Static cost vs measured per-node activations for one production (ROADMAP
+/// item 2 stretch goal: calibrating the analyzer against real traffic).
+/// Shares are each production's fraction of the rule-base total, so the two
+/// columns are directly comparable even though their units differ.
+struct CalibrationRow {
+  std::uint32_t id = 0;
+  std::string name;
+  double static_cost = 0.0;    ///< the analyzer's match_cost estimate
+  double measured = 0.0;       ///< summed activations over the production's path
+  double static_share = 0.0;
+  double measured_share = 0.0;
+};
+
 struct ReteStaticReport {
   std::string program;                 ///< program name tag (caller-supplied)
   std::size_t production_count = 0;
@@ -111,6 +125,7 @@ struct ReteStaticReport {
   std::vector<JoinNodeReport> joins;        ///< ordered by id
   std::vector<ProductionReport> productions;///< ordered by production id
   std::vector<DependencyEdge> edges;        ///< ordered by (from, to, cls)
+  std::vector<CalibrationRow> calibration;  ///< empty until calibrate() runs
 
   /// Alpha sharing factor: unshared / shared node counts (1.0 = no sharing
   /// benefit). 0 when the unshared compilation was skipped.
@@ -121,7 +136,22 @@ struct ReteStaticReport {
   /// indexed by production id.
   [[nodiscard]] std::vector<double> cost_vector() const;
 
-  /// Deterministic JSON rendering of the whole report.
+  /// Join measured per-node activation counts (rete::Matcher::
+  /// node_activations(), same topology id space as `topo`) onto the report's
+  /// productions: each production is charged every node on its compiled path
+  /// (shared nodes charged to every user, matching the static-cost
+  /// convention). Fills `calibration`, ordered by production id.
+  void calibrate(const rete::NetworkTopology& topo,
+                 std::span<const std::uint64_t> alpha_activations,
+                 std::span<const std::uint64_t> join_activations);
+
+  /// Pearson correlation between static and measured cost shares across
+  /// calibration rows; 0 when fewer than two rows or degenerate variance.
+  [[nodiscard]] double calibration_correlation() const noexcept;
+
+  /// Deterministic JSON rendering of the whole report. The calibration table
+  /// (keys "calibration" and "calibration_correlation") is appended only when
+  /// calibrate() ran, so pre-existing golden files are byte-stable.
   [[nodiscard]] obs::json::Value to_json() const;
 };
 

@@ -1,5 +1,6 @@
 #include "obs/bench_schema.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace psmsys::obs {
@@ -262,7 +263,74 @@ std::vector<std::string> validate_serve_rollup(const json::Value& doc) {
   }
   if (const auto* engine = c.require(doc, "$", "engine", json::Type::Object)) {
     for (const auto& [k, v] : engine->as_object()) {
-      if (!v.is_number()) c.fail("$.engine." + k, "metric values must be numbers");
+      // Scalars for counters; arrays of numbers for the per-node Rete
+      // activation gauges (alpha/join_node_activations).
+      if (v.is_array()) {
+        for (const json::Value& e : v.as_array()) {
+          if (!e.is_number()) {
+            c.fail("$.engine." + k, "array metric entries must be numbers");
+            break;
+          }
+        }
+      } else if (!v.is_number()) {
+        c.fail("$.engine." + k, "metric values must be numbers or number arrays");
+      }
+    }
+  }
+
+  // Hot-reload registry: optional for forward compatibility with rollups
+  // produced before versioned packs existed; strict when present.
+  double packs_completed = 0.0;
+  bool have_packs = false;
+  if (const auto* packs = c.optional(doc, "$", "packs", json::Type::Object)) {
+    have_packs = true;
+    const std::string w = "$.packs";
+    for (const char* key : {"loaded", "rejected", "swaps", "rollbacks", "active"}) {
+      if (const auto* v = c.require(*packs, w, key, json::Type::Number)) {
+        c.check_int(*v, w + "." + key, 0);
+      }
+    }
+    std::size_t active_count = 0;
+    if (const auto* per = c.require(*packs, w, "per_pack", json::Type::Array)) {
+      std::size_t i = 0;
+      for (const json::Value& p : per->as_array()) {
+        const std::string pw = w + ".per_pack[" + std::to_string(i++) + "]";
+        if (!p.is_object()) {
+          c.fail(pw, "expected object");
+          continue;
+        }
+        if (const auto* id = c.require(p, pw, "id", json::Type::Number)) {
+          c.check_int(*id, pw + ".id", 1);
+        }
+        c.require(p, pw, "name", json::Type::String);
+        c.require(p, pw, "version", json::Type::String);
+        if (const auto* st = c.require(p, pw, "state", json::Type::String)) {
+          const std::string& s = st->as_string();
+          if (s == "active") ++active_count;
+          if (s != "active" && s != "staged" && s != "retired" && s != "rejected") {
+            c.fail(pw + ".state", "unknown pack state \"" + s + "\"");
+          }
+        }
+        if (const auto* d = c.require(p, pw, "decision", json::Type::String)) {
+          const std::string& s = d->as_string();
+          if (s != "pass" && s != "warn" && s != "reject") {
+            c.fail(pw + ".decision", "unknown decision \"" + s + "\"");
+          }
+        }
+        c.require(p, pw, "gated", json::Type::Bool);
+        if (const auto* sc = c.require(p, pw, "scenes_completed", json::Type::Number)) {
+          if (c.check_int(*sc, pw + ".scenes_completed", 0)) {
+            packs_completed += sc->as_number();
+          }
+        }
+        if (const auto* wo = c.require(p, pw, "workers_on", json::Type::Number)) {
+          c.check_int(*wo, pw + ".workers_on", 0);
+        }
+      }
+      if (active_count != 1) {
+        c.fail(w + ".per_pack", "exactly one pack must be active, found " +
+                                    std::to_string(active_count));
+      }
     }
   }
 
@@ -274,6 +342,126 @@ std::vector<std::string> validate_serve_rollup(const json::Value& doc) {
     if (admitted != completed + quarantined + aborted) {
       c.fail("$", "admitted != completed + quarantined + aborted "
                   "(lost or double-counted scenes)");
+    }
+    if (have_packs && packs_completed != completed) {
+      c.fail("$.packs", "per-pack scenes_completed do not sum to completed "
+                        "(scenes mis-attributed across a swap)");
+    }
+  }
+  return violations;
+}
+
+namespace {
+
+bool check_decision_string(Checker& c, const json::Value& v, const std::string& where) {
+  const std::string& s = v.as_string();
+  if (s != "pass" && s != "warn" && s != "reject") {
+    c.fail(where, "unknown decision \"" + s + "\"");
+    return false;
+  }
+  return true;
+}
+
+int decision_rank(const std::string& s) {
+  if (s == "pass") return 0;
+  if (s == "warn") return 1;
+  return 2;
+}
+
+}  // namespace
+
+std::vector<std::string> validate_admission_verdict(const json::Value& doc) {
+  std::vector<std::string> violations;
+  Checker c(violations);
+  if (!doc.is_object()) {
+    c.fail("$", "top-level value must be an object");
+    return violations;
+  }
+  if (const auto* schema = c.require(doc, "$", "schema", json::Type::String)) {
+    if (schema->as_string() != "admission-verdict-v1") {
+      c.fail("$.schema", "unsupported schema (expected \"admission-verdict-v1\")");
+    }
+  }
+  c.require(doc, "$", "live", json::Type::String);
+  c.require(doc, "$", "candidate", json::Type::String);
+  int verdict_rank = 0;
+  if (const auto* d = c.require(doc, "$", "decision", json::Type::String)) {
+    if (check_decision_string(c, *d, "$.decision")) {
+      verdict_rank = decision_rank(d->as_string());
+    }
+  }
+  double total_errors = 0.0, total_warnings = 0.0;
+  if (const auto* e = c.require(doc, "$", "errors", json::Type::Number)) {
+    if (c.check_int(*e, "$.errors", 0)) total_errors = e->as_number();
+  }
+  if (const auto* wv = c.require(doc, "$", "warnings", json::Type::Number)) {
+    if (c.check_int(*wv, "$.warnings", 0)) total_warnings = wv->as_number();
+  }
+
+  double sum_errors = 0.0, sum_warnings = 0.0;
+  int worst_rank = 0;
+  if (const auto* sections = c.require(doc, "$", "sections", json::Type::Array)) {
+    if (sections->as_array().empty()) {
+      c.fail("$.sections", "must contain at least one section");
+    }
+    std::size_t i = 0;
+    for (const json::Value& s : sections->as_array()) {
+      const std::string w = "$.sections[" + std::to_string(i++) + "]";
+      if (!s.is_object()) {
+        c.fail(w, "expected object");
+        continue;
+      }
+      c.require(s, w, "analyzer", json::Type::String);
+      if (const auto* d = c.require(s, w, "decision", json::Type::String)) {
+        if (check_decision_string(c, *d, w + ".decision")) {
+          worst_rank = std::max(worst_rank, decision_rank(d->as_string()));
+        }
+      }
+      if (const auto* e = c.require(s, w, "errors", json::Type::Number)) {
+        if (c.check_int(*e, w + ".errors", 0)) sum_errors += e->as_number();
+      }
+      if (const auto* wv = c.require(s, w, "warnings", json::Type::Number)) {
+        if (c.check_int(*wv, w + ".warnings", 0)) sum_warnings += wv->as_number();
+      }
+      if (const auto* findings = c.require(s, w, "findings", json::Type::Array)) {
+        std::size_t j = 0;
+        for (const json::Value& f : findings->as_array()) {
+          const std::string fw = w + ".findings[" + std::to_string(j++) + "]";
+          if (!f.is_object()) {
+            c.fail(fw, "expected object");
+            continue;
+          }
+          if (const auto* code = c.require(f, fw, "code", json::Type::String)) {
+            const std::string& cs = code->as_string();
+            if (cs.size() != 5 || cs.compare(0, 2, "AN") != 0) {
+              c.fail(fw + ".code", "expected an ANnnn wire code");
+            }
+          }
+          if (const auto* sev = c.require(f, fw, "severity", json::Type::String)) {
+            const std::string& ss = sev->as_string();
+            if (ss != "warning" && ss != "error") {
+              c.fail(fw + ".severity", "expected \"warning\" or \"error\"");
+            }
+          }
+          c.require(f, fw, "production", json::Type::String);
+          c.require(f, fw, "message", json::Type::String);
+        }
+      }
+      c.require(s, w, "details", json::Type::Object);
+    }
+  }
+
+  // Aggregation invariants: the verdict is exactly the worst section, and
+  // top-level totals are the per-section sums (exact despite truncation).
+  if (violations.empty()) {
+    if (verdict_rank != worst_rank) {
+      c.fail("$.decision", "verdict decision does not match the worst section");
+    }
+    if (total_errors != sum_errors) {
+      c.fail("$.errors", "top-level errors != sum of section errors");
+    }
+    if (total_warnings != sum_warnings) {
+      c.fail("$.warnings", "top-level warnings != sum of section warnings");
     }
   }
   return violations;

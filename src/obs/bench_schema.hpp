@@ -67,16 +67,30 @@ inline constexpr int kBenchSchemaVersion = 1;
 //     "retries": int >= 0,
 //     "wall_ns": number >= 0,
 //     "scenes_per_sec": number >= 0,
+//     "packs": {                      // hot-reload registry (DESIGN.md §15)
+//       "loaded": int >= 1, "rejected": int >= 0, "swaps": int >= 0,
+//       "rollbacks": int >= 0, "active": int >= 1,
+//       "per_pack": [
+//         { "id": int >= 1, "name": str, "version": str,
+//           "state": "active"|"staged"|"retired"|"rejected",
+//           "decision": "pass"|"warn"|"reject", "gated": bool,
+//           "scenes_completed": int >= 0, "workers_on": int >= 0 }, ...
+//       ]
+//     },
 //     "latency_ns": {                 // completed scenes; all 0 when none
 //       "count": int, "p50_ns": int, "p90_ns": int, "p99_ns": int,
 //       "mean_ns": int, "max_ns": int
 //     },
-//     "engine": { ... }               // obs::RunMetrics flat object
+//     "engine": { ... }               // obs::RunMetrics flat object; values
+//                                     // are numbers or arrays of numbers
+//                                     // (per-node activation gauges)
 //   }
 //
 // Invariant checked beyond shape: submitted == admitted + rejected.* and
 // admitted == completed + quarantined + aborted (exactly-once accounting —
-// the graceful-drain "no lost or double-counted scenes" contract).
+// the graceful-drain "no lost or double-counted scenes" contract). When
+// "packs" is present, completed also equals the sum of per-pack
+// scenes_completed, and exactly one pack is active.
 // ---------------------------------------------------------------------------
 
 inline constexpr int kServeRollupSchemaVersion = 1;
@@ -84,6 +98,39 @@ inline constexpr int kServeRollupSchemaVersion = 1;
 /// Validate a parsed serve rollup document (shape + accounting invariants).
 /// Returns human-readable violations; empty means the document conforms.
 [[nodiscard]] std::vector<std::string> validate_serve_rollup(
+    const json::Value& doc);
+
+// ---------------------------------------------------------------------------
+// Admission verdict (analysis::AdmissionVerdict::to_json; prose: DESIGN.md §15)
+//
+//   {
+//     "schema": "admission-verdict-v1",
+//     "live": str,                    // "" for a candidate-only check
+//     "candidate": str,
+//     "decision": "pass"|"warn"|"reject",
+//     "errors": int >= 0,             // totals over all sections (exact even
+//     "warnings": int >= 0,           //  when findings are truncated)
+//     "sections": [
+//       { "analyzer": str,            // lint | rete_static | interference |
+//         "decision": ...,            //  semantic_diff
+//         "errors": int >= 0, "warnings": int >= 0,
+//         "findings": [
+//           { "code": "ANnnn", "severity": "warning"|"error",
+//             "production": str, "message": str }, ...
+//         ],
+//         "details": { ... }          // analyzer-specific, deterministic
+//       }, ...
+//     ]
+//   }
+//
+// Invariants beyond shape: the verdict decision is the worst section
+// decision, and the top-level error/warning totals are the sums of the
+// per-section counts.
+// ---------------------------------------------------------------------------
+
+/// Validate a parsed AdmissionVerdict document (shape + aggregation
+/// invariants). Returns human-readable violations; empty means it conforms.
+[[nodiscard]] std::vector<std::string> validate_admission_verdict(
     const json::Value& doc);
 
 }  // namespace psmsys::obs

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "obs/json.hpp"
 #include "util/counters.hpp"
@@ -41,6 +42,13 @@ struct RunMetrics {
   // --- gauges (require PSMSYS_OBS; 0 when compiled out) ---
   std::uint64_t peak_conflict_set = 0;  ///< max conflict-set size seen
   std::uint64_t peak_live_tokens = 0;   ///< max simultaneously-live rete tokens
+
+  // --- per-node Rete activation counters (PSMSYS_OBS gauges), indexed by the
+  //     NetworkTopology node ids; empty unless harvested from a matcher that
+  //     exports them. Only meaningful when every contribution comes from
+  //     networks compiled over the same program (same id space). ---
+  std::vector<std::uint64_t> alpha_node_activations;
+  std::vector<std::uint64_t> join_node_activations;
 
   // --- intra-task match parallelism (all 0 with the serial matcher) ---
   std::uint64_t match_threads = 0;       ///< match workers per task process
@@ -96,8 +104,16 @@ struct RunMetrics {
   /// Fold one task's counters into the aggregate.
   void add_counters(const util::WorkCounters& c) noexcept;
 
+  /// Element-wise accumulate per-node activation vectors (resizing to the
+  /// longer of the two). Callers must only mix vectors from networks sharing
+  /// one topology id space.
+  void add_node_activations(std::span<const std::uint64_t> alpha,
+                            std::span<const std::uint64_t> join);
+
   /// Flat JSON object, one key per field (plus derived total_cost_wu and
-  /// match_fraction). Key order matches declaration order above.
+  /// match_fraction). Key order matches declaration order above. The per-node
+  /// activation arrays are emitted only when non-empty, so documents from
+  /// builds or paths without them are byte-stable.
   [[nodiscard]] json::Value to_json() const;
 };
 

@@ -250,6 +250,8 @@ class Parser {
         parse_literalize();
       } else if (head.text == "p") {
         parse_production();
+      } else if (head.text == "pack") {
+        parse_pack();
       } else {
         throw ParseError("unknown top-level form: " + head.text, head.line);
       }
@@ -273,6 +275,26 @@ class Parser {
     if (attrs.empty()) throw ParseError("literalize needs >= 1 attribute", name.line);
     std::vector<std::string_view> views(attrs.begin(), attrs.end());
     program_.declare_class(name.text, views);
+  }
+
+  /// `(pack <name> [<version>])` — rule-pack identity metadata for versioned
+  /// loading. The version may be a symbol ("v2", "2026-08") or a number.
+  void parse_pack() {
+    const Token name = expect(TokKind::Sym, "pack name");
+    std::string version;
+    const TokKind k = lex_.peek().kind;
+    if (k == TokKind::Sym) {
+      version = lex_.take().text;
+    } else if (k == TokKind::Number) {
+      const double v = lex_.take().number;
+      if (v == static_cast<double>(static_cast<long long>(v))) {
+        version = std::to_string(static_cast<long long>(v));
+      } else {
+        version = std::to_string(v);
+      }
+    }
+    expect(TokKind::RParen, "')' after pack");
+    program_.set_pack(name.text, std::move(version));
   }
 
   void parse_production() {

@@ -91,6 +91,12 @@ const Production* Program::find_production(Symbol name) const noexcept {
   return nullptr;
 }
 
+void Program::set_pack(std::string name, std::string version) {
+  if (frozen_) throw std::logic_error("Program frozen; cannot set pack identity");
+  pack_name_ = std::move(name);
+  pack_version_ = std::move(version);
+}
+
 void Program::freeze() {
   frozen_ = true;
   symbols_.freeze();

@@ -184,6 +184,13 @@ class Program {
   [[nodiscard]] std::span<const Production> productions() const noexcept { return productions_; }
   [[nodiscard]] const Production* find_production(Symbol name) const noexcept;
 
+  /// Rule-pack identity for versioned loading (the `(pack name version)`
+  /// source directive). Purely metadata: admission verdicts and the serve
+  /// admin surface label packs with it. Throws if frozen.
+  void set_pack(std::string name, std::string version);
+  [[nodiscard]] const std::string& pack_name() const noexcept { return pack_name_; }
+  [[nodiscard]] const std::string& pack_version() const noexcept { return pack_version_; }
+
   void freeze();
   [[nodiscard]] bool frozen() const noexcept { return frozen_; }
 
@@ -194,6 +201,8 @@ class Program {
   std::vector<std::string> variable_names_;
   std::unordered_map<std::string, VariableId> variable_ids_;
   std::unordered_map<std::uint32_t, ClassIndex> class_by_symbol_;
+  std::string pack_name_;
+  std::string pack_version_;
   bool frozen_ = false;
 };
 

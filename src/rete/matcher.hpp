@@ -36,6 +36,20 @@ class MatchListener {
                              std::span<const ops5::Wme* const> wmes) = 0;
 };
 
+/// Cumulative per-node activation counts, indexed by the creation-order node
+/// ids NetworkTopology exports (alpha: WMEs passing the pattern on add; join:
+/// left + right activations, negative nodes included in the join id space).
+/// Counts are lifetime gauges — clear() retains them — so static analyzer
+/// costs can be calibrated against a whole run's measured traffic.
+struct NodeActivations {
+  std::vector<std::uint64_t> alpha;
+  std::vector<std::uint64_t> join;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return alpha.empty() && join.empty();
+  }
+};
+
 /// Summary of the compiled network shape (for tests and DESIGN docs). A
 /// partitioned matcher reports the sum over its partition networks.
 struct NetworkStats {
@@ -71,6 +85,12 @@ class Matcher {
   /// lifetime (the working-set gauge behind the paper's memory-contention
   /// discussion). Always 0 when built with PSMSYS_OBS=0.
   [[nodiscard]] virtual std::uint64_t peak_live_tokens() const noexcept { return 0; }
+
+  /// Per-node activation counters for matchers compiling a single network
+  /// with a stable topology id space. Empty for matchers without one (the
+  /// naive oracle; the partitioned matcher, whose per-partition id spaces do
+  /// not compose) and when built with PSMSYS_OBS=0.
+  [[nodiscard]] virtual NodeActivations node_activations() const { return {}; }
 
   /// Binding analysis computed during compilation, exposed for RHS
   /// evaluation. Throws for matchers that do not compile productions.

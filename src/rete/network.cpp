@@ -204,6 +204,12 @@ struct Network::Impl {
   std::uint64_t live_tokens = 0;
   std::uint64_t peak_live_tokens = 0;
 
+  // Per-node activation counters (PSMSYS_OBS only), indexed by the topology
+  // ids. Lifetime gauges like the peak above: clear() retains them so a whole
+  // run's measured traffic can calibrate the static cost model.
+  std::vector<std::uint64_t> alpha_acts;
+  std::vector<std::uint64_t> join_acts;
+
   Impl(const ops5::Program& prog, MatchListener& lst, util::WorkCounters& ctr,
        const util::CostModel& cm, const NetworkOptions& opt)
       : program(prog), listener(lst), counters(ctr), costs(cm), options(opt) {}
@@ -346,6 +352,9 @@ struct Network::Impl {
         break;
       }
       case BetaKind::Negative: {
+#if PSMSYS_OBS
+        ++join_acts[node.topo_id];
+#endif
         Token* t = new_token(parent, wme, &node);
         node.tokens.push_back(t);
         // Compute blockers against the negative CE's alpha memory.
@@ -387,6 +396,9 @@ struct Network::Impl {
   }
 
   void join_left_activate(JoinNode& j, Token* t) {
+#if PSMSYS_OBS
+    ++join_acts[j.topo_id];
+#endif
     // Snapshot: children activations can insert WMEs only via the engine
     // (never re-entrant here), but keep iteration stable anyway.
     std::vector<const Wme*> items;
@@ -405,6 +417,9 @@ struct Network::Impl {
   }
 
   void join_right_activate(JoinNode& j, const Wme& w) {
+#if PSMSYS_OBS
+    ++join_acts[j.topo_id];
+#endif
     if (j.index_test >= 0) {
       counters.match_cost += costs.join_test;  // hash lookup
       const auto it = j.left_index.find(wme_key(j, w));
@@ -425,6 +440,9 @@ struct Network::Impl {
   }
 
   void negative_right_activate(BetaNode& neg, const Wme& w) {
+#if PSMSYS_OBS
+    ++join_acts[neg.topo_id];
+#endif
     std::vector<Token*> snapshot;
     if (neg.index_test >= 0) {
       counters.match_cost += costs.join_test;
@@ -495,6 +513,9 @@ struct Network::Impl {
       const util::WorkUnits before = counters.match_cost;
       if (alpha_passes(*p, w)) {
         ++counters.alpha_activations;
+#if PSMSYS_OBS
+        ++alpha_acts[p->topo_id];
+#endif
         counters.match_cost += costs.alpha_mem_insert;
         p->memory->items.push_back(&w);
         it->second.alpha_mems.push_back(p->memory);
@@ -849,6 +870,9 @@ Network::Network(const ops5::Program& program, MatchListener& listener,
   }
   stats_.beta_memories = memories - 1;  // exclude the dummy store
   stats_.negative_nodes = negatives;
+
+  impl_->alpha_acts.assign(impl_->patterns.size(), 0);
+  impl_->join_acts.assign(impl_->next_join_id, 0);
 }
 
 Network::~Network() = default;
@@ -865,6 +889,14 @@ std::vector<util::WorkUnits> Network::take_chunks() {
 
 std::uint64_t Network::peak_live_tokens() const noexcept {
   return impl_->peak_live_tokens;
+}
+
+NodeActivations Network::node_activations() const {
+#if PSMSYS_OBS
+  return {impl_->alpha_acts, impl_->join_acts};
+#else
+  return {};
+#endif
 }
 
 const ops5::BindingAnalysis& Network::bindings(const ops5::Production& p) const {

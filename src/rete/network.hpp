@@ -126,6 +126,10 @@ class Network final : public Matcher {
   /// discussion. Always 0 when built with PSMSYS_OBS=0.
   [[nodiscard]] std::uint64_t peak_live_tokens() const noexcept override;
 
+  /// Lifetime per-node activation counts indexed by the topology() node ids.
+  /// Empty when built with PSMSYS_OBS=0.
+  [[nodiscard]] NodeActivations node_activations() const override;
+
   /// Binding analysis computed during compilation, exposed for RHS evaluation.
   [[nodiscard]] const ops5::BindingAnalysis& bindings(const ops5::Production& p) const override;
 

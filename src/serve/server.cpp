@@ -1,5 +1,8 @@
 #include "serve/server.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
@@ -14,7 +17,34 @@ std::int64_t ns_between(std::chrono::steady_clock::time_point a,
   return std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count();
 }
 
+std::string pack_label(const std::string& name, const std::string& version) {
+  return version.empty() ? name : name + "@" + version;
+}
+
+/// Registry identity of a candidate: explicit name/version win, then the
+/// program's `(pack ...)` metadata, then a plain default.
+void resolve_identity(const PackCandidate& candidate, std::string& name,
+                      std::string& version) {
+  name = candidate.name.empty() ? candidate.program->pack_name() : candidate.name;
+  version = candidate.version.empty() ? candidate.program->pack_version() : candidate.version;
+  if (name.empty()) name = "pack";
+}
+
 }  // namespace
+
+const char* to_string(PackState state) noexcept {
+  switch (state) {
+    case PackState::Active:
+      return "active";
+    case PackState::Staged:
+      return "staged";
+    case PackState::Retired:
+      return "retired";
+    case PackState::Rejected:
+      return "rejected";
+  }
+  return "unknown";
+}
 
 obs::json::Value ServerStats::to_json() const {
   obs::json::Object o;
@@ -36,6 +66,31 @@ obs::json::Value ServerStats::to_json() const {
   put("quarantined", quarantined);
   put("aborted", aborted);
   put("retries", retries);
+  {
+    obs::json::Object pk;
+    pk.emplace_back("loaded", obs::json::Value(packs_loaded));
+    pk.emplace_back("rejected", obs::json::Value(packs_rejected));
+    pk.emplace_back("swaps", obs::json::Value(pack_swaps));
+    pk.emplace_back("rollbacks", obs::json::Value(pack_rollbacks));
+    pk.emplace_back("active", obs::json::Value(active_pack));
+    obs::json::Array per;
+    per.reserve(packs.size());
+    for (const auto& p : packs) {
+      obs::json::Object e;
+      e.emplace_back("id", obs::json::Value(p.id));
+      e.emplace_back("name", obs::json::Value(p.name));
+      e.emplace_back("version", obs::json::Value(p.version));
+      e.emplace_back("state", obs::json::Value(std::string(to_string(p.state))));
+      e.emplace_back("decision",
+                     obs::json::Value(analysis::admission_decision_name(p.decision)));
+      e.emplace_back("gated", obs::json::Value(p.gated));
+      e.emplace_back("scenes_completed", obs::json::Value(p.scenes_completed));
+      e.emplace_back("workers_on", obs::json::Value(p.workers_on));
+      per.emplace_back(std::move(e));
+    }
+    pk.emplace_back("per_pack", obs::json::Value(std::move(per)));
+    o.emplace_back("packs", obs::json::Value(std::move(pk)));
+  }
   o.emplace_back("wall_ns", obs::json::Value(wall_ns));
   o.emplace_back("scenes_per_sec", obs::json::Value(scenes_per_sec));
   o.emplace_back("latency_ns", latency.to_json());
@@ -50,25 +105,48 @@ Server::Server(std::shared_ptr<const SharedRuleBase> rulebase, ServerOptions opt
 
   // Contexts share one sink but never a line: each context prefixes its
   // lines with the session id and this wrapper serializes whole lines.
-  SessionOptions session = options_.session;
-  if (session.trace_sink) {
-    session.trace_sink = [this, sink = options_.session.trace_sink](const std::string& line) {
-      const std::lock_guard<std::mutex> lock(sink_mu_);
+  session_wrapped_ = options_.session;
+  if (session_wrapped_.trace_sink) {
+    session_wrapped_.trace_sink = [this, sink = options_.session.trace_sink](
+                                      const std::string& line) {
+      const util::MutexLock lock(sink_mu_);
       sink(line);
     };
   }
 
+  // The boot pack: loaded before the gate existed for this server, so it is
+  // registered ungated (verdict_json empty) and immediately Active.
+  {
+    const util::MutexLock lock(mu_);
+    PackRecord boot;
+    boot.id = next_pack_id_++;
+    boot.name = rulebase_->program().pack_name().empty() ? "boot"
+                                                         : rulebase_->program().pack_name();
+    boot.version = rulebase_->program().pack_version();
+    boot.state = PackState::Active;
+    boot.gated = false;
+    boot.rulebase = rulebase_;
+    boot.workers_on = options_.workers;
+    active_pack_id_ = boot.id;
+    packs_.push_back(std::move(boot));
+  }
+
   slots_.reserve(options_.workers);
   contexts_.reserve(options_.workers);
+  context_pack_ids_.assign(options_.workers, 1);
   for (std::size_t i = 0; i < options_.workers; ++i) {
     slots_.push_back(std::make_unique<WorkerSlot>());
     // Built serially before any thread starts: engine compilation over the
     // shared artifacts plus one base_init per context, exactly once.
-    contexts_.push_back(std::make_unique<EngineContext>(rulebase_, options_.base_init, session));
+    contexts_.push_back(
+        std::make_unique<EngineContext>(rulebase_, options_.base_init, session_wrapped_));
   }
 
-  engine_.task_processes = options_.workers;
-  engine_.match_threads = rulebase_->engine_options().match_threads;
+  {
+    const util::MutexLock lock(mu_);
+    engine_.task_processes = options_.workers;
+    engine_.match_threads = rulebase_->engine_options().match_threads;
+  }
   start_ = std::chrono::steady_clock::now();
 
   threads_.reserve(options_.workers);
@@ -86,7 +164,7 @@ SubmitResult Server::submit(SceneJob job) {
   SubmitResult result;
   std::promise<SceneReport> promise;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     result.scene = next_scene_++;
     if (stopped_) {
       result.rejected = RejectReason::Stopped;
@@ -116,24 +194,51 @@ SubmitResult Server::submit(SceneJob job) {
 
 void Server::worker_loop(std::size_t index) {
   WorkerSlot& slot = *slots_[index];
-  EngineContext& context = *contexts_[index];
   for (;;) {
     Pending pending;
     std::chrono::steady_clock::time_point dequeued;
+    std::uint64_t my_pack = 0;
+    std::shared_ptr<const SharedRuleBase> my_rulebase;
+    bool rebind = false;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return !queue_.empty() || draining_; });
+      util::MutexLock lock(mu_);
+      work_cv_.wait(lock, [this]() PSMSYS_REQUIRES(mu_) {
+        return !queue_.empty() || draining_;
+      });
       if (queue_.empty()) return;  // draining and nothing left: exit
       pending = std::move(queue_.front());
       queue_.pop_front();
       dequeued = std::chrono::steady_clock::now();
+
+      // Dequeue-time pack binding: the scene runs on whatever pack is active
+      // NOW; a swap after this point affects only later dequeues, so
+      // in-flight scenes always finish on the pack they started with.
+      my_pack = active_pack_id_;
+      rebind = context_pack_ids_[index] != my_pack;
+      if (rebind) {
+        if (PackRecord* old = find_pack_locked(context_pack_ids_[index])) {
+          --old->workers_on;
+        }
+        PackRecord* next = find_pack_locked(my_pack);
+        ++next->workers_on;
+        my_rulebase = next->rulebase;
+      }
+
       slot.scene = pending.id;
       slot.busy_since = dequeued;
       slot.busy = true;
       slot.abort.store(false, std::memory_order_relaxed);
     }
 
-    Session session(pending.id, context);
+    if (rebind) {
+      // Rebuild the resident context (engine compile + base_init) OUTSIDE
+      // the lock: a hot swap must never stall the rest of the pool.
+      contexts_[index] = std::make_unique<EngineContext>(my_rulebase, options_.base_init,
+                                                         session_wrapped_);
+      context_pack_ids_[index] = my_pack;
+    }
+
+    Session session(pending.id, *contexts_[index]);
     SceneReport report =
         session.run(pending.job, [&slot] { return slot.abort.load(std::memory_order_relaxed); });
     const auto finished = std::chrono::steady_clock::now();
@@ -142,7 +247,7 @@ void Server::worker_loop(std::size_t index) {
     report.latency_ns = ns_between(pending.enqueued, finished);
 
     {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const util::MutexLock lock(mu_);
       slot.busy = false;
       if (report.attempts > 1) retries_ += report.attempts - 1;
       switch (report.status) {
@@ -151,6 +256,7 @@ void Server::worker_loop(std::size_t index) {
           latencies_ns_.push_back(report.latency_ns);
           engine_.add_counters(report.counters);
           ++engine_.tasks;
+          if (PackRecord* rec = find_pack_locked(my_pack)) ++rec->scenes_completed;
           break;
         case SceneStatus::Quarantined:
           ++quarantined_;
@@ -172,7 +278,7 @@ void Server::watchdog_loop() {
   while (!watchdog_stop_.load(std::memory_order_relaxed)) {
     std::this_thread::sleep_for(options_.watchdog_poll);
     const auto now = std::chrono::steady_clock::now();
-    const std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     for (const auto& slot : slots_) {
       if (slot->busy && now - slot->busy_since > options_.watchdog_budget) {
         // The scene observes this between cycle slices, throws TaskAborted,
@@ -185,10 +291,9 @@ void Server::watchdog_loop() {
 }
 
 ServerStats Server::drain() {
-  ServerStats out;
   std::call_once(drain_once_, [this] {
     {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const util::MutexLock lock(mu_);
       draining_ = true;
     }
     work_cv_.notify_all();
@@ -197,15 +302,24 @@ ServerStats Server::drain() {
     }
     watchdog_stop_.store(true, std::memory_order_relaxed);
     if (watchdog_.joinable()) watchdog_.join();
-    const std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     stopped_ = true;
     final_wall_ns_ = ns_between(start_, std::chrono::steady_clock::now());
+    // Harvest per-node Rete activation gauges from the contexts still bound
+    // to the active pack (only those share one network topology / id space;
+    // a context left behind on a retired pack would skew the calibration).
+    // Workers are joined, so the worker-owned contexts are safe to read.
+    for (std::size_t i = 0; i < contexts_.size(); ++i) {
+      if (context_pack_ids_[i] != active_pack_id_) continue;
+      const rete::NodeActivations acts = contexts_[i]->engine().network().node_activations();
+      engine_.add_node_activations(acts.alpha, acts.join);
+    }
   });
   return stats();
 }
 
 ServerStats Server::stats() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return stats_locked();
 }
 
@@ -229,7 +343,242 @@ ServerStats Server::stats_locked() const {
   s.engine = engine_;
   s.engine.retries = retries_;
   s.engine.wall_ns = s.wall_ns;
+
+  s.packs_loaded = packs_.size();
+  s.packs_rejected = packs_rejected_;
+  s.pack_swaps = pack_swaps_;
+  s.pack_rollbacks = pack_rollbacks_;
+  s.active_pack = active_pack_id_;
+  s.packs.reserve(packs_.size());
+  for (const auto& rec : packs_) {
+    PackInfo info;
+    info.id = rec.id;
+    info.name = rec.name;
+    info.version = rec.version;
+    info.state = rec.state;
+    info.decision = rec.decision;
+    info.gated = rec.gated;
+    info.scenes_completed = rec.scenes_completed;
+    info.workers_on = rec.workers_on;
+    s.packs.push_back(std::move(info));
+  }
   return s;
+}
+
+Server::PackRecord* Server::find_pack_locked(std::uint64_t id) {
+  for (auto& rec : packs_) {
+    if (rec.id == id) return &rec;
+  }
+  return nullptr;
+}
+
+const Server::PackRecord* Server::find_pack_locked(std::uint64_t id) const {
+  for (const auto& rec : packs_) {
+    if (rec.id == id) return &rec;
+  }
+  return nullptr;
+}
+
+LoadResult Server::stage_pack(const PackCandidate& candidate) {
+  if (candidate.program == nullptr || !candidate.program->frozen()) {
+    throw std::invalid_argument("stage_pack needs a frozen candidate program");
+  }
+
+  // Snapshot the live side under the lock, then run analysis and compilation
+  // WITHOUT it — the gate is pure static analysis over immutable programs,
+  // and workers must keep serving while a candidate is judged.
+  std::shared_ptr<const SharedRuleBase> live_rb;
+  std::string live_name, live_version;
+  {
+    const util::MutexLock lock(mu_);
+    const PackRecord* live = find_pack_locked(active_pack_id_);
+    live_rb = live->rulebase;
+    live_name = live->name;
+    live_version = live->version;
+  }
+
+  std::string cand_name, cand_version;
+  resolve_identity(candidate, cand_name, cand_version);
+
+  analysis::PackInput live_input;
+  live_input.label = pack_label(live_name, live_version);
+  live_input.program = live_rb->program_ptr();
+  live_input.seed_classes = options_.admission_seeds;
+  live_input.output_classes = options_.admission_outputs;
+  live_input.spec = options_.admission_spec;
+
+  analysis::PackInput cand_input;
+  cand_input.label = pack_label(cand_name, cand_version);
+  cand_input.program = candidate.program;
+  cand_input.seed_classes = options_.admission_seeds;
+  cand_input.output_classes = options_.admission_outputs;
+
+  const analysis::AnalysisPipeline pipeline(options_.admission);
+  LoadResult out;
+  out.verdict = pipeline.admit(&live_input, cand_input);
+  out.accepted = out.verdict.accepted();
+
+  std::shared_ptr<const SharedRuleBase> compiled;
+  if (out.accepted) {
+    // Candidate engines inherit the live pack's options unless overridden.
+    const ops5::EngineOptions opts =
+        candidate.engine_options ? *candidate.engine_options : live_rb->engine_options();
+    compiled = SharedRuleBase::compile(candidate.program, candidate.externals, opts);
+  }
+
+  {
+    const util::MutexLock lock(mu_);
+    PackRecord rec;
+    rec.id = next_pack_id_++;
+    rec.name = std::move(cand_name);
+    rec.version = std::move(cand_version);
+    rec.state = out.accepted ? PackState::Staged : PackState::Rejected;
+    rec.decision = out.verdict.decision;
+    rec.gated = true;
+    rec.verdict_json = out.verdict.to_json().dump(2);
+    rec.rulebase = std::move(compiled);
+    out.pack = rec.id;
+    if (!out.accepted) ++packs_rejected_;
+    packs_.push_back(std::move(rec));
+  }
+  return out;
+}
+
+bool Server::activate_locked(std::uint64_t pack, bool is_rollback, std::string* error) {
+  const auto fail = [error](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (stopped_) return fail("server is stopped");
+  PackRecord* next = find_pack_locked(pack);
+  if (next == nullptr) return fail("unknown pack id " + std::to_string(pack));
+  if (next->state == PackState::Rejected) {
+    return fail("pack " + std::to_string(pack) + " was rejected by the admission gate");
+  }
+  if (pack == active_pack_id_) {
+    return fail("pack " + std::to_string(pack) + " is already active");
+  }
+  PackRecord* old = find_pack_locked(active_pack_id_);
+  old->state = PackState::Retired;
+  next->state = PackState::Active;
+  rollback_pack_id_ = active_pack_id_;
+  active_pack_id_ = pack;
+  if (is_rollback) {
+    ++pack_rollbacks_;
+  } else {
+    ++pack_swaps_;
+  }
+  return true;
+}
+
+bool Server::activate_pack(std::uint64_t pack, std::string* error) {
+  const util::MutexLock lock(mu_);
+  return activate_locked(pack, /*is_rollback=*/false, error);
+}
+
+bool Server::rollback_pack(std::string* error) {
+  const util::MutexLock lock(mu_);
+  if (rollback_pack_id_ == 0) {
+    if (error != nullptr) *error = "no previous pack to roll back to";
+    return false;
+  }
+  return activate_locked(rollback_pack_id_, /*is_rollback=*/true, error);
+}
+
+LoadResult Server::load_pack(const PackCandidate& candidate) {
+  LoadResult out = stage_pack(candidate);
+  if (out.accepted) {
+    std::string error;
+    out.activated = activate_pack(out.pack, &error);
+  }
+  return out;
+}
+
+std::vector<PackInfo> Server::packs() const {
+  const util::MutexLock lock(mu_);
+  return stats_locked().packs;
+}
+
+std::uint64_t Server::active_pack() const {
+  const util::MutexLock lock(mu_);
+  return active_pack_id_;
+}
+
+std::optional<std::string> Server::verdict_json(std::uint64_t pack) const {
+  const util::MutexLock lock(mu_);
+  const PackRecord* rec = find_pack_locked(pack);
+  if (rec == nullptr) return std::nullopt;
+  return rec->verdict_json;
+}
+
+std::string Server::admin_talk(const std::string& line) {
+  std::istringstream in(line);
+  std::vector<std::string> argv;
+  for (std::string tok; in >> tok;) argv.push_back(std::move(tok));
+
+  const auto parse_id = [](const std::string& s, std::uint64_t& out) {
+    char* end = nullptr;
+    out = std::strtoull(s.c_str(), &end, 10);
+    return end != nullptr && *end == '\0' && end != s.c_str();
+  };
+
+  if (argv.empty() || argv[0] == "help") {
+    return "commands:\n"
+           "  help                  this text\n"
+           "  stats                 server rollup JSON so far\n"
+           "  pack list             registered rule packs\n"
+           "  pack verdict <id>     admission verdict JSON of a gated pack\n"
+           "  pack swap <id>        activate a staged/retired pack\n"
+           "  pack rollback         re-activate the previously live pack\n"
+           "  drain                 stop admission, finish in-flight scenes";
+  }
+  if (argv[0] == "stats") {
+    return stats().to_json().dump(2);
+  }
+  if (argv[0] == "drain") {
+    const ServerStats s = drain();
+    return "drained: " + std::to_string(s.completed) + " completed, " +
+           std::to_string(s.quarantined) + " quarantined, " + std::to_string(s.aborted) +
+           " aborted";
+  }
+  if (argv[0] == "pack") {
+    if (argv.size() >= 2 && argv[1] == "list") {
+      std::string out = "id  pack                 state     decision  scenes  workers";
+      for (const PackInfo& p : packs()) {
+        char row[160];
+        std::snprintf(row, sizeof row, "\n%-3llu %-20s %-9s %-9s %-7llu %llu%s",
+                      static_cast<unsigned long long>(p.id),
+                      pack_label(p.name, p.version).c_str(), to_string(p.state),
+                      std::string(analysis::admission_decision_name(p.decision)).c_str(),
+                      static_cast<unsigned long long>(p.scenes_completed),
+                      static_cast<unsigned long long>(p.workers_on),
+                      p.gated ? "" : "  (ungated boot pack)");
+        out += row;
+      }
+      return out;
+    }
+    if (argv.size() >= 3 && argv[1] == "verdict") {
+      std::uint64_t id = 0;
+      if (!parse_id(argv[2], id)) return "error: bad pack id '" + argv[2] + "'";
+      const std::optional<std::string> verdict = verdict_json(id);
+      if (!verdict) return "error: unknown pack id " + argv[2];
+      if (verdict->empty()) return "pack " + argv[2] + " is the ungated boot pack (no verdict)";
+      return *verdict;
+    }
+    if (argv.size() >= 3 && argv[1] == "swap") {
+      std::uint64_t id = 0;
+      if (!parse_id(argv[2], id)) return "error: bad pack id '" + argv[2] + "'";
+      std::string error;
+      if (!activate_pack(id, &error)) return "error: " + error;
+      return "pack " + argv[2] + " active; in-flight scenes finish on their old pack";
+    }
+    if (argv.size() >= 2 && argv[1] == "rollback") {
+      std::string error;
+      if (!rollback_pack(&error)) return "error: " + error;
+      return "rolled back to pack " + std::to_string(active_pack());
+    }
+  }
+  return "error: unknown command '" + line + "' (try help)";
 }
 
 }  // namespace psmsys::serve

@@ -1,6 +1,6 @@
 #pragma once
 
-// The multi-session interpretation server (DESIGN.md §14).
+// The multi-session interpretation server (DESIGN.md §14, §15).
 //
 // One SharedRuleBase, a fixed pool of worker-owned EngineContexts, and a
 // bounded admission queue in front. The robustness surface:
@@ -19,6 +19,19 @@
 //    admitted, joins the pool, and rolls per-session metrics up into a
 //    schema-versioned server-level JSON document (p50/p99 scene latency,
 //    scenes/sec, exactly-once accounting).
+//  * Versioned hot-reload (§15) — stage_pack() compiles a candidate rule
+//    pack and runs the static admission pipeline (lint, rete_static,
+//    interference recheck, AN010-AN013 semantic diff) as a gate;
+//    activate_pack() atomically points new scenes at the accepted pack while
+//    in-flight scenes finish on the pack they were dequeued with;
+//    rollback_pack() re-activates the previously live pack. Workers bind a
+//    scene to the active pack at dequeue time and lazily rebuild their
+//    resident context outside the lock when their generation is stale, so a
+//    swap never blocks the pool. admin_talk() exposes the pack list,
+//    verdicts, swap/rollback, stats, and drain as a tiny console surface.
+//
+// Mutex discipline is machine-checked: all shared state is GUARDED_BY(mu_)
+// via clang -Wthread-safety over the annotated util::Mutex wrapper.
 
 #include <atomic>
 #include <chrono>
@@ -29,13 +42,17 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "analysis/admission.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "serve/rulebase.hpp"
 #include "serve/session.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace psmsys::serve {
 
@@ -44,13 +61,25 @@ struct ServerOptions {
   std::size_t workers = 4;
   /// Bounded admission queue (scenes admitted but not yet executing).
   std::size_t queue_capacity = 64;
-  /// Loads the base working memory into every context at startup.
+  /// Loads the base working memory into every context at startup — and into
+  /// rebuilt contexts after a pack swap, possibly from several worker threads
+  /// at once, so it must be safe to call concurrently on distinct engines.
   std::function<void(ops5::Engine&)> base_init;
   /// Per-session execution policy (deadlines, retries, capture, injection).
   SessionOptions session;
   /// Wall-clock budget per scene before the watchdog aborts it (0 = off).
   std::chrono::milliseconds watchdog_budget{0};
   std::chrono::milliseconds watchdog_poll{1};
+
+  /// Admission gate configuration for stage_pack()/load_pack().
+  analysis::AdmissionOptions admission;
+  /// The live independence certificate the gate re-establishes against every
+  /// candidate (nullptr disables the interference section). Must outlive the
+  /// server.
+  const analysis::DecompositionSpec* admission_spec = nullptr;
+  /// Seed / output class names for the gate's linter (see analysis::PackInput).
+  std::optional<std::vector<std::string>> admission_seeds;
+  std::optional<std::vector<std::string>> admission_outputs;
 };
 
 /// Outcome of submit(). Admitted scenes resolve through `report` exactly
@@ -61,6 +90,49 @@ struct SubmitResult {
   std::future<SceneReport> report;  ///< valid only when admitted()
 
   [[nodiscard]] bool admitted() const noexcept { return rejected == RejectReason::None; }
+};
+
+/// A candidate rule pack for hot-reload.
+struct PackCandidate {
+  /// Display identity; when empty, taken from the program's `(pack ...)`
+  /// metadata, falling back to "pack".
+  std::string name;
+  std::string version;
+  std::shared_ptr<const ops5::Program> program;  ///< frozen
+  /// Must outlive the server (nullptr = no externals).
+  const ops5::ExternalRegistry* externals = nullptr;
+  /// Engine options for sessions on this pack; unset inherits the options of
+  /// the pack that is active when the candidate is staged.
+  std::optional<ops5::EngineOptions> engine_options;
+};
+
+enum class PackState : std::uint8_t {
+  Active,    ///< new scenes bind to this pack
+  Staged,    ///< admitted by the gate, awaiting activate_pack()
+  Retired,   ///< superseded; may still be finishing in-flight scenes
+  Rejected,  ///< failed the gate; never compiled into the server
+};
+
+[[nodiscard]] const char* to_string(PackState state) noexcept;
+
+/// Snapshot of one registered pack (packs(), admin channel).
+struct PackInfo {
+  std::uint64_t id = 0;
+  std::string name;
+  std::string version;
+  PackState state = PackState::Staged;
+  analysis::AdmissionDecision decision = analysis::AdmissionDecision::Pass;
+  bool gated = false;  ///< false for the boot pack (loaded before the gate)
+  std::uint64_t scenes_completed = 0;
+  std::uint64_t workers_on = 0;  ///< contexts currently bound (drain gauge)
+};
+
+/// Outcome of stage_pack()/load_pack().
+struct LoadResult {
+  std::uint64_t pack = 0;  ///< registry id (also of rejected packs)
+  bool accepted = false;   ///< verdict was not a reject
+  bool activated = false;  ///< load_pack() switched new scenes to it
+  analysis::AdmissionVerdict verdict;
 };
 
 /// Server-level rollup of per-session metrics, produced by drain()/stats().
@@ -78,6 +150,14 @@ struct ServerStats {
   double scenes_per_sec = 0.0;            ///< completed / wall
   obs::LatencySummary latency;            ///< completed scenes, admission->done
   obs::RunMetrics engine;                 ///< engine counters over completed scenes
+
+  // Hot-reload accounting.
+  std::uint64_t packs_loaded = 0;    ///< registry size incl. boot + rejected
+  std::uint64_t packs_rejected = 0;  ///< gate rejections
+  std::uint64_t pack_swaps = 0;      ///< successful activations (not rollbacks)
+  std::uint64_t pack_rollbacks = 0;
+  std::uint64_t active_pack = 0;     ///< id new scenes bind to
+  std::vector<PackInfo> packs;       ///< registry snapshot, by id
 
   /// Schema-versioned rollup document (obs::validate_serve_rollup).
   [[nodiscard]] obs::json::Value to_json() const;
@@ -104,6 +184,42 @@ class Server {
   /// Point-in-time rollup (wall = elapsed so far until drained).
   [[nodiscard]] ServerStats stats() const;
 
+  // --- versioned hot-reload -------------------------------------------------
+
+  /// Run the admission gate on `candidate` against the currently active pack
+  /// and, when accepted, compile it into the registry as Staged. Analysis and
+  /// compilation happen on the caller's thread without holding the server
+  /// lock, so workers keep serving throughout. Rejected candidates are
+  /// registered too (state Rejected, verdict retained) but never compiled.
+  [[nodiscard]] LoadResult stage_pack(const PackCandidate& candidate);
+
+  /// Atomically point new scenes at a Staged (or Retired) pack. In-flight
+  /// scenes finish on the pack they were dequeued with; workers rebuild
+  /// their contexts lazily at the next dequeue. Fails (false + reason) for
+  /// unknown/rejected packs or a stopped server.
+  bool activate_pack(std::uint64_t pack, std::string* error = nullptr);
+
+  /// Re-activate the pack that was live before the last swap.
+  bool rollback_pack(std::string* error = nullptr);
+
+  /// stage_pack() + activate_pack() when the verdict accepts.
+  [[nodiscard]] LoadResult load_pack(const PackCandidate& candidate);
+
+  /// Registry snapshot, ordered by pack id.
+  [[nodiscard]] std::vector<PackInfo> packs() const;
+
+  /// Id of the pack new scenes bind to.
+  [[nodiscard]] std::uint64_t active_pack() const;
+
+  /// Pretty-printed AdmissionVerdict JSON of a gated pack; nullopt for
+  /// unknown ids, empty string for the ungated boot pack.
+  [[nodiscard]] std::optional<std::string> verdict_json(std::uint64_t pack) const;
+
+  /// Console surface (gromox console_talk-style): "help", "stats",
+  /// "pack list", "pack verdict <id>", "pack swap <id>", "pack rollback",
+  /// "drain". Returns the response text (never empty).
+  std::string admin_talk(const std::string& line);
+
   [[nodiscard]] const SharedRuleBase& rulebase() const noexcept { return *rulebase_; }
 
  private:
@@ -123,35 +239,65 @@ class Server {
     std::atomic<bool> abort{false};
   };
 
+  /// One registry entry. rulebase is null exactly for rejected packs.
+  struct PackRecord {
+    std::uint64_t id = 0;
+    std::string name;
+    std::string version;
+    PackState state = PackState::Staged;
+    analysis::AdmissionDecision decision = analysis::AdmissionDecision::Pass;
+    bool gated = false;
+    std::string verdict_json;  ///< pretty JSON; empty for the boot pack
+    std::shared_ptr<const SharedRuleBase> rulebase;
+    std::uint64_t scenes_completed = 0;
+    std::uint64_t workers_on = 0;
+  };
+
   void worker_loop(std::size_t index);
   void watchdog_loop();
-  [[nodiscard]] ServerStats stats_locked() const;
+  [[nodiscard]] ServerStats stats_locked() const PSMSYS_REQUIRES(mu_);
+  [[nodiscard]] PackRecord* find_pack_locked(std::uint64_t id) PSMSYS_REQUIRES(mu_);
+  [[nodiscard]] const PackRecord* find_pack_locked(std::uint64_t id) const
+      PSMSYS_REQUIRES(mu_);
+  bool activate_locked(std::uint64_t pack, bool is_rollback, std::string* error)
+      PSMSYS_REQUIRES(mu_);
 
-  std::shared_ptr<const SharedRuleBase> rulebase_;
+  std::shared_ptr<const SharedRuleBase> rulebase_;  ///< boot pack artifacts
   ServerOptions options_;
+  SessionOptions session_wrapped_;  ///< options_.session with serialized sink
   std::chrono::steady_clock::time_point start_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::deque<Pending> queue_;
-  bool draining_ = false;
-  bool stopped_ = false;
-  SceneId next_scene_ = 0;
+  mutable util::Mutex mu_;
+  std::condition_variable_any work_cv_;
+  std::deque<Pending> queue_ PSMSYS_GUARDED_BY(mu_);
+  bool draining_ PSMSYS_GUARDED_BY(mu_) = false;
+  bool stopped_ PSMSYS_GUARDED_BY(mu_) = false;
+  SceneId next_scene_ PSMSYS_GUARDED_BY(mu_) = 0;
 
   // Accounting (guarded by mu_).
-  std::uint64_t rejected_queue_full_ = 0;
-  std::uint64_t rejected_draining_ = 0;
-  std::uint64_t completed_ = 0;
-  std::uint64_t quarantined_ = 0;
-  std::uint64_t aborted_ = 0;
-  std::uint64_t retries_ = 0;
-  std::vector<std::int64_t> latencies_ns_;
-  obs::RunMetrics engine_;
-  std::int64_t final_wall_ns_ = -1;
+  std::uint64_t rejected_queue_full_ PSMSYS_GUARDED_BY(mu_) = 0;
+  std::uint64_t rejected_draining_ PSMSYS_GUARDED_BY(mu_) = 0;
+  std::uint64_t completed_ PSMSYS_GUARDED_BY(mu_) = 0;
+  std::uint64_t quarantined_ PSMSYS_GUARDED_BY(mu_) = 0;
+  std::uint64_t aborted_ PSMSYS_GUARDED_BY(mu_) = 0;
+  std::uint64_t retries_ PSMSYS_GUARDED_BY(mu_) = 0;
+  std::vector<std::int64_t> latencies_ns_ PSMSYS_GUARDED_BY(mu_);
+  obs::RunMetrics engine_ PSMSYS_GUARDED_BY(mu_);
+  std::int64_t final_wall_ns_ PSMSYS_GUARDED_BY(mu_) = -1;
 
-  std::mutex sink_mu_;  ///< serializes trace_sink lines across sessions
+  // Pack registry (guarded by mu_). Exactly one record is Active.
+  std::vector<PackRecord> packs_ PSMSYS_GUARDED_BY(mu_);
+  std::uint64_t active_pack_id_ PSMSYS_GUARDED_BY(mu_) = 0;
+  std::uint64_t rollback_pack_id_ PSMSYS_GUARDED_BY(mu_) = 0;  ///< 0 = none
+  std::uint64_t next_pack_id_ PSMSYS_GUARDED_BY(mu_) = 1;
+  std::uint64_t pack_swaps_ PSMSYS_GUARDED_BY(mu_) = 0;
+  std::uint64_t pack_rollbacks_ PSMSYS_GUARDED_BY(mu_) = 0;
+  std::uint64_t packs_rejected_ PSMSYS_GUARDED_BY(mu_) = 0;
+
+  util::Mutex sink_mu_;  ///< serializes trace_sink lines across sessions
   std::vector<std::unique_ptr<WorkerSlot>> slots_;
-  std::vector<std::unique_ptr<EngineContext>> contexts_;
+  std::vector<std::unique_ptr<EngineContext>> contexts_;  ///< worker-owned
+  std::vector<std::uint64_t> context_pack_ids_;  ///< worker-owned; read at drain
   std::vector<std::thread> threads_;
   std::thread watchdog_;
   std::atomic<bool> watchdog_stop_{false};

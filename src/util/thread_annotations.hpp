@@ -1,0 +1,72 @@
+#pragma once
+
+// Clang thread-safety-analysis annotations plus an annotated std::mutex
+// wrapper. libstdc++'s std::mutex carries no capability attributes, so code
+// that wants `-Wthread-safety` checking locks through util::Mutex/MutexLock
+// instead. On compilers without the attributes (gcc) everything expands to
+// nothing and the wrappers are zero-cost shims over std::mutex.
+//
+// MutexLock doubles as a BasicLockable so std::condition_variable_any can
+// wait on it; the analysis treats a wait as "lock continuously held", which
+// matches how guarded state must be re-checked after wakeup anyway.
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define PSMSYS_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef PSMSYS_THREAD_ANNOTATION
+#define PSMSYS_THREAD_ANNOTATION(x)
+#endif
+
+#define PSMSYS_CAPABILITY(x) PSMSYS_THREAD_ANNOTATION(capability(x))
+#define PSMSYS_SCOPED_CAPABILITY PSMSYS_THREAD_ANNOTATION(scoped_lockable)
+#define PSMSYS_GUARDED_BY(x) PSMSYS_THREAD_ANNOTATION(guarded_by(x))
+#define PSMSYS_PT_GUARDED_BY(x) PSMSYS_THREAD_ANNOTATION(pt_guarded_by(x))
+#define PSMSYS_REQUIRES(...) \
+  PSMSYS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define PSMSYS_ACQUIRE(...) \
+  PSMSYS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define PSMSYS_RELEASE(...) \
+  PSMSYS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define PSMSYS_EXCLUDES(...) PSMSYS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define PSMSYS_NO_THREAD_SAFETY_ANALYSIS \
+  PSMSYS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace psmsys::util {
+
+/// std::mutex with clang capability attributes attached.
+class PSMSYS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PSMSYS_ACQUIRE() { mu_.lock(); }
+  void unlock() PSMSYS_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock over Mutex. The public lock()/unlock() pair exists only so
+/// std::condition_variable_any::wait can release/reacquire during a wait;
+/// those calls happen inside the system header, outside the analysis.
+class PSMSYS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PSMSYS_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() PSMSYS_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  // BasicLockable surface for condition_variable_any.
+  void lock() PSMSYS_NO_THREAD_SAFETY_ANALYSIS { mu_.lock(); }
+  void unlock() PSMSYS_NO_THREAD_SAFETY_ANALYSIS { mu_.unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace psmsys::util

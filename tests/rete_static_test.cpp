@@ -220,6 +220,81 @@ TEST(ReteStatic, GoldenJsonReport) {
 }
 
 // ---------------------------------------------------------------------------
+// Calibration: static costs vs measured per-node activations
+// ---------------------------------------------------------------------------
+
+TEST(ReteStaticCalibration, MapsMeasuredActivationsOntoProductions) {
+  const auto program = join_program();
+  ReteStaticReport report = analyze_rete(*program);
+  EXPECT_TRUE(report.calibration.empty());
+
+  // Drive real traffic through a serial engine; its matcher IS the compiled
+  // rete::Network, so topology ids and the activation gauges line up with the
+  // analyzer's own compilation of the same program by construction.
+  ops5::Engine engine(program, nullptr);
+  util::Rng rng(83);
+  for (int i = 0; i < 40; ++i) {
+    engine.make_wme("item",
+                    {{"k", ops5::Value(static_cast<double>(rng.next_int(0, 2)))},
+                     {"v", ops5::Value(static_cast<double>(rng.next_int(0, 6)))}});
+  }
+  const auto result = engine.run();
+  ASSERT_GT(result.firings, 0u);
+
+  const auto& net = dynamic_cast<const rete::Network&>(engine.network());
+  const rete::NodeActivations acts = net.node_activations();
+  ASSERT_EQ(acts.alpha.size(), report.alpha_nodes);
+  ASSERT_EQ(acts.join.size(), report.join_nodes);
+
+  report.calibrate(net.topology(), acts.alpha, acts.join);
+  ASSERT_EQ(report.calibration.size(), report.production_count);
+
+  double static_share = 0.0, measured_share = 0.0, measured_total = 0.0;
+  for (std::size_t i = 0; i < report.calibration.size(); ++i) {
+    const CalibrationRow& row = report.calibration[i];
+    EXPECT_EQ(row.id, i);  // ordered by production id
+    EXPECT_EQ(row.name, report.productions[i].name);
+    EXPECT_DOUBLE_EQ(row.static_cost, report.productions[i].match_cost);
+    EXPECT_GE(row.measured, 0.0);
+    static_share += row.static_share;
+    measured_share += row.measured_share;
+    measured_total += row.measured;
+  }
+  EXPECT_NEAR(static_share, 1.0, 1e-9);
+  EXPECT_NEAR(measured_share, 1.0, 1e-9);
+  EXPECT_GT(measured_total, 0.0);  // the run really charged nodes
+
+  const double r = report.calibration_correlation();
+  EXPECT_GE(r, -1.0);
+  EXPECT_LE(r, 1.0);
+  EXPECT_NE(r, 0.0);  // six productions with distinct shares: not degenerate
+}
+
+TEST(ReteStaticCalibration, JsonAppendsTableOnlyAfterCalibrate) {
+  const auto program = join_program();
+  ReteStaticReport report = analyze_rete(*program);
+  EXPECT_EQ(report.to_json().find("calibration"), nullptr);
+
+  ops5::Engine engine(program, nullptr);
+  engine.make_wme("item", {{"k", ops5::Value(0.0)}, {"v", ops5::Value(1.0)}});
+  engine.make_wme("item", {{"k", ops5::Value(1.0)}, {"v", ops5::Value(1.0)}});
+  (void)engine.run();
+  const auto& net = dynamic_cast<const rete::Network&>(engine.network());
+  const rete::NodeActivations acts = net.node_activations();
+  report.calibrate(net.topology(), acts.alpha, acts.join);
+
+  const auto doc = report.to_json();
+  const auto* table = doc.find("calibration");
+  ASSERT_NE(table, nullptr);
+  ASSERT_TRUE(table->is_array());
+  EXPECT_EQ(table->as_array().size(), report.production_count);
+  ASSERT_NE(doc.find("calibration_correlation"), nullptr);
+
+  // Byte-determinism holds for the calibrated rendering too.
+  EXPECT_EQ(doc.dump(2), report.to_json().dump(2));
+}
+
+// ---------------------------------------------------------------------------
 // Engine integration: analyzer-driven LPT partitioning
 // ---------------------------------------------------------------------------
 
