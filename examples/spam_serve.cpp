@@ -6,8 +6,17 @@
 //
 //   spam_serve --dataset SF --level 3 --workers 4 --clients 8 --rounds 2
 //              [--queue 64] [--deadline CYCLES] [--watchdog MS]
+//              [--stream N --ticks T [--tick-interval MS]]
 //              [--storm RATE [--seed HEX]] [--watch] [--json out.json]
 //              [--swap-at N [--swap-rogue]] [--admin "CMD;CMD..."]
+//
+// `--stream N` switches the workload from one-shot scenes to N concurrent
+// delta streams (DESIGN.md §16): each stream opens a long-lived session
+// whose working memory arrives as timed ticks — the dataset's LCC task
+// injections dealt over a spam::make_stream_schedule delta schedule — with
+// incremental match per tick and rollback only at close. The rollup then
+// carries the "streams" section (tick latency percentiles, deltas/sec,
+// peak resident WM).
 //
 // `--storm` injects a deterministic fault storm (transient failures, poisoned
 // scenes, deadline overruns) to demonstrate quarantine + graceful
@@ -25,8 +34,10 @@
 // workload, before the drain.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -40,6 +51,7 @@
 #include "spam/decomposition.hpp"
 #include "spam/phases.hpp"
 #include "spam/scene_generator.hpp"
+#include "spam/stream_schedule.hpp"
 #include "util/table.hpp"
 
 using namespace psmsys;
@@ -62,6 +74,9 @@ struct Options {
   std::size_t swap_at = 0;         ///< hot-swap after N completed scenes (0 = off)
   bool swap_rogue = false;         ///< make the swapped candidate fail the gate
   std::string admin;               ///< ';'-separated admin commands to run
+  std::size_t streams = 0;         ///< concurrent delta streams (0 = one-shot mode)
+  std::size_t ticks = 32;          ///< ticks per stream
+  std::int64_t tick_interval_ms = -1;  ///< pacing override (-1 = dataset preset)
 };
 
 void print_help() {
@@ -79,7 +94,16 @@ void print_help() {
       "  --queue <N>              admission queue capacity (default 64;\n"
       "                           overflow sheds with a typed reject)\n"
       "  --deadline <CYCLES>      per-attempt cycle deadline (default off)\n"
-      "  --watchdog <MS>          wall-clock abort budget per scene (default off)\n"
+      "  --watchdog <MS>          wall-clock abort budget per scene (per tick\n"
+      "                           for streams; default off)\n"
+      "\n"
+      "streaming:\n"
+      "  --stream <N>             open N concurrent delta streams instead of\n"
+      "                           one-shot scenes: each delivers its LCC task\n"
+      "                           list as timed WME-delta ticks over a resident\n"
+      "                           context (incremental match per tick)\n"
+      "  --ticks <T>              ticks per stream (default 32)\n"
+      "  --tick-interval <MS>     inter-tick pacing (default: dataset preset)\n"
       "\n"
       "robustness demo:\n"
       "  --storm <RATE>           inject faults at RATE (e.g. 0.1); poisoned\n"
@@ -127,6 +151,12 @@ void print_help() {
       o.deadline = std::stoull(next());
     } else if (arg == "--watchdog") {
       o.watchdog_ms = std::stoull(next());
+    } else if (arg == "--stream") {
+      o.streams = std::stoul(next());
+    } else if (arg == "--ticks") {
+      o.ticks = std::stoul(next());
+    } else if (arg == "--tick-interval") {
+      o.tick_interval_ms = std::stoll(next());
     } else if (arg == "--storm") {
       o.storm = std::stod(next());
     } else if (arg == "--seed") {
@@ -208,34 +238,81 @@ int main(int argc, char** argv) {
 
   // Closed-loop clients: each submits its slice of rounds x tasks, waiting
   // for every report (in-flight <= clients, so the queue never sheds unless
-  // --queue is set below --clients).
+  // --queue is set below --clients). Under --stream the clients are the
+  // streams themselves: each opens one long-lived session and delivers its
+  // task list as timed WME-delta ticks.
   const std::size_t total = decomposition.tasks.size() * options.rounds;
   std::atomic<std::uint64_t> completed{0};
   std::atomic<std::uint64_t> quarantined{0};
   std::atomic<std::uint64_t> aborted{0};
   std::atomic<std::uint64_t> shed{0};
+  const auto count_status = [&](serve::SceneStatus status) {
+    switch (status) {
+      case serve::SceneStatus::Completed: ++completed; break;
+      case serve::SceneStatus::Quarantined: ++quarantined; break;
+      case serve::SceneStatus::Aborted: ++aborted; break;
+      default: break;
+    }
+  };
   std::vector<std::thread> clients;
-  clients.reserve(options.clients);
-  for (std::size_t c = 0; c < options.clients; ++c) {
-    clients.emplace_back([&, c] {
-      for (std::size_t i = c; i < total; i += options.clients) {
-        const psm::Task& task = decomposition.tasks[i % decomposition.tasks.size()];
-        serve::SceneJob job;
-        job.label = task.label;
-        job.inject = task.inject;
-        auto r = server.submit(std::move(job));
-        if (!r.admitted()) {
+  if (options.streams > 0) {
+    // Deal the task list over a timed delta schedule: arrivals map onto LCC
+    // task injections (retractions stay off — a task has no un-arrival).
+    spam::StreamScheduleConfig stream_config =
+        spam::stream_config_for(config, std::max<std::size_t>(1, total));
+    stream_config.ticks = options.ticks;
+    stream_config.retract_fraction = 0.0;
+    if (options.tick_interval_ms >= 0) {
+      stream_config.interval_ms = static_cast<std::uint64_t>(options.tick_interval_ms);
+    }
+    clients.reserve(options.streams);
+    for (std::size_t s = 0; s < options.streams; ++s) {
+      clients.emplace_back([&, s, stream_config] {
+        auto cfg = stream_config;
+        cfg.seed ^= (s + 1) * 0x9e3779b97f4a7c15ULL;  // distinct schedule per stream
+        const auto schedule = spam::make_stream_schedule(cfg);
+        serve::StreamHandle handle = server.open_stream("stream-" + std::to_string(s));
+        if (!handle.admitted()) {
           ++shed;
-          continue;
+          return;
         }
-        switch (r.report.get().status) {
-          case serve::SceneStatus::Completed: ++completed; break;
-          case serve::SceneStatus::Quarantined: ++quarantined; break;
-          case serve::SceneStatus::Aborted: ++aborted; break;
-          default: break;
+        const auto opened_at = std::chrono::steady_clock::now();
+        std::future<serve::TickReport> prev;
+        for (const auto& spec : schedule) {
+          std::this_thread::sleep_until(opened_at + std::chrono::milliseconds(spec.at_ms));
+          if (prev.valid()) (void)prev.get();  // closed loop under the pacing
+          serve::SceneJob job;
+          job.label = "tick";
+          job.inject = [&decomposition, spec](ops5::Engine& engine) {
+            for (std::size_t item : spec.arrivals) {
+              decomposition.tasks[item % decomposition.tasks.size()].inject(engine);
+            }
+          };
+          auto t = handle.tick(std::move(job));
+          if (t.admitted()) prev = std::move(t.report);
         }
-      }
-    });
+        if (prev.valid()) (void)prev.get();
+        count_status(handle.close().get().status);
+      });
+    }
+  } else {
+    clients.reserve(options.clients);
+    for (std::size_t c = 0; c < options.clients; ++c) {
+      clients.emplace_back([&, c] {
+        for (std::size_t i = c; i < total; i += options.clients) {
+          const psm::Task& task = decomposition.tasks[i % decomposition.tasks.size()];
+          serve::SceneJob job;
+          job.label = task.label;
+          job.inject = task.inject;
+          auto r = server.submit(std::move(job));
+          if (!r.admitted()) {
+            ++shed;
+            continue;
+          }
+          count_status(r.report.get().status);
+        }
+      });
+    }
   }
   // Mid-run hot swap: stage a candidate LCC pack through the admission gate
   // once enough scenes have completed, activate it when accepted, and keep
@@ -296,6 +373,25 @@ int main(int argc, char** argv) {
                  util::Table::fmt(static_cast<double>(stats.latency.p50_ns) / 1e3, 1)});
   table.add_row({"p99 latency (us)",
                  util::Table::fmt(static_cast<double>(stats.latency.p99_ns) / 1e3, 1)});
+  if (options.streams > 0) {
+    const auto& st = stats.streams;
+    const double wall_s = static_cast<double>(stats.wall_ns) / 1e9;
+    table.add_row({"streams opened", util::Table::fmt(st.opened)});
+    table.add_row({"streams completed", util::Table::fmt(st.completed)});
+    table.add_row({"ticks completed", util::Table::fmt(st.ticks_completed)});
+    table.add_row({"ticks shed", util::Table::fmt(st.ticks_shed)});
+    table.add_row({"ticks/sec", util::Table::fmt(st.ticks_per_sec, 1)});
+    table.add_row({"tick p50 (us)",
+                   util::Table::fmt(static_cast<double>(st.tick_latency.p50_ns) / 1e3, 1)});
+    table.add_row({"tick p99 (us)",
+                   util::Table::fmt(static_cast<double>(st.tick_latency.p99_ns) / 1e3, 1)});
+    table.add_row({"deltas/sec",
+                   util::Table::fmt(wall_s == 0.0
+                                        ? 0.0
+                                        : static_cast<double>(st.wmes_streamed) / wall_s,
+                                    1)});
+    table.add_row({"peak resident wm", util::Table::fmt(st.peak_resident_wm)});
+  }
   if (options.swap_at > 0) {
     table.add_row({"packs loaded", util::Table::fmt(stats.packs_loaded)});
     table.add_row({"pack swaps", util::Table::fmt(stats.pack_swaps)});

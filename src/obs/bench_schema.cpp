@@ -281,32 +281,50 @@ std::vector<std::string> validate_serve_rollup(const json::Value& doc) {
   // Hot-reload registry: optional for forward compatibility with rollups
   // produced before versioned packs existed; strict when present.
   double packs_completed = 0.0;
+  double packs_loaded = 0.0;
+  double packs_active_id = 0.0;
   bool have_packs = false;
+  bool active_id_found = false;
+  std::size_t per_pack_count = 0;
+  bool any_pack_scenes = false;
   if (const auto* packs = c.optional(doc, "$", "packs", json::Type::Object)) {
     have_packs = true;
     const std::string w = "$.packs";
-    for (const char* key : {"loaded", "rejected", "swaps", "rollbacks", "active"}) {
+    // The registry always holds at least the boot pack, and exactly one pack
+    // is active — so loaded and active are 1-based, not 0-based.
+    if (const auto* v = c.require(*packs, w, "loaded", json::Type::Number)) {
+      if (c.check_int(*v, w + ".loaded", 1)) packs_loaded = v->as_number();
+    }
+    for (const char* key : {"rejected", "swaps", "rollbacks"}) {
       if (const auto* v = c.require(*packs, w, key, json::Type::Number)) {
         c.check_int(*v, w + "." + key, 0);
       }
+    }
+    if (const auto* v = c.require(*packs, w, "active", json::Type::Number)) {
+      if (c.check_int(*v, w + ".active", 1)) packs_active_id = v->as_number();
     }
     std::size_t active_count = 0;
     if (const auto* per = c.require(*packs, w, "per_pack", json::Type::Array)) {
       std::size_t i = 0;
       for (const json::Value& p : per->as_array()) {
         const std::string pw = w + ".per_pack[" + std::to_string(i++) + "]";
+        ++per_pack_count;
         if (!p.is_object()) {
           c.fail(pw, "expected object");
           continue;
         }
+        double pack_id = 0.0;
         if (const auto* id = c.require(p, pw, "id", json::Type::Number)) {
-          c.check_int(*id, pw + ".id", 1);
+          if (c.check_int(*id, pw + ".id", 1)) pack_id = id->as_number();
         }
         c.require(p, pw, "name", json::Type::String);
         c.require(p, pw, "version", json::Type::String);
         if (const auto* st = c.require(p, pw, "state", json::Type::String)) {
           const std::string& s = st->as_string();
-          if (s == "active") ++active_count;
+          if (s == "active") {
+            ++active_count;
+            if (pack_id == packs_active_id) active_id_found = true;
+          }
           if (s != "active" && s != "staged" && s != "retired" && s != "rejected") {
             c.fail(pw + ".state", "unknown pack state \"" + s + "\"");
           }
@@ -321,6 +339,7 @@ std::vector<std::string> validate_serve_rollup(const json::Value& doc) {
         if (const auto* sc = c.require(p, pw, "scenes_completed", json::Type::Number)) {
           if (c.check_int(*sc, pw + ".scenes_completed", 0)) {
             packs_completed += sc->as_number();
+            if (sc->as_number() > 0) any_pack_scenes = true;
           }
         }
         if (const auto* wo = c.require(p, pw, "workers_on", json::Type::Number)) {
@@ -330,7 +349,58 @@ std::vector<std::string> validate_serve_rollup(const json::Value& doc) {
       if (active_count != 1) {
         c.fail(w + ".per_pack", "exactly one pack must be active, found " +
                                     std::to_string(active_count));
+      } else if (!active_id_found) {
+        c.fail(w + ".active", "active pack id does not name the active per_pack entry");
       }
+      if (packs_loaded != 0.0 && packs_loaded != static_cast<double>(per_pack_count)) {
+        c.fail(w + ".loaded", "loaded does not match the per_pack entry count");
+      }
+    }
+  }
+
+  // A drain that admitted nothing cannot have attributed scenes to any pack.
+  // Unconditional (not gated on a clean shape): this is the cross-check that
+  // catches a rollup claiming zero admitted scenes over a non-empty registry
+  // with non-zero per-pack scene counts.
+  if (have_packs && admitted == 0.0 && any_pack_scenes) {
+    c.fail("$.packs", "zero admitted scenes but non-zero per-pack scene counts");
+  }
+
+  // Streaming sessions: optional for forward compatibility with rollups
+  // produced before streams existed; strict when present.
+  bool have_streams = false;
+  double st_opened = 0.0, st_completed = 0.0, st_quarantined = 0.0, st_aborted = 0.0;
+  double st_drained = 0.0, st_ticks = 0.0, st_ticks_completed = 0.0;
+  double st_ticks_failed = 0.0, st_ticks_shed = 0.0;
+  if (const auto* streams = c.optional(doc, "$", "streams", json::Type::Object)) {
+    have_streams = true;
+    const std::string w = "$.streams";
+    const auto scounter = [&](const char* key) -> double {
+      const json::Value* v = c.require(*streams, w, key, json::Type::Number);
+      if (!v || !c.check_int(*v, w + "." + key, 0)) return 0.0;
+      return v->as_number();
+    };
+    st_opened = scounter("opened");
+    st_completed = scounter("completed");
+    st_quarantined = scounter("quarantined");
+    st_aborted = scounter("aborted");
+    st_drained = scounter("drained");
+    st_ticks = scounter("ticks");
+    st_ticks_completed = scounter("ticks_completed");
+    st_ticks_failed = scounter("ticks_failed");
+    st_ticks_shed = scounter("ticks_shed");
+    scounter("tick_retries");
+    scounter("wmes_streamed");
+    scounter("peak_resident_wm");
+    if (const auto* lat = c.require(*streams, w, "tick_latency_ns", json::Type::Object)) {
+      for (const char* key : {"count", "p50_ns", "p90_ns", "p99_ns", "mean_ns", "max_ns"}) {
+        if (const auto* v = c.require(*lat, w + ".tick_latency_ns", key, json::Type::Number)) {
+          c.check_int(*v, w + ".tick_latency_ns." + key, 0);
+        }
+      }
+    }
+    if (const auto* tps = c.require(*streams, w, "ticks_per_sec", json::Type::Number)) {
+      if (tps->as_number() < 0) c.fail(w + ".ticks_per_sec", "must be >= 0");
     }
   }
 
@@ -346,6 +416,24 @@ std::vector<std::string> validate_serve_rollup(const json::Value& doc) {
     if (have_packs && packs_completed != completed) {
       c.fail("$.packs", "per-pack scenes_completed do not sum to completed "
                         "(scenes mis-attributed across a swap)");
+    }
+    if (have_streams) {
+      if (st_opened != st_completed + st_quarantined + st_aborted) {
+        c.fail("$.streams", "opened != completed + quarantined + aborted "
+                            "(lost or double-counted streams)");
+      }
+      if (st_drained > st_completed) {
+        c.fail("$.streams", "drained exceeds completed");
+      }
+      if (st_ticks != st_ticks_completed + st_ticks_failed + st_ticks_shed) {
+        c.fail("$.streams", "ticks != ticks_completed + ticks_failed + ticks_shed "
+                            "(lost or double-counted ticks)");
+      }
+      // A stream is one scene: each stream bin is bounded by its scene bin.
+      if (st_completed > completed || st_quarantined > quarantined ||
+          st_aborted > aborted) {
+        c.fail("$.streams", "stream bins exceed their scene-level counterparts");
+      }
     }
   }
   return violations;

@@ -77,6 +77,17 @@ inline constexpr int kBenchSchemaVersion = 1;
 //           "scenes_completed": int >= 0, "workers_on": int >= 0 }, ...
 //       ]
 //     },
+//     "streams": {                    // streaming sessions (DESIGN.md §16);
+//       "opened": int >= 0,           //  real streams only, one-shot scenes
+//       "completed": int >= 0,        //  report through the scene bins
+//       "quarantined": int >= 0, "aborted": int >= 0, "drained": int >= 0,
+//       "ticks": int >= 0, "ticks_completed": int >= 0,
+//       "ticks_failed": int >= 0, "ticks_shed": int >= 0,
+//       "tick_retries": int >= 0, "wmes_streamed": int >= 0,
+//       "peak_resident_wm": int >= 0,
+//       "tick_latency_ns": { same shape as latency_ns },
+//       "ticks_per_sec": number >= 0
+//     },
 //     "latency_ns": {                 // completed scenes; all 0 when none
 //       "count": int, "p50_ns": int, "p90_ns": int, "p99_ns": int,
 //       "mean_ns": int, "max_ns": int
@@ -86,11 +97,17 @@ inline constexpr int kBenchSchemaVersion = 1;
 //                                     // (per-node activation gauges)
 //   }
 //
-// Invariant checked beyond shape: submitted == admitted + rejected.* and
+// Invariants checked beyond shape: submitted == admitted + rejected.* and
 // admitted == completed + quarantined + aborted (exactly-once accounting —
 // the graceful-drain "no lost or double-counted scenes" contract). When
-// "packs" is present, completed also equals the sum of per-pack
-// scenes_completed, and exactly one pack is active.
+// "packs" is present: completed equals the sum of per-pack scenes_completed,
+// loaded equals the per_pack length, exactly one pack is active, the active
+// id names that pack — and, unconditionally, a rollup with zero admitted
+// scenes must carry all-zero per-pack scene counts (a drain that served
+// nothing cannot have attributed scenes to any pack). When "streams" is
+// present: opened == completed + quarantined + aborted, drained <= completed,
+// ticks == ticks_completed + ticks_failed + ticks_shed, and every stream bin
+// is bounded by its scene-level counterpart (a stream is one scene).
 // ---------------------------------------------------------------------------
 
 inline constexpr int kServeRollupSchemaVersion = 1;

@@ -43,28 +43,47 @@ void Engine::build_matcher() {
   }
 }
 
-void Engine::set_match_threads(std::size_t threads) {
-  if (threads == options_.match_threads) return;
-  if (!wm_.empty() || undo_active_ || conflict_set_.size() != 0) {
-    throw std::logic_error("set_match_threads requires an empty working memory");
+void Engine::reconfigure(const EngineConfig& config) {
+  if (config.strategy != options_.strategy) {
+    throw std::logic_error("reconfigure cannot change the conflict-resolution strategy");
   }
-  options_.match_threads = threads;
-  // Compilation charges alpha/beta construction costs; rebuild from a clean
-  // slate so a thread-count change does not double-charge them.
-  counters_ = util::WorkCounters{};
-  build_matcher();
+  // The matcher-affecting knobs: only these force a rebuild (compilation
+  // charges alpha/beta construction costs, so rebuilds restart the counters
+  // from a clean slate to avoid double-charging them).
+  const bool rebuild =
+      config.match_threads != options_.match_threads ||
+      (config.match_threads != 0 &&
+       config.match_cost_source != options_.match_cost_source);
+  if (rebuild && (!wm_.empty() || undo_active_ || conflict_set_.size() != 0)) {
+    throw std::logic_error("reconfigure requires an empty working memory");
+  }
+  options_ = config;
+  if (rebuild) {
+    counters_ = util::WorkCounters{};
+    build_matcher();
+  }
+}
+
+// Deprecated shims: one construction-time EngineConfig is the real surface.
+// Suppress the self-referential deprecation warnings on their definitions.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+void Engine::set_match_threads(std::size_t threads) {
+  EngineConfig config = options_;
+  config.match_threads = threads;
+  reconfigure(config);
 }
 
 void Engine::set_match_cost_source(MatchCostSource source) {
-  if (source == options_.match_cost_source) return;
-  if (!wm_.empty() || undo_active_ || conflict_set_.size() != 0) {
-    throw std::logic_error("set_match_cost_source requires an empty working memory");
-  }
-  options_.match_cost_source = source;
-  if (options_.match_threads == 0) return;  // recorded; no matcher to rebuild
-  counters_ = util::WorkCounters{};
-  build_matcher();
+  EngineConfig config = options_;
+  config.match_cost_source = source;
+  reconfigure(config);
 }
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 Engine::~Engine() = default;
 
@@ -434,6 +453,31 @@ void Engine::commit_undo_log() noexcept {
   undo_log_.clear();
 }
 
+void Engine::replay_undo_tail(std::size_t down_to) {
+  for (std::size_t i = undo_log_.size(); i > down_to; --i) {
+    const UndoEntry& entry = undo_log_[i - 1];
+    if (entry.was_add) {
+      // Replaying in reverse guarantees the WME is live here: any later
+      // removal of it was already undone.
+      const auto live = wm_.find(entry.timetag);
+      if (live == wm_.end()) throw std::logic_error("undo log corrupt: added WME not live");
+      ++counters_.wmes_removed;
+      matcher_->remove_wme(*live->second);
+      wm_.erase(live);
+    } else {
+      // Restore with the *original* timetag so recency ordering — and every
+      // later conflict resolution — is unchanged by the aborted attempt.
+      const WmeClass& decl = program_->wme_class(entry.cls);
+      auto wme = std::make_unique<Wme>(entry.cls, decl.name(), entry.slots, entry.timetag);
+      Wme& ref = *wme;
+      wm_.emplace(ref.timetag(), std::move(wme));
+      ++counters_.wmes_added;
+      matcher_->add_wme(ref);
+    }
+  }
+  undo_log_.resize(down_to);
+}
+
 void Engine::rollback_undo_log() {
   if (!undo_active_) throw std::logic_error("no undo log to roll back");
   undo_active_ = false;  // mutations below must not journal themselves
@@ -442,27 +486,7 @@ void Engine::rollback_undo_log() {
   const int saved_watch = watch_level_;
   watch_level_ = 0;
 
-  for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) {
-    if (it->was_add) {
-      // Replaying in reverse guarantees the WME is live here: any later
-      // removal of it was already undone.
-      const auto live = wm_.find(it->timetag);
-      if (live == wm_.end()) throw std::logic_error("undo log corrupt: added WME not live");
-      ++counters_.wmes_removed;
-      matcher_->remove_wme(*live->second);
-      wm_.erase(live);
-    } else {
-      // Restore with the *original* timetag so recency ordering — and every
-      // later conflict resolution — is unchanged by the aborted attempt.
-      const WmeClass& decl = program_->wme_class(it->cls);
-      auto wme = std::make_unique<Wme>(it->cls, decl.name(), it->slots, it->timetag);
-      Wme& ref = *wme;
-      wm_.emplace(ref.timetag(), std::move(wme));
-      ++counters_.wmes_added;
-      matcher_->add_wme(ref);
-    }
-  }
-  undo_log_.clear();
+  replay_undo_tail(0);
   next_timetag_ = undo_mark_timetag_;
   halted_ = undo_mark_halted_;
   // The cycle counter is the engine's observable logical clock: it numbers
@@ -474,6 +498,37 @@ void Engine::rollback_undo_log() {
   counters_.cycles = undo_mark_cycles_;
   watch_level_ = saved_watch;
   // Match work done while rolling back is recovery, not a cycle's chunks.
+  (void)matcher_->take_chunks();
+}
+
+Engine::UndoCheckpoint Engine::undo_checkpoint() const {
+  if (!undo_active_) throw std::logic_error("undo checkpoint requires an active undo log");
+  UndoCheckpoint cp;
+  cp.log_size = undo_log_.size();
+  cp.timetag = next_timetag_;
+  cp.halted = halted_;
+  cp.cycles = counters_.cycles;
+  return cp;
+}
+
+void Engine::rollback_to_checkpoint(const UndoCheckpoint& cp) {
+  if (!undo_active_) throw std::logic_error("no undo log to roll back");
+  if (cp.log_size > undo_log_.size()) {
+    throw std::logic_error("undo checkpoint is ahead of the journal (stale checkpoint?)");
+  }
+  // Same discipline as the whole-log rollback — journaling off, watch
+  // silenced, original timetags restored — but only for the tail after the
+  // checkpoint, and the log stays active for the rest of the stream.
+  undo_active_ = false;
+  const int saved_watch = watch_level_;
+  watch_level_ = 0;
+
+  replay_undo_tail(cp.log_size);
+  next_timetag_ = cp.timetag;
+  halted_ = cp.halted;
+  counters_.cycles = cp.cycles;
+  watch_level_ = saved_watch;
+  undo_active_ = true;
   (void)matcher_->take_chunks();
 }
 

@@ -35,7 +35,12 @@ enum class MatchCostSource : std::uint8_t {
   ConditionCount,
 };
 
-struct EngineOptions {
+/// Construction-time engine configuration. This is the ONE place an engine
+/// is configured: every knob is read at construction (or via reconfigure()
+/// on a still-pristine engine); the historical post-construction mutators
+/// set_match_threads/set_match_cost_source are deprecated shims over
+/// reconfigure(). `EngineOptions` remains as an alias for older call sites.
+struct EngineConfig {
   Strategy strategy = Strategy::Lex;
   /// Safety valve against runaway rule bases.
   std::uint64_t max_cycles = 1'000'000;
@@ -60,6 +65,9 @@ struct EngineOptions {
   /// (serve::SharedRuleBase populates it together with rete shared_bindings).
   std::shared_ptr<const std::vector<double>> shared_match_costs;
 };
+
+/// Backwards-compatible alias; EngineConfig is the canonical name.
+using EngineOptions = EngineConfig;
 
 /// Per recognize-act cycle: the independently-schedulable match chunk costs
 /// (what ParaOPS5 distributes over match processes) and the sequential
@@ -156,6 +164,32 @@ class Engine final : private rete::MatchListener {
 
   [[nodiscard]] bool undo_log_active() const noexcept { return undo_active_; }
 
+  /// A position in an ACTIVE undo log: everything journaled after the
+  /// checkpoint can be undone alone (rollback_to_checkpoint), leaving the
+  /// log active and earlier entries intact. This is the per-tick recovery
+  /// unit of streaming sessions — a failed tick rolls back to its own
+  /// checkpoint while the stream's accumulated working memory survives;
+  /// whole-scene recovery stays rollback_undo_log(). Checkpoints are plain
+  /// positions, not resources: taking one costs nothing and none need to be
+  /// "released".
+  struct UndoCheckpoint {
+    std::size_t log_size = 0;     ///< journal entries at checkpoint time
+    TimeTag timetag = 1;          ///< next_timetag_ to rewind to
+    bool halted = false;
+    std::uint64_t cycles = 0;     ///< logical clock to rewind to
+  };
+
+  /// Snapshot the current undo-log position. Requires an active log.
+  [[nodiscard]] UndoCheckpoint undo_checkpoint() const;
+
+  /// Undo every mutation journaled after `cp` (reverse order), truncate the
+  /// journal back to it, and rewind timetags/halt/cycle clock to the
+  /// checkpoint — with the same bit-identity guarantee as rollback_undo_log:
+  /// recency ordering and the logical clock are exactly as if the rolled-back
+  /// tail never ran. The undo log STAYS ACTIVE. A checkpoint taken after
+  /// `cp` is invalidated by this call and must not be replayed to.
+  void rollback_to_checkpoint(const UndoCheckpoint& cp);
+
   // ------------------------------ inspection ------------------------------
 
   [[nodiscard]] const Program& program() const noexcept { return *program_; }
@@ -172,14 +206,29 @@ class Engine final : private rete::MatchListener {
   /// Configured match workers (0 = serial matcher).
   [[nodiscard]] std::size_t match_threads() const noexcept { return options_.match_threads; }
 
-  /// Rebuild the matcher with `threads` match workers (0 = serial). Only
-  /// legal while working memory is empty (freshly constructed or reset) —
-  /// the executor applies it between engine construction and task setup.
+  /// The construction-time configuration currently in force.
+  [[nodiscard]] const EngineConfig& config() const noexcept { return options_; }
+
+  /// Replace the configuration of a still-pristine engine (empty working
+  /// memory, no undo log, empty conflict set — freshly constructed or
+  /// reset()): the matcher is rebuilt and compilation counters restart from
+  /// zero, exactly as if the engine had been constructed with `config`. This
+  /// is the one legal reconfiguration window, used by executors that apply
+  /// per-run overrides (match threads / cost source) between construction
+  /// and base-WM load. The conflict-resolution strategy is fixed for the
+  /// engine's lifetime and must match the current one.
+  void reconfigure(const EngineConfig& config);
+
+  /// Deprecated shim over reconfigure(): prefer configuring match_threads at
+  /// construction via EngineConfig.
+  [[deprecated("configure match_threads at construction via EngineConfig, or "
+               "use reconfigure()")]]
   void set_match_threads(std::size_t threads);
 
-  /// Rebuild the matcher with a different LPT weight source. Same empty-WM
-  /// precondition as set_match_threads; a no-op for the serial matcher apart
-  /// from recording the choice for a later set_match_threads.
+  /// Deprecated shim over reconfigure(): prefer configuring the cost source
+  /// at construction via EngineConfig.
+  [[deprecated("configure match_cost_source at construction via EngineConfig, "
+               "or use reconfigure()")]]
   void set_match_cost_source(MatchCostSource source);
   [[nodiscard]] MatchCostSource match_cost_source() const noexcept {
     return options_.match_cost_source;
@@ -245,8 +294,11 @@ class Engine final : private rete::MatchListener {
 
   std::shared_ptr<const Program> program_;
   const ExternalRegistry* externals_;
-  EngineOptions options_;
+  EngineConfig options_;
   void build_matcher();
+  /// Reverse-replay journal entries [down_to, end) and truncate to down_to.
+  /// Callers own undo_active_/watch suppression and the mark restoration.
+  void replay_undo_tail(std::size_t down_to);
 
   util::WorkCounters counters_;
   ConflictSet conflict_set_{options_.strategy};

@@ -29,8 +29,12 @@ TaskRunner::TaskRunner(const TaskProcessFactory& factory,
                        std::optional<ops5::MatchCostSource> match_cost_source) {
   if (!factory.make_engine) throw std::invalid_argument("factory needs make_engine");
   engine_ = factory.make_engine();
-  if (match_cost_source) engine_->set_match_cost_source(*match_cost_source);
-  if (match_threads) engine_->set_match_threads(*match_threads);
+  if (match_threads || match_cost_source) {
+    ops5::EngineConfig config = engine_->config();
+    if (match_cost_source) config.match_cost_source = *match_cost_source;
+    if (match_threads) config.match_threads = *match_threads;
+    engine_->reconfigure(config);
+  }
   if (factory.base_init) factory.base_init(*engine_);
   // Base-WM loading is initialization, not task work; its cycle records (none
   // should exist, the engine has not run) and counters are excluded by the
@@ -144,5 +148,61 @@ void TaskRunner::abort_after(const Task& task, std::uint64_t cycles) {
   engine_->rollback_undo_log();
   cycle_offset_ = engine_->cycle_records().size();
 }
+
+void TaskRunner::begin_stream() {
+  if (stream_active_) throw std::logic_error("stream already active");
+  engine_->begin_undo_log();
+  stream_active_ = true;
+}
+
+TaskMeasurement TaskRunner::run_tick(const Task& task, std::uint64_t cycle_deadline,
+                                     const std::function<bool()>& cancelled,
+                                     std::uint64_t cancel_check_every,
+                                     const std::function<void(ops5::Engine&)>& collect) {
+  if (!stream_active_) throw std::logic_error("run_tick outside an active stream");
+  const util::WorkCounters before = engine_->counters();
+  const ops5::Engine::UndoCheckpoint cp = engine_->undo_checkpoint();
+  bool deadline_hit = false;
+  try {
+    task.inject(*engine_);
+    deadline_hit = run_sliced(cycle_deadline, cancelled, cancel_check_every, task.id);
+    if (!deadline_hit && collect) collect(*engine_);
+  } catch (...) {
+    engine_->rollback_to_checkpoint(cp);
+    cycle_offset_ = engine_->cycle_records().size();
+    throw;
+  }
+  if (deadline_hit) {
+    engine_->rollback_to_checkpoint(cp);
+    cycle_offset_ = engine_->cycle_records().size();
+    throw TaskDeadlineExceeded(task.id, cycle_deadline);
+  }
+  // Success: the tick's WM effects stay resident for later ticks.
+  return measure_from(task, before);
+}
+
+void TaskRunner::abort_tick_after(const Task& task, std::uint64_t cycles) {
+  if (!stream_active_) throw std::logic_error("abort_tick_after outside an active stream");
+  const ops5::Engine::UndoCheckpoint cp = engine_->undo_checkpoint();
+  try {
+    task.inject(*engine_);
+    (void)engine_->run(cycles == 0 ? 1 : cycles);
+  } catch (...) {
+    engine_->rollback_to_checkpoint(cp);
+    cycle_offset_ = engine_->cycle_records().size();
+    throw;
+  }
+  engine_->rollback_to_checkpoint(cp);
+  cycle_offset_ = engine_->cycle_records().size();
+}
+
+void TaskRunner::end_stream() {
+  if (!stream_active_) throw std::logic_error("no active stream to end");
+  stream_active_ = false;
+  engine_->rollback_undo_log();
+  cycle_offset_ = engine_->cycle_records().size();
+}
+
+bool TaskRunner::stream_active() const noexcept { return stream_active_; }
 
 }  // namespace psmsys::psm

@@ -125,6 +125,42 @@ class TaskRunner {
   /// crash the injector uses to prove recovery leaves no partial state.
   void abort_after(const Task& task, std::uint64_t cycles);
 
+  // ------------------------------ streaming -------------------------------
+  //
+  // A stream holds the undo log open across many ticks: begin_stream() opens
+  // the journal, each run_tick() snapshots a checkpoint and keeps its WM
+  // effects on success (rolling back only its own tail on failure), and
+  // end_stream() rolls the whole journal back so the engine returns to its
+  // base state bit-identically — the same recovery contract run_isolated()
+  // gives a single scene, stretched over a tick sequence.
+
+  /// Open the stream journal. Throws if a stream (or any undo log) is
+  /// already active.
+  void begin_stream();
+
+  /// Execute one tick inside an open stream: checkpoint, inject, run to
+  /// quiescence under the same deadline/cancellation discipline as
+  /// run_isolated, then `collect` (if given) reads results out of WM. On
+  /// success the tick's WM effects STAY (that is the point of a stream); on
+  /// deadline cut, cancellation, or any throw the engine is rolled back to
+  /// the tick's checkpoint — earlier ticks' effects survive — and the error
+  /// propagates (TaskDeadlineExceeded / TaskAborted / original exception).
+  TaskMeasurement run_tick(const Task& task, std::uint64_t cycle_deadline = 0,
+                           const std::function<bool()>& cancelled = {},
+                           std::uint64_t cancel_check_every = 0,
+                           const std::function<void(ops5::Engine&)>& collect = {});
+
+  /// Fault-simulation helper for streams: like abort_after, but scoped to a
+  /// tick checkpoint inside the open stream journal instead of opening its
+  /// own undo log.
+  void abort_tick_after(const Task& task, std::uint64_t cycles);
+
+  /// Close the stream: roll back every tick's effects so the engine is
+  /// bit-identical to its pre-begin_stream() state.
+  void end_stream();
+
+  [[nodiscard]] bool stream_active() const noexcept;
+
   [[nodiscard]] ops5::Engine& engine() noexcept { return *engine_; }
   [[nodiscard]] const ops5::Engine& engine() const noexcept { return *engine_; }
 
@@ -136,6 +172,7 @@ class TaskRunner {
 
   std::unique_ptr<ops5::Engine> engine_;
   std::size_t cycle_offset_ = 0;
+  bool stream_active_ = false;
 };
 
 }  // namespace psmsys::psm

@@ -86,6 +86,12 @@ class Matcher {
   /// discussion). Always 0 when built with PSMSYS_OBS=0.
   [[nodiscard]] virtual std::uint64_t peak_live_tokens() const noexcept { return 0; }
 
+  /// Currently-live beta-memory tokens — the resident match state a streaming
+  /// session accumulates as WM deltas arrive. Unlike the peak gauge this is an
+  /// instantaneous reading, so per-tick samples trace working-set growth.
+  /// Always 0 when built with PSMSYS_OBS=0.
+  [[nodiscard]] virtual std::uint64_t live_tokens() const noexcept { return 0; }
+
   /// Per-node activation counters for matchers compiling a single network
   /// with a stable topology id space. Empty for matchers without one (the
   /// naive oracle; the partitioned matcher, whose per-partition id spaces do

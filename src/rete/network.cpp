@@ -891,6 +891,8 @@ std::uint64_t Network::peak_live_tokens() const noexcept {
   return impl_->peak_live_tokens;
 }
 
+std::uint64_t Network::live_tokens() const noexcept { return impl_->live_tokens; }
+
 NodeActivations Network::node_activations() const {
 #if PSMSYS_OBS
   return {impl_->alpha_acts, impl_->join_acts};

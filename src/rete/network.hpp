@@ -126,6 +126,10 @@ class Network final : public Matcher {
   /// discussion. Always 0 when built with PSMSYS_OBS=0.
   [[nodiscard]] std::uint64_t peak_live_tokens() const noexcept override;
 
+  /// Currently-live beta-memory tokens (instantaneous working-set reading).
+  /// Always 0 when built with PSMSYS_OBS=0.
+  [[nodiscard]] std::uint64_t live_tokens() const noexcept override;
+
   /// Lifetime per-node activation counts indexed by the topology() node ids.
   /// Empty when built with PSMSYS_OBS=0.
   [[nodiscard]] NodeActivations node_activations() const override;

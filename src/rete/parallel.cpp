@@ -410,6 +410,12 @@ std::uint64_t ParallelMatcher::peak_live_tokens() const noexcept {
   return total;
 }
 
+std::uint64_t ParallelMatcher::live_tokens() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& part : impl_->partitions) total += part.network->live_tokens();
+  return total;
+}
+
 const ops5::BindingAnalysis& ParallelMatcher::bindings(const ops5::Production& p) const {
   const auto it = impl_->owner_of.find(p.id());
   if (it == impl_->owner_of.end()) {

@@ -102,6 +102,7 @@ class ParallelMatcher final : public Matcher {
   /// Sum of the partition peaks — an upper bound on the true simultaneous
   /// peak (partitions peak at different times).
   [[nodiscard]] std::uint64_t peak_live_tokens() const noexcept override;
+  [[nodiscard]] std::uint64_t live_tokens() const noexcept override;
 
   [[nodiscard]] const ops5::BindingAnalysis& bindings(const ops5::Production& p) const override;
 

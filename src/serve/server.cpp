@@ -1,5 +1,6 @@
 #include "serve/server.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -7,8 +8,43 @@
 #include <utility>
 
 #include "obs/bench_schema.hpp"
+#include "obs/trace.hpp"
 
 namespace psmsys::serve {
+
+/// Shared state of one admitted stream: the handoff surface between the
+/// client's StreamHandle (enqueues ticks, closes) and the worker the stream
+/// is pinned to (dequeues ticks, resolves reports). One-shot submit() builds
+/// the degenerate form — a single pre-enqueued tick with closed already set —
+/// so the worker-side protocol below is the only execution path.
+///
+/// Lock ordering: a thread holding the server's mu_ may acquire mu (submit
+/// does, building the one-shot before publication); never the reverse.
+struct StreamState {
+  SceneId id = 0;
+  std::string label;
+  bool oneshot = false;
+  std::size_t tick_capacity = 16;
+  std::chrono::steady_clock::time_point opened;
+
+  struct PendingTick {
+    std::uint64_t seq = 0;
+    SceneJob job;
+    std::promise<TickReport> promise;  ///< unused for the one-shot wrapper
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  util::Mutex mu;
+  std::condition_variable_any cv;  ///< worker parks here between ticks
+  std::deque<PendingTick> ticks PSMSYS_GUARDED_BY(mu);
+  std::uint64_t next_seq PSMSYS_GUARDED_BY(mu) = 0;
+  bool closed PSMSYS_GUARDED_BY(mu) = false;       ///< client closed
+  bool force_close PSMSYS_GUARDED_BY(mu) = false;  ///< server drain poke
+  bool dead PSMSYS_GUARDED_BY(mu) = false;         ///< worker finished it
+
+  std::promise<StreamReport> close_promise;  ///< resolved at terminal state
+  std::promise<SceneReport> scene_promise;   ///< one-shot wrapper only
+};
 
 namespace {
 
@@ -91,6 +127,27 @@ obs::json::Value ServerStats::to_json() const {
     pk.emplace_back("per_pack", obs::json::Value(std::move(per)));
     o.emplace_back("packs", obs::json::Value(std::move(pk)));
   }
+  {
+    obs::json::Object st;
+    const auto sput = [&st](const char* key, std::uint64_t v) {
+      st.emplace_back(key, obs::json::Value(v));
+    };
+    sput("opened", streams.opened);
+    sput("completed", streams.completed);
+    sput("quarantined", streams.quarantined);
+    sput("aborted", streams.aborted);
+    sput("drained", streams.drained);
+    sput("ticks", streams.ticks);
+    sput("ticks_completed", streams.ticks_completed);
+    sput("ticks_failed", streams.ticks_failed);
+    sput("ticks_shed", streams.ticks_shed);
+    sput("tick_retries", streams.tick_retries);
+    sput("wmes_streamed", streams.wmes_streamed);
+    sput("peak_resident_wm", streams.peak_resident_wm);
+    st.emplace_back("tick_latency_ns", streams.tick_latency.to_json());
+    st.emplace_back("ticks_per_sec", obs::json::Value(streams.ticks_per_sec));
+    o.emplace_back("streams", obs::json::Value(std::move(st)));
+  }
   o.emplace_back("wall_ns", obs::json::Value(wall_ns));
   o.emplace_back("scenes_per_sec", obs::json::Value(scenes_per_sec));
   o.emplace_back("latency_ns", latency.to_json());
@@ -162,10 +219,25 @@ Server::~Server() { drain(); }
 
 SubmitResult Server::submit(SceneJob job) {
   SubmitResult result;
-  std::promise<SceneReport> promise;
+  // One-shot = one-tick pre-closed stream: the worker-side stream protocol
+  // (run_stream) is the single execution path for both submission flavors.
+  auto stream = std::make_shared<StreamState>();
+  stream->oneshot = true;
+  stream->label = job.label;
+  stream->tick_capacity = 1;
+  const auto now = std::chrono::steady_clock::now();
+  stream->opened = now;
+  {
+    const util::MutexLock lock(stream->mu);
+    StreamState::PendingTick& t = stream->ticks.emplace_back();
+    t.seq = stream->next_seq++;
+    t.job = std::move(job);
+    t.enqueued = now;
+    stream->closed = true;
+  }
   {
     const util::MutexLock lock(mu_);
-    result.scene = next_scene_++;
+    result.scene = stream->id = next_scene_++;
     if (stopped_) {
       result.rejected = RejectReason::Stopped;
       ++rejected_draining_;
@@ -181,22 +253,117 @@ SubmitResult Server::submit(SceneJob job) {
       ++rejected_queue_full_;
       return result;
     }
-    result.report = promise.get_future();
-    Pending& p = queue_.emplace_back();
-    p.id = result.scene;
-    p.job = std::move(job);
-    p.promise = std::move(promise);
-    p.enqueued = std::chrono::steady_clock::now();
+    result.report = stream->scene_promise.get_future();
+    queue_.push_back(std::move(stream));
   }
   work_cv_.notify_one();
   return result;
 }
 
+StreamHandle Server::open_stream(std::string label) {
+  StreamHandle handle;
+  handle.server_ = this;
+  auto stream = std::make_shared<StreamState>();
+  stream->label = std::move(label);
+  stream->tick_capacity = std::max<std::size_t>(1, options_.stream_tick_capacity);
+  stream->opened = std::chrono::steady_clock::now();
+  handle.report_ = stream->close_promise.get_future();
+  {
+    const util::MutexLock lock(mu_);
+    handle.id_ = stream->id = next_scene_++;
+    if (stopped_) {
+      handle.rejected_ = RejectReason::Stopped;
+      ++rejected_draining_;
+    } else if (draining_) {
+      handle.rejected_ = RejectReason::Draining;
+      ++rejected_draining_;
+    } else if (queue_.size() >= options_.queue_capacity) {
+      handle.rejected_ = RejectReason::QueueFull;
+      ++rejected_queue_full_;
+    } else {
+      ++streams_opened_;
+      std::erase_if(stream_registry_,
+                    [](const std::weak_ptr<StreamState>& w) { return w.expired(); });
+      stream_registry_.push_back(stream);
+      queue_.push_back(stream);
+      handle.state_ = std::move(stream);
+    }
+  }
+  if (handle.state_ == nullptr) {
+    // Shed at open: resolve the terminal report here so close() never hangs.
+    StreamReport report;
+    report.stream = handle.id_;
+    report.label = stream->label;
+    report.status = SceneStatus::Rejected;
+    report.error = to_string(handle.rejected_);
+    stream->close_promise.set_value(std::move(report));
+    return handle;
+  }
+  work_cv_.notify_one();
+  return handle;
+}
+
+SubmitTickResult Server::stream_tick(const std::shared_ptr<StreamState>& stream, SceneJob job) {
+  SubmitTickResult result;
+  bool shed_draining = false;
+  {
+    const util::MutexLock lock(mu_);
+    shed_draining = draining_ || stopped_;
+  }
+  {
+    const util::MutexLock lock(stream->mu);
+    result.tick = stream->next_seq++;
+    if (stream->dead || stream->closed || stream->force_close) {
+      result.rejected = RejectReason::StreamClosed;
+    } else if (shed_draining) {
+      result.rejected = RejectReason::Draining;
+    } else if (stream->ticks.size() >= stream->tick_capacity) {
+      result.rejected = RejectReason::QueueFull;
+    } else {
+      std::promise<TickReport> promise;
+      result.report = promise.get_future();
+      StreamState::PendingTick& t = stream->ticks.emplace_back();
+      t.seq = result.tick;
+      t.job = std::move(job);
+      t.promise = std::move(promise);
+      t.enqueued = std::chrono::steady_clock::now();
+    }
+  }
+  {
+    const util::MutexLock lock(mu_);
+    ++ticks_;
+    if (result.rejected != RejectReason::None) ++ticks_shed_;
+  }
+  stream->cv.notify_all();
+  return result;
+}
+
+void Server::stream_close(const std::shared_ptr<StreamState>& stream) {
+  {
+    const util::MutexLock lock(stream->mu);
+    stream->closed = true;
+  }
+  stream->cv.notify_all();
+}
+
+SubmitTickResult StreamHandle::tick(SceneJob job) {
+  if (server_ == nullptr || state_ == nullptr) {
+    SubmitTickResult result;
+    result.rejected = rejected_ == RejectReason::None ? RejectReason::Stopped : rejected_;
+    return result;
+  }
+  return server_->stream_tick(state_, std::move(job));
+}
+
+std::future<StreamReport> StreamHandle::close() {
+  if (server_ != nullptr && state_ != nullptr) server_->stream_close(state_);
+  return std::move(report_);
+}
+
 void Server::worker_loop(std::size_t index) {
   WorkerSlot& slot = *slots_[index];
   for (;;) {
-    Pending pending;
-    std::chrono::steady_clock::time_point dequeued;
+    std::shared_ptr<StreamState> stream;
     std::uint64_t my_pack = 0;
     std::shared_ptr<const SharedRuleBase> my_rulebase;
     bool rebind = false;
@@ -206,13 +373,13 @@ void Server::worker_loop(std::size_t index) {
         return !queue_.empty() || draining_;
       });
       if (queue_.empty()) return;  // draining and nothing left: exit
-      pending = std::move(queue_.front());
+      stream = std::move(queue_.front());
       queue_.pop_front();
-      dequeued = std::chrono::steady_clock::now();
 
-      // Dequeue-time pack binding: the scene runs on whatever pack is active
-      // NOW; a swap after this point affects only later dequeues, so
-      // in-flight scenes always finish on the pack they started with.
+      // Dequeue-time pack binding: the stream runs on whatever pack is
+      // active NOW; a swap after this point affects only later dequeues, so
+      // in-flight scenes and streams always finish on the pack they started
+      // with.
       my_pack = active_pack_id_;
       rebind = context_pack_ids_[index] != my_pack;
       if (rebind) {
@@ -223,11 +390,6 @@ void Server::worker_loop(std::size_t index) {
         ++next->workers_on;
         my_rulebase = next->rulebase;
       }
-
-      slot.scene = pending.id;
-      slot.busy_since = dequeued;
-      slot.busy = true;
-      slot.abort.store(false, std::memory_order_relaxed);
     }
 
     if (rebind) {
@@ -238,39 +400,211 @@ void Server::worker_loop(std::size_t index) {
       context_pack_ids_[index] = my_pack;
     }
 
-    Session session(pending.id, *contexts_[index]);
-    SceneReport report =
-        session.run(pending.job, [&slot] { return slot.abort.load(std::memory_order_relaxed); });
-    const auto finished = std::chrono::steady_clock::now();
-    report.queued_ns = ns_between(pending.enqueued, dequeued);
-    report.service_ns = ns_between(dequeued, finished);
-    report.latency_ns = ns_between(pending.enqueued, finished);
+    run_stream(index, slot, stream, my_pack);
+  }
+}
 
+void Server::run_stream(std::size_t index, WorkerSlot& slot,
+                        const std::shared_ptr<StreamState>& stream, std::uint64_t pack_id) {
+  const auto dequeued = std::chrono::steady_clock::now();
+  Session session(stream->id, *contexts_[index]);
+  session.begin();
+  const auto span_begin = obs::Tracer::Clock::now();
+
+  StreamReport rollup;
+  rollup.stream = stream->id;
+  rollup.label = stream->label;
+  rollup.pack = pack_id;
+  SceneReport scene;  // one-shot flavor of the same terminal state
+  scene.scene = stream->id;
+  scene.label = stream->label;
+  std::chrono::steady_clock::time_point oneshot_enqueued = dequeued;
+
+  util::WorkCounters stream_counters;  // sum over completed ticks
+  std::vector<std::int64_t> tick_latencies;
+  bool drained_by_server = false;
+
+  for (;;) {
+    StreamState::PendingTick tick;
+    bool have_tick = false;
+    {
+      util::MutexLock lock(stream->mu);
+      StreamState& st = *stream;
+      stream->cv.wait(lock, [&st]() PSMSYS_REQUIRES(st.mu) {
+        return !st.ticks.empty() || st.closed || st.force_close;
+      });
+      if (!stream->ticks.empty()) {
+        tick = std::move(stream->ticks.front());
+        stream->ticks.pop_front();
+        have_tick = true;
+      } else {
+        drained_by_server = stream->force_close && !stream->closed;
+      }
+    }
+    if (!have_tick) break;
+
+    // The watchdog budget covers a tick, not the stream: the slot is busy
+    // only while a tick executes, so an idle open stream never trips it.
+    const auto tick_start = std::chrono::steady_clock::now();
+    {
+      const util::MutexLock lock(mu_);
+      slot.scene = stream->id;
+      slot.busy_since = tick_start;
+      slot.busy = true;
+      slot.abort.store(false, std::memory_order_relaxed);
+    }
+    Session::TickOutcome out = session.run_tick(
+        tick.job, [&slot] { return slot.abort.load(std::memory_order_relaxed); });
+    const auto tick_done = std::chrono::steady_clock::now();
     {
       const util::MutexLock lock(mu_);
       slot.busy = false;
-      if (report.attempts > 1) retries_ += report.attempts - 1;
-      switch (report.status) {
-        case SceneStatus::Completed:
-          ++completed_;
-          latencies_ns_.push_back(report.latency_ns);
-          engine_.add_counters(report.counters);
-          ++engine_.tasks;
-          if (PackRecord* rec = find_pack_locked(my_pack)) ++rec->scenes_completed;
-          break;
-        case SceneStatus::Quarantined:
-          ++quarantined_;
-          ++engine_.quarantined;
-          break;
-        case SceneStatus::Aborted:
-          ++aborted_;
-          break;
-        case SceneStatus::Rejected:
-          break;  // unreachable: rejected scenes are never enqueued
-      }
     }
-    // Resolve the client's future exactly once, outside the lock.
-    pending.promise.set_value(std::move(report));
+
+    ++rollup.ticks;
+    if (out.attempts > 1) rollup.tick_retries += out.attempts - 1;
+    const bool ok = out.status == SceneStatus::Completed;
+    if (ok) {
+      ++rollup.ticks_completed;
+      stream_counters += out.counters;
+      rollup.wmes_streamed += out.counters.wmes_added;
+      rollup.peak_wm = std::max(rollup.peak_wm, out.wm_size);
+      rollup.firing_log += out.firing_log;
+      tick_latencies.push_back(ns_between(tick.enqueued, tick_done));
+    } else {
+      // Terminal tick failure kills the stream: the failed tick is already
+      // rolled back to its checkpoint, and close-time rollback below returns
+      // the context to base. Isolation would otherwise be unprovable — a
+      // quarantined tick's partial state must not feed later ticks.
+      rollup.status = out.status;
+      rollup.error = out.error;
+    }
+
+    if (stream->oneshot) {
+      oneshot_enqueued = tick.enqueued;
+      scene.status = out.status;
+      scene.attempts = out.attempts;
+      scene.error = std::move(out.error);
+      scene.counters = out.counters;
+      scene.firing_log = std::move(out.firing_log);
+    } else {
+      TickReport tr;
+      tr.stream = stream->id;
+      tr.tick = tick.seq;
+      tr.label = tick.job.label;
+      tr.status = out.status;
+      tr.attempts = out.attempts;
+      tr.error = std::move(out.error);
+      tr.counters = out.counters;
+      tr.firing_log = std::move(out.firing_log);
+      tr.wm_size = out.wm_size;
+      tr.live_tokens = out.live_tokens;
+      tr.queued_ns = ns_between(tick.enqueued, tick_start);
+      tr.service_ns = ns_between(tick_start, tick_done);
+      tr.latency_ns = ns_between(tick.enqueued, tick_done);
+      tick.promise.set_value(std::move(tr));
+    }
+    if (!ok) break;
+  }
+
+  // One "scene" span per stream on the session's tracer lane, both
+  // submission flavors: the serving window from dequeue to the last tick.
+  if (obs::Tracer* tracer = options_.session.tracer) {
+    const auto span_end = obs::Tracer::Clock::now();
+    obs::json::Object args;
+    args.emplace_back("status",
+                      obs::json::Value(std::string(to_string(rollup.status))));
+    args.emplace_back("attempts", obs::json::Value(
+                                      static_cast<std::uint64_t>(scene.attempts)));
+    if (!stream->oneshot) {
+      args.emplace_back("ticks", obs::json::Value(rollup.ticks));
+    }
+    tracer->record_span("scene " + std::to_string(stream->id), "scene", span_begin,
+                        span_end, static_cast<std::uint32_t>(stream->id),
+                        std::move(args));
+  }
+
+  // Close-time rollback: the recycled context is bit-identical to fresh
+  // (WMEs, timetags, recency) whatever the stream did or failed to do.
+  session.finish();
+
+  // Kill the stream and abandon whatever is still queued (terminal failure
+  // left ticks behind; a clean close cannot, the loop drained them first).
+  std::deque<StreamState::PendingTick> abandoned;
+  {
+    const util::MutexLock lock(stream->mu);
+    stream->dead = true;
+    abandoned.swap(stream->ticks);
+  }
+  for (StreamState::PendingTick& t : abandoned) {
+    TickReport tr;
+    tr.stream = stream->id;
+    tr.tick = t.seq;
+    tr.label = t.job.label;
+    tr.status = SceneStatus::Rejected;
+    tr.reject = RejectReason::StreamClosed;
+    tr.error = "stream terminated before this tick ran";
+    t.promise.set_value(std::move(tr));
+  }
+
+  const auto finished = std::chrono::steady_clock::now();
+  rollup.open_ns = ns_between(stream->opened, finished);
+  rollup.drained = drained_by_server;
+  if (stream->oneshot) {
+    scene.queued_ns = ns_between(oneshot_enqueued, dequeued);
+    scene.service_ns = ns_between(dequeued, finished);
+    scene.latency_ns = ns_between(oneshot_enqueued, finished);
+  }
+
+  {
+    const util::MutexLock lock(mu_);
+    retries_ += rollup.tick_retries;
+    // A stream is one scene in the top-level bins: opened streams were
+    // admitted, and the stream's terminal status is its scene status — so
+    // submitted == admitted + rejected and admitted == completed +
+    // quarantined + aborted hold across both submission flavors.
+    switch (rollup.status) {
+      case SceneStatus::Completed:
+        ++completed_;
+        latencies_ns_.push_back(stream->oneshot ? scene.latency_ns : rollup.open_ns);
+        engine_.add_counters(stream_counters);
+        ++engine_.tasks;
+        if (PackRecord* rec = find_pack_locked(pack_id)) ++rec->scenes_completed;
+        break;
+      case SceneStatus::Quarantined:
+        ++quarantined_;
+        ++engine_.quarantined;
+        break;
+      case SceneStatus::Aborted:
+        ++aborted_;
+        break;
+      case SceneStatus::Rejected:
+        break;  // unreachable: enqueued streams are never Rejected
+    }
+    if (!stream->oneshot) {
+      switch (rollup.status) {
+        case SceneStatus::Completed: ++streams_completed_; break;
+        case SceneStatus::Quarantined: ++streams_quarantined_; break;
+        case SceneStatus::Aborted: ++streams_aborted_; break;
+        case SceneStatus::Rejected: break;
+      }
+      if (drained_by_server) ++streams_drained_;
+      ticks_completed_ += rollup.ticks_completed;
+      ticks_failed_ += rollup.ticks - rollup.ticks_completed;
+      ticks_shed_ += abandoned.size();
+      tick_retries_ += rollup.tick_retries;
+      wmes_streamed_ += rollup.wmes_streamed;
+      peak_resident_wm_ = std::max(peak_resident_wm_, rollup.peak_wm);
+      tick_latencies_ns_.insert(tick_latencies_ns_.end(), tick_latencies.begin(),
+                                tick_latencies.end());
+    }
+  }
+
+  // Resolve the terminal future exactly once, outside the lock.
+  if (stream->oneshot) {
+    stream->scene_promise.set_value(std::move(scene));
+  } else {
+    stream->close_promise.set_value(std::move(rollup));
   }
 }
 
@@ -292,9 +626,24 @@ void Server::watchdog_loop() {
 
 ServerStats Server::drain() {
   std::call_once(drain_once_, [this] {
+    std::vector<std::weak_ptr<StreamState>> registry;
     {
       const util::MutexLock lock(mu_);
       draining_ = true;
+      registry = stream_registry_;
+    }
+    // Force-close every live stream: workers park on a stream's own cv
+    // waiting for ticks a client may never send, so drain must poke them.
+    // Queued ticks still run first (drain finishes admitted work); only the
+    // open-ended wait is cut short.
+    for (const std::weak_ptr<StreamState>& weak : registry) {
+      if (const std::shared_ptr<StreamState> stream = weak.lock()) {
+        {
+          const util::MutexLock lock(stream->mu);
+          stream->force_close = true;
+        }
+        stream->cv.notify_all();
+      }
     }
     work_cv_.notify_all();
     for (auto& t : threads_) {
@@ -343,6 +692,23 @@ ServerStats Server::stats_locked() const {
   s.engine = engine_;
   s.engine.retries = retries_;
   s.engine.wall_ns = s.wall_ns;
+
+  s.streams.opened = streams_opened_;
+  s.streams.completed = streams_completed_;
+  s.streams.quarantined = streams_quarantined_;
+  s.streams.aborted = streams_aborted_;
+  s.streams.drained = streams_drained_;
+  s.streams.ticks = ticks_;
+  s.streams.ticks_completed = ticks_completed_;
+  s.streams.ticks_failed = ticks_failed_;
+  s.streams.ticks_shed = ticks_shed_;
+  s.streams.tick_retries = tick_retries_;
+  s.streams.wmes_streamed = wmes_streamed_;
+  s.streams.peak_resident_wm = peak_resident_wm_;
+  s.streams.tick_latency = obs::summarize_latency_ns(tick_latencies_ns_);
+  s.streams.ticks_per_sec = s.wall_ns > 0 ? static_cast<double>(s.streams.ticks_completed) /
+                                                (static_cast<double>(s.wall_ns) * 1e-9)
+                                          : 0.0;
 
   s.packs_loaded = packs_.size();
   s.packs_rejected = packs_rejected_;

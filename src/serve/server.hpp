@@ -16,9 +16,14 @@
 //    always rolled back after collection, so faulted/poisoned scenes cannot
 //    perturb healthy ones (their firing logs stay byte-identical).
 //  * Graceful drain — drain() stops admission, finishes everything already
-//    admitted, joins the pool, and rolls per-session metrics up into a
-//    schema-versioned server-level JSON document (p50/p99 scene latency,
-//    scenes/sec, exactly-once accounting).
+//    admitted, force-closes open streams after their queued ticks, joins the
+//    pool, and rolls per-session metrics up into a schema-versioned
+//    server-level JSON document (p50/p99 scene latency, scenes/sec,
+//    exactly-once accounting, a "streams" section for tick metrics).
+//  * Streaming sessions (§16) — open_stream() admits a long-lived scene
+//    whose WM arrives as ticks; the worker holds the stream's working memory
+//    resident between ticks (incremental match per tick, rollback only at
+//    close) and one-shot submit() is a one-tick stream over the same path.
 //  * Versioned hot-reload (§15) — stage_pack() compiles a candidate rule
 //    pack and runs the static admission pipeline (lint, rete_static,
 //    interference recheck, AN010-AN013 semantic diff) as a gate;
@@ -52,6 +57,7 @@
 #include "obs/metrics.hpp"
 #include "serve/rulebase.hpp"
 #include "serve/session.hpp"
+#include "serve/stream.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace psmsys::serve {
@@ -67,9 +73,14 @@ struct ServerOptions {
   std::function<void(ops5::Engine&)> base_init;
   /// Per-session execution policy (deadlines, retries, capture, injection).
   SessionOptions session;
-  /// Wall-clock budget per scene before the watchdog aborts it (0 = off).
+  /// Wall-clock budget per scene — per TICK for streams, since a stream is
+  /// only busy while a tick runs — before the watchdog aborts it (0 = off).
   std::chrono::milliseconds watchdog_budget{0};
   std::chrono::milliseconds watchdog_poll{1};
+
+  /// Bounded per-stream tick queue (ticks submitted but not yet executed);
+  /// a full queue sheds the tick with RejectReason::QueueFull.
+  std::size_t stream_tick_capacity = 16;
 
   /// Admission gate configuration for stage_pack()/load_pack().
   analysis::AdmissionOptions admission;
@@ -135,6 +146,28 @@ struct LoadResult {
   analysis::AdmissionVerdict verdict;
 };
 
+/// Stream-family rollup: real streams only (one-shot submit() wrappers run
+/// through the same machinery but report in the scene-level bins alone).
+/// Every stream ALSO counts as one scene in the top-level bins — opened
+/// streams are admitted scenes, a stream's terminal status is its scene
+/// status — so the exactly-once scene accounting holds unchanged.
+struct StreamStats {
+  std::uint64_t opened = 0;  ///< streams admitted via open_stream()
+  std::uint64_t completed = 0;
+  std::uint64_t quarantined = 0;  ///< a tick exhausted its attempts
+  std::uint64_t aborted = 0;      ///< a tick hit the wall-clock watchdog
+  std::uint64_t drained = 0;      ///< completed by a server drain force-close
+  std::uint64_t ticks = 0;        ///< tick submissions (admitted + shed)
+  std::uint64_t ticks_completed = 0;
+  std::uint64_t ticks_failed = 0;  ///< terminal tick failures (kill the stream)
+  std::uint64_t ticks_shed = 0;    ///< rejected at tick admission or abandoned
+  std::uint64_t tick_retries = 0;
+  std::uint64_t wmes_streamed = 0;     ///< WME adds over completed ticks
+  std::uint64_t peak_resident_wm = 0;  ///< max resident WMEs across all streams
+  obs::LatencySummary tick_latency;    ///< completed ticks, submit->done
+  double ticks_per_sec = 0.0;          ///< completed ticks / wall
+};
+
 /// Server-level rollup of per-session metrics, produced by drain()/stats().
 struct ServerStats {
   std::uint64_t workers = 0;
@@ -159,6 +192,8 @@ struct ServerStats {
   std::uint64_t active_pack = 0;     ///< id new scenes bind to
   std::vector<PackInfo> packs;       ///< registry snapshot, by id
 
+  StreamStats streams;  ///< streaming-family accounting (real streams only)
+
   /// Schema-versioned rollup document (obs::validate_serve_rollup).
   [[nodiscard]] obs::json::Value to_json() const;
 };
@@ -173,8 +208,16 @@ class Server {
   Server& operator=(const Server&) = delete;
 
   /// Admit one scene, or shed it. Never blocks on the pool; never allocates
-  /// past the bounded queue.
+  /// past the bounded queue. Implemented as a one-tick, pre-closed stream,
+  /// so one-shot and streaming submission share one execution code path.
   [[nodiscard]] SubmitResult submit(SceneJob job);
+
+  /// Admit one stream, or shed it (same admission as submit(): a stream
+  /// occupies one slot of the bounded queue and counts as one scene). The
+  /// stream binds a worker and its pack at dequeue time and holds both until
+  /// it closes — mid-stream pack swaps affect only later dequeues, so a
+  /// stream always finishes on the pack it started on.
+  [[nodiscard]] StreamHandle open_stream(std::string label = {});
 
   /// Graceful shutdown: stop admitting, execute everything already admitted,
   /// join workers and watchdog, return the final rollup. Idempotent and
@@ -223,12 +266,7 @@ class Server {
   [[nodiscard]] const SharedRuleBase& rulebase() const noexcept { return *rulebase_; }
 
  private:
-  struct Pending {
-    SceneId id = 0;
-    SceneJob job;
-    std::promise<SceneReport> promise;
-    std::chrono::steady_clock::time_point enqueued;
-  };
+  friend class StreamHandle;
 
   /// Watchdog view of one worker, guarded by mu_ except the abort flag,
   /// which the session's cancel predicate reads lock-free mid-scene.
@@ -254,6 +292,13 @@ class Server {
   };
 
   void worker_loop(std::size_t index);
+  /// Serve one dequeued stream to its terminal state on worker `index`
+  /// (also the one-shot path: submit() enqueues a one-tick closed stream).
+  void run_stream(std::size_t index, WorkerSlot& slot,
+                  const std::shared_ptr<StreamState>& stream, std::uint64_t pack_id);
+  /// StreamHandle backends (handles must not outlive the server).
+  SubmitTickResult stream_tick(const std::shared_ptr<StreamState>& stream, SceneJob job);
+  void stream_close(const std::shared_ptr<StreamState>& stream);
   void watchdog_loop();
   [[nodiscard]] ServerStats stats_locked() const PSMSYS_REQUIRES(mu_);
   [[nodiscard]] PackRecord* find_pack_locked(std::uint64_t id) PSMSYS_REQUIRES(mu_);
@@ -269,7 +314,14 @@ class Server {
 
   mutable util::Mutex mu_;
   std::condition_variable_any work_cv_;
-  std::deque<Pending> queue_ PSMSYS_GUARDED_BY(mu_);
+  /// Unit of admission: every entry is a stream (one-shot submits are
+  /// one-tick pre-closed streams). A stream occupies its slot only until a
+  /// worker dequeues it; from then on it lives pinned to that worker.
+  std::deque<std::shared_ptr<StreamState>> queue_ PSMSYS_GUARDED_BY(mu_);
+  /// Live streams drain() must force-close (workers park on a stream's own
+  /// cv waiting for ticks; the drain poke is what wakes them). Entries expire
+  /// as streams terminate; pruned opportunistically.
+  std::vector<std::weak_ptr<StreamState>> stream_registry_ PSMSYS_GUARDED_BY(mu_);
   bool draining_ PSMSYS_GUARDED_BY(mu_) = false;
   bool stopped_ PSMSYS_GUARDED_BY(mu_) = false;
   SceneId next_scene_ PSMSYS_GUARDED_BY(mu_) = 0;
@@ -284,6 +336,22 @@ class Server {
   std::vector<std::int64_t> latencies_ns_ PSMSYS_GUARDED_BY(mu_);
   obs::RunMetrics engine_ PSMSYS_GUARDED_BY(mu_);
   std::int64_t final_wall_ns_ PSMSYS_GUARDED_BY(mu_) = -1;
+
+  // Streaming accounting (guarded by mu_; real streams only — one-shot
+  // wrappers report through the scene bins above).
+  std::uint64_t streams_opened_ PSMSYS_GUARDED_BY(mu_) = 0;
+  std::uint64_t streams_completed_ PSMSYS_GUARDED_BY(mu_) = 0;
+  std::uint64_t streams_quarantined_ PSMSYS_GUARDED_BY(mu_) = 0;
+  std::uint64_t streams_aborted_ PSMSYS_GUARDED_BY(mu_) = 0;
+  std::uint64_t streams_drained_ PSMSYS_GUARDED_BY(mu_) = 0;
+  std::uint64_t ticks_ PSMSYS_GUARDED_BY(mu_) = 0;
+  std::uint64_t ticks_completed_ PSMSYS_GUARDED_BY(mu_) = 0;
+  std::uint64_t ticks_failed_ PSMSYS_GUARDED_BY(mu_) = 0;
+  std::uint64_t ticks_shed_ PSMSYS_GUARDED_BY(mu_) = 0;
+  std::uint64_t tick_retries_ PSMSYS_GUARDED_BY(mu_) = 0;
+  std::uint64_t wmes_streamed_ PSMSYS_GUARDED_BY(mu_) = 0;
+  std::uint64_t peak_resident_wm_ PSMSYS_GUARDED_BY(mu_) = 0;
+  std::vector<std::int64_t> tick_latencies_ns_ PSMSYS_GUARDED_BY(mu_);
 
   // Pack registry (guarded by mu_). Exactly one record is Active.
   std::vector<PackRecord> packs_ PSMSYS_GUARDED_BY(mu_);

@@ -25,6 +25,7 @@ const char* to_string(RejectReason reason) noexcept {
     case RejectReason::QueueFull: return "queue_full";
     case RejectReason::Draining: return "draining";
     case RejectReason::Stopped: return "stopped";
+    case RejectReason::StreamClosed: return "stream_closed";
   }
   return "?";
 }
@@ -69,68 +70,96 @@ EngineContext::EngineContext(std::shared_ptr<const SharedRuleBase> rulebase,
   }
 }
 
-SceneReport Session::run(const SceneJob& job, const std::function<bool()>& aborted) {
+void Session::begin() {
   const SessionOptions& options = context_.options_;
-  SceneReport report;
-  report.scene = id_;
-  report.label = job.label;
-
   context_.prefix_ = "s" + std::to_string(id_) + "| ";
   if (options.tracer != nullptr) {
     // One tid lane per session: concurrent sessions never share a lane, so
     // their spans cannot interleave within one track of the timeline.
     context_.engine().set_tracer(options.tracer, static_cast<std::uint32_t>(id_));
   }
+  context_.runner_.begin_stream();
+}
 
+Session::TickOutcome Session::run_tick(const SceneJob& job,
+                                       const std::function<bool()>& aborted) {
+  const SessionOptions& options = context_.options_;
+  TickOutcome out;
   const psm::Task task{id_, job.label, job.inject};
-  const auto begin = obs::Tracer::Clock::now();
   for (std::uint32_t attempt = 1; attempt <= options.max_attempts; ++attempt) {
     context_.firing_log_.clear();
-    report.attempts = attempt;
+    out.attempts = attempt;
     try {
       if (options.injector != nullptr && options.injector->fails(id_, attempt)) {
-        // Mid-scene crash: really execute a couple of cycles, roll back,
-        // then fail — the poisoned-scene path of the fault-storm test.
-        context_.runner_.abort_after(task, kCrashAfterCycles);
+        // Mid-tick crash: really execute a couple of cycles, roll back to
+        // the tick's checkpoint, then fail — the poisoned-scene path of the
+        // fault-storm test. Earlier ticks' resident WM survives.
+        context_.runner_.abort_tick_after(task, kCrashAfterCycles);
         throw psm::InjectedTaskFault(id_, attempt);
       }
       const std::uint64_t deadline =
           (options.injector != nullptr && options.injector->overruns(id_, attempt))
               ? 1  // livelock: the deadline machinery must cut it off
               : grown_deadline(options, attempt);
-      psm::TaskMeasurement m = context_.runner_.run_isolated(
+      psm::TaskMeasurement m = context_.runner_.run_tick(
           task, deadline, aborted, options.abort_check_every, job.collect);
-      report.status = SceneStatus::Completed;
-      report.counters = m.counters;
-      report.firing_log = std::move(context_.firing_log_);
+      out.status = SceneStatus::Completed;
+      out.counters = m.counters;
+      out.firing_log = std::move(context_.firing_log_);
+      out.wm_size = context_.engine().wm_size();
+      out.live_tokens = context_.engine().network().live_tokens();
       break;
     } catch (const psm::TaskAborted&) {
       // Watchdog wall-clock abort: terminal, no retry — the budget that
       // tripped is host time, so a retry would just burn it again.
-      report.status = SceneStatus::Aborted;
-      report.error = "aborted by watchdog";
+      out.status = SceneStatus::Aborted;
+      out.error = "aborted by watchdog";
       break;
     } catch (const std::exception& e) {
-      // Transient fault or cycle-deadline overrun: rolled back already;
-      // retry with a grown deadline until attempts run out.
-      report.error = e.what();
-      report.status = SceneStatus::Quarantined;
+      // Transient fault or cycle-deadline overrun: rolled back to the tick
+      // checkpoint already; retry with a grown deadline until attempts run
+      // out.
+      out.error = e.what();
+      out.status = SceneStatus::Quarantined;
     } catch (...) {
-      report.error = "unknown error";
-      report.status = SceneStatus::Quarantined;
+      out.error = "unknown error";
+      out.status = SceneStatus::Quarantined;
     }
   }
-  const auto end = obs::Tracer::Clock::now();
+  return out;
+}
+
+void Session::finish() {
+  context_.runner_.end_stream();
+  context_.firing_log_.clear();
+  context_.prefix_.clear();
+  ++context_.scenes_run_;
+}
+
+SceneReport Session::run(const SceneJob& job, const std::function<bool()>& aborted) {
+  const SessionOptions& options = context_.options_;
+  SceneReport report;
+  report.scene = id_;
+  report.label = job.label;
+
+  begin();
+  const auto begin_ts = obs::Tracer::Clock::now();
+  TickOutcome out = run_tick(job, aborted);
+  const auto end_ts = obs::Tracer::Clock::now();
+  finish();
+
+  report.status = out.status;
+  report.attempts = out.attempts;
+  report.error = std::move(out.error);
+  report.counters = out.counters;
+  report.firing_log = std::move(out.firing_log);
   if (options.tracer != nullptr) {
     obs::json::Object args;
     args.emplace_back("status", obs::json::Value(std::string(to_string(report.status))));
     args.emplace_back("attempts", obs::json::Value(static_cast<std::uint64_t>(report.attempts)));
-    options.tracer->record_span("scene " + std::to_string(id_), "scene", begin, end,
+    options.tracer->record_span("scene " + std::to_string(id_), "scene", begin_ts, end_ts,
                                 static_cast<std::uint32_t>(id_), std::move(args));
   }
-  context_.firing_log_.clear();
-  context_.prefix_.clear();
-  ++context_.scenes_run_;
   return report;
 }
 

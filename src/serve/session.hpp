@@ -50,12 +50,13 @@ enum class SceneStatus : std::uint8_t {
   Aborted,      ///< watchdog wall-clock abort; rolled back
 };
 
-/// Why admission shed a scene (SceneStatus::Rejected).
+/// Why admission shed a scene or a stream tick (SceneStatus::Rejected).
 enum class RejectReason : std::uint8_t {
-  None,       ///< not rejected
-  QueueFull,  ///< bounded queue at capacity — backpressure, not OOM
-  Draining,   ///< server is draining; no new work accepted
-  Stopped,    ///< server already drained and stopped
+  None,          ///< not rejected
+  QueueFull,     ///< bounded queue at capacity — backpressure, not OOM
+  Draining,      ///< server is draining; no new work accepted
+  Stopped,       ///< server already drained and stopped
+  StreamClosed,  ///< tick submitted to a closed or terminally failed stream
 };
 
 [[nodiscard]] const char* to_string(SceneStatus status) noexcept;
@@ -123,20 +124,50 @@ class EngineContext {
   std::uint64_t scenes_run_ = 0;
 };
 
-/// The per-scene execution: binds a session id to a context for the duration
-/// of one scene. `run` fills everything in the report except the
-/// server-level queue/latency fields.
+/// The per-scene/per-stream execution: binds a session id to a context for
+/// the duration of one scene or stream. The lifecycle is begin() →
+/// run_tick()* → finish(): begin() opens the engine's stream journal,
+/// each run_tick() executes one batch of injected WMEs to quiescence
+/// (attempt/retry per the context's options, per-tick checkpoint rollback on
+/// failure) and KEEPS its effects resident, and finish() rolls the whole
+/// journal back so the context returns to its base working memory
+/// bit-identically. run() is the one-shot wrapper: begin + one tick +
+/// finish, so batch scenes and streams share one execution code path.
 class Session {
  public:
   Session(SceneId id, EngineContext& context) : id_(id), context_(context) {}
 
   [[nodiscard]] SceneId id() const noexcept { return id_; }
 
-  /// Execute the scene: attempt/retry/quarantine per the context's options,
-  /// polling `aborted` (may be empty) between cycle slices for the
-  /// wall-clock watchdog. The context is back at its base working memory
-  /// when this returns, whatever the outcome.
+  /// Execute the scene: one tick between begin() and finish(). The context
+  /// is back at its base working memory when this returns, whatever the
+  /// outcome. `aborted` (may be empty) is polled between cycle slices for
+  /// the wall-clock watchdog.
   [[nodiscard]] SceneReport run(const SceneJob& job, const std::function<bool()>& aborted);
+
+  /// What one tick produced (the session-level slice of TickReport).
+  struct TickOutcome {
+    SceneStatus status = SceneStatus::Completed;
+    std::uint32_t attempts = 0;
+    std::string error;
+    util::WorkCounters counters;
+    std::string firing_log;
+    std::uint64_t wm_size = 0;      ///< resident WMEs after the tick
+    std::uint64_t live_tokens = 0;  ///< resident beta tokens after the tick
+  };
+
+  /// Bind the session to the context and open the stream journal.
+  void begin();
+
+  /// Execute one tick inside begin()/finish(). On Completed the tick's WM
+  /// effects stay resident; on Quarantined/Aborted the engine is back at the
+  /// tick's checkpoint (earlier ticks' effects survive) and the caller
+  /// should treat the stream as terminally failed.
+  [[nodiscard]] TickOutcome run_tick(const SceneJob& job, const std::function<bool()>& aborted);
+
+  /// Roll every tick's effects back and release the context: base working
+  /// memory, timetags, and recency are bit-identical to pre-begin().
+  void finish();
 
  private:
   SceneId id_;

@@ -1,0 +1,110 @@
+#include "spam/stream_schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace psmsys::spam {
+
+std::vector<StreamTickSpec> make_stream_schedule(const StreamScheduleConfig& config) {
+  if (config.ticks == 0) {
+    throw std::invalid_argument("stream schedule needs at least one tick");
+  }
+  if (config.retract_fraction < 0.0 || config.retract_fraction > 1.0) {
+    throw std::invalid_argument("retract_fraction must lie in [0, 1]");
+  }
+  const double burst = std::clamp(config.burstiness, 0.0, 1.0);
+  util::Rng rng(config.seed);
+
+  std::vector<StreamTickSpec> schedule(config.ticks);
+  for (std::size_t t = 0; t < config.ticks; ++t) {
+    schedule[t].at_ms = config.interval_ms * t;
+  }
+
+  // Arrival weights per tick: mix a uniform share with a squared-uniform
+  // draw. At burstiness 0 every tick weighs the same; at 1 the weights are
+  // heavy-tailed enough that a handful of ticks absorb most arrivals.
+  std::vector<double> weight(config.ticks);
+  double total_weight = 0.0;
+  for (double& w : weight) {
+    const double u = rng.next_double();
+    w = (1.0 - burst) + burst * (u * u * static_cast<double>(config.ticks));
+    total_weight += w;
+  }
+
+  // Deal each item to a tick by weighted draw, then sort arrivals within a
+  // tick so the delta order is canonical (identity proofs diff these).
+  for (std::size_t item = 0; item < config.items; ++item) {
+    double pick = rng.next_double() * total_weight;
+    std::size_t t = 0;
+    while (t + 1 < config.ticks && pick >= weight[t]) {
+      pick -= weight[t];
+      ++t;
+    }
+    schedule[t].arrivals.push_back(item);
+  }
+  for (StreamTickSpec& tick : schedule) {
+    std::sort(tick.arrivals.begin(), tick.arrivals.end());
+  }
+
+  if (config.retract_fraction > 0.0) {
+    // Walk ticks in order, keeping the pool of items that arrived strictly
+    // earlier and were not yet retracted. Each selected victim is removed
+    // from the pool, so nothing retracts twice, and pool membership by
+    // construction means the arrival happened on an earlier tick.
+    std::vector<std::size_t> pool;
+    const auto target = static_cast<std::size_t>(
+        std::floor(config.retract_fraction * static_cast<double>(config.items)));
+    std::size_t retracted = 0;
+    for (std::size_t t = 0; t < config.ticks; ++t) {
+      if (t > 0 && retracted < target && !pool.empty()) {
+        // Spread the remaining retraction budget over the remaining ticks.
+        const std::size_t ticks_left = config.ticks - t;
+        std::size_t quota = (target - retracted + ticks_left - 1) / ticks_left;
+        quota = std::min(quota, pool.size());
+        for (std::size_t k = 0; k < quota; ++k) {
+          const std::size_t slot = rng.next_below(pool.size());
+          schedule[t].retractions.push_back(pool[slot]);
+          pool[slot] = pool.back();
+          pool.pop_back();
+          ++retracted;
+        }
+        std::sort(schedule[t].retractions.begin(), schedule[t].retractions.end());
+      }
+      pool.insert(pool.end(), schedule[t].arrivals.begin(), schedule[t].arrivals.end());
+    }
+  }
+  return schedule;
+}
+
+StreamScheduleConfig stream_config_for(const DatasetConfig& dataset, std::size_t items) {
+  StreamScheduleConfig config;
+  config.items = items;
+  config.seed = dataset.seed ^ 0x57ea3ULL;
+  if (dataset.name == "SF") {
+    // Largest scene: long, bursty feed — the segmentation front end
+    // delivers region clumps as each image strip completes.
+    config.ticks = 64;
+    config.interval_ms = 8;
+    config.burstiness = 0.6;
+    config.retract_fraction = 0.10;
+  } else if (dataset.name == "DC") {
+    // Geometry-heavy scene: steadier pacing but the most revision churn
+    // (ambiguous blobs get retracted and re-delivered downstream).
+    config.ticks = 48;
+    config.interval_ms = 12;
+    config.burstiness = 0.25;
+    config.retract_fraction = 0.25;
+  } else {
+    // MOFF and anything unnamed: calm mid-size default.
+    config.ticks = 40;
+    config.interval_ms = 10;
+    config.burstiness = 0.15;
+    config.retract_fraction = 0.12;
+  }
+  return config;
+}
+
+}  // namespace psmsys::spam

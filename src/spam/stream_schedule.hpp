@@ -1,0 +1,70 @@
+#pragma once
+
+// Streaming delta schedules for the serve layer's incremental sessions.
+//
+// A streaming scene feeds the interpretation engine a sequence of timed
+// *ticks* — batches of working-memory deltas (arrivals of new items and
+// retractions of items seen earlier) — instead of one monolithic scene.
+// This models the paper's interactive deployment mode: a sensor front end
+// delivering region extractions as they are segmented, with the rule base
+// refining its interpretation incrementally between deliveries.
+//
+// The generator is purely combinatorial: it decides *which* item indices
+// arrive and retract on *which* tick, deterministically in the seed. What
+// an "item" means (a region, a decomposition task, a counter) is the
+// caller's business — the bench and example layers map indices onto real
+// WME injections. Guarantees:
+//
+//   - every item index in [0, items) arrives exactly once across the run;
+//   - a retraction only names an item that arrived on a strictly earlier
+//     tick, and no item is retracted twice;
+//   - tick timestamps are non-decreasing and start at 0;
+//   - the same config always yields byte-identical schedules (util::Rng).
+
+#include <cstdint>
+#include <vector>
+
+#include "spam/scene_generator.hpp"
+
+namespace psmsys::spam {
+
+struct StreamScheduleConfig {
+  /// Total distinct items delivered over the stream's lifetime.
+  std::size_t items = 200;
+  /// Number of ticks the deliveries are spread across.
+  std::size_t ticks = 50;
+  /// Nominal inter-tick gap for the timestamps (steady-state pacing).
+  std::uint64_t interval_ms = 10;
+  /// 0 = perfectly even arrivals per tick; 1 = heavily clumped (a few
+  /// ticks carry most of the arrivals). Interpolates linearly.
+  double burstiness = 0.0;
+  /// Fraction of arrived items that are later retracted (sensor
+  /// revisions). Retractions are scheduled on ticks after the arrival.
+  double retract_fraction = 0.0;
+  std::uint64_t seed = 1;
+};
+
+struct StreamTickSpec {
+  /// Timestamp offset from stream open; non-decreasing across ticks.
+  std::uint64_t at_ms = 0;
+  /// Item indices arriving on this tick.
+  std::vector<std::size_t> arrivals;
+  /// Item indices retracted on this tick (each arrived on an earlier tick).
+  std::vector<std::size_t> retractions;
+};
+
+/// Build the delta schedule for a stream. Deterministic in config.seed;
+/// throws std::invalid_argument on a degenerate config (zero ticks, or a
+/// retract_fraction outside [0, 1]).
+[[nodiscard]] std::vector<StreamTickSpec> make_stream_schedule(
+    const StreamScheduleConfig& config);
+
+/// Streaming preset for a dataset: pacing and churn knobs scaled the way
+/// the batch DatasetConfig scales region counts (SF streams largest and
+/// burstiest, DC retracts most, MOFF is the calm mid-size). `items` is the
+/// caller's delivery count — typically the dataset's region count or a
+/// bench-sized stand-in.
+[[nodiscard]] StreamScheduleConfig stream_config_for(const DatasetConfig& dataset,
+                                                     std::size_t items);
+
+}  // namespace psmsys::spam

@@ -550,5 +550,110 @@ TEST(EngineUndo, NestingAndMisuseRejected) {
   EXPECT_FALSE(engine.undo_log_active());
 }
 
+// ---------------------------------------------------------------------------
+// Undo checkpoints (per-tick recovery for streaming sessions)
+// ---------------------------------------------------------------------------
+
+TEST(EngineUndoCheckpoint, TailRollbackKeepsEarlierEntriesAndLogActive) {
+  // A stream: tick 1 commits WM that must survive, tick 2 fails and rolls
+  // back to its own checkpoint. The log stays active, earlier journal
+  // entries stay intact, and a final whole-log rollback still restores base.
+  const auto program = parse_shared(R"(
+(literalize counter n)
+(literalize product v)
+(p produce (counter ^n <v>) -(product ^v <v>) -->
+   (make product ^v <v>)
+   (modify 1 ^n (compute <v> + 1)))
+)");
+  Engine engine(program, nullptr);
+  const auto base = wm_snapshot(engine, *program);
+
+  engine.begin_undo_log();
+  engine.make_wme("counter", {{"n", Value(0.0)}});
+  (void)engine.run(2);  // tick 1: counter at 2, two products
+  const auto after_tick1 = wm_snapshot(engine, *program);
+
+  const Engine::UndoCheckpoint cp = engine.undo_checkpoint();
+  (void)engine.run(3);  // tick 2: more churn, then the tick "fails"
+  EXPECT_NE(wm_snapshot(engine, *program), after_tick1);
+  engine.rollback_to_checkpoint(cp);
+
+  EXPECT_TRUE(engine.undo_log_active());
+  EXPECT_EQ(wm_snapshot(engine, *program), after_tick1);
+
+  // Recency and the logical clock rewound with the tail: a retry of tick 2
+  // evolves exactly as if the failed attempt never ran.
+  Engine reference(program, nullptr);
+  reference.make_wme("counter", {{"n", Value(0.0)}});
+  (void)reference.run(2);
+  (void)engine.run(3);
+  (void)reference.run(3);
+  EXPECT_EQ(wm_snapshot(engine, *program), wm_snapshot(reference, *program));
+
+  // Stream close: the whole-log rollback undoes tick 1 too.
+  engine.rollback_undo_log();
+  EXPECT_EQ(wm_snapshot(engine, *program), base);
+}
+
+TEST(EngineUndoCheckpoint, RepeatedCheckpointRollbacksAreIdempotent) {
+  const auto program = parse_shared(R"(
+(literalize item n)
+(p consume (item ^n <v>) --> (remove 1))
+)");
+  Engine engine(program, nullptr);
+  engine.begin_undo_log();
+  engine.make_wme("item", {{"n", Value(1.0)}});
+  (void)engine.run();
+  const auto committed = wm_snapshot(engine, *program);
+  const Engine::UndoCheckpoint cp = engine.undo_checkpoint();
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    engine.make_wme("item", {{"n", Value(9.0)}});
+    (void)engine.run();
+    engine.rollback_to_checkpoint(cp);
+    EXPECT_EQ(wm_snapshot(engine, *program), committed);
+    EXPECT_TRUE(engine.undo_log_active());
+  }
+  engine.rollback_undo_log();
+  EXPECT_EQ(engine.wm_size(), 0u);
+}
+
+TEST(EngineUndoCheckpoint, ClearsHaltRaisedAfterCheckpoint) {
+  const auto program = parse_shared(R"(
+(literalize item n)
+(p stop (item ^n <v>) --> (halt))
+)");
+  Engine engine(program, nullptr);
+  engine.begin_undo_log();
+  const Engine::UndoCheckpoint cp = engine.undo_checkpoint();
+  engine.make_wme("item", {{"n", Value(1.0)}});
+  EXPECT_TRUE(engine.run().halted);
+  engine.rollback_to_checkpoint(cp);
+  // The halt belonged to the rolled-back tick: the engine runs again.
+  engine.make_wme("item", {{"n", Value(2.0)}});
+  EXPECT_TRUE(engine.run().halted);
+  engine.commit_undo_log();
+}
+
+TEST(EngineUndoCheckpoint, MisuseRejected) {
+  const auto program = parse_shared("(literalize item n)");
+  Engine engine(program, nullptr);
+  // Checkpoints only exist inside an active log.
+  EXPECT_THROW((void)engine.undo_checkpoint(), std::logic_error);
+
+  engine.begin_undo_log();
+  engine.make_wme("item", {{"n", Value(1.0)}});
+  const Engine::UndoCheckpoint stale = engine.undo_checkpoint();
+  // Rolling back to the current position is a legal no-op.
+  EXPECT_NO_THROW(engine.rollback_to_checkpoint(stale));
+  EXPECT_EQ(engine.wm_size(), 1u);
+  engine.rollback_undo_log();
+
+  // The old checkpoint is ahead of the (now empty) journal: stale.
+  engine.begin_undo_log();
+  EXPECT_THROW(engine.rollback_to_checkpoint(stale), std::logic_error);
+  engine.commit_undo_log();
+  EXPECT_THROW(engine.rollback_to_checkpoint(stale), std::logic_error);
+}
+
 }  // namespace
 }  // namespace psmsys::ops5

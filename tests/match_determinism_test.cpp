@@ -111,17 +111,20 @@ TEST(MatchDeterminism, SerialMatcherAgreesOnResults) {
   EXPECT_EQ(final_wm(0), final_wm(2));
 }
 
-TEST(MatchDeterminism, SetMatchThreadsRequiresEmptyWorkingMemory) {
+TEST(MatchDeterminism, ReconfigureMatchThreadsRequiresEmptyWorkingMemory) {
   auto program =
       std::make_shared<const ops5::Program>(ops5::parse_program(kJoinSrc));
   ops5::Engine engine(program, nullptr);
   EXPECT_EQ(engine.match_threads(), 0u);
-  engine.set_match_threads(2);
+  ops5::EngineConfig config = engine.config();
+  config.match_threads = 2;
+  engine.reconfigure(config);
   EXPECT_EQ(engine.match_threads(), 2u);
   engine.make_wme("item", {{"k", ops5::Value(0.0)}, {"v", ops5::Value(1.0)}});
-  EXPECT_THROW(engine.set_match_threads(4), std::logic_error);
+  config.match_threads = 4;
+  EXPECT_THROW(engine.reconfigure(config), std::logic_error);
   engine.reset();
-  engine.set_match_threads(4);  // legal again after reset
+  engine.reconfigure(config);  // legal again after reset
   EXPECT_EQ(engine.match_threads(), 4u);
 }
 

@@ -328,26 +328,34 @@ TEST(ReteStaticEngine, FiringLogIdenticalAcrossCostSources) {
   }
 }
 
-TEST(ReteStaticEngine, SetMatchCostSourceFollowsMatcherLifecycle) {
+TEST(ReteStaticEngine, ReconfigureFollowsMatcherLifecycle) {
   const auto program = join_program();
   ops5::Engine engine(program, nullptr);
   EXPECT_EQ(engine.match_cost_source(), ops5::MatchCostSource::Analyzer);
-  engine.set_match_cost_source(ops5::MatchCostSource::ConditionCount);
+  ops5::EngineConfig config = engine.config();
+  config.match_cost_source = ops5::MatchCostSource::ConditionCount;
+  engine.reconfigure(config);
   EXPECT_EQ(engine.match_cost_source(), ops5::MatchCostSource::ConditionCount);
   // Serial engine: no partitions to report.
   EXPECT_TRUE(engine.match_partition_costs().empty());
 
-  engine.set_match_threads(2);
+  config.match_threads = 2;
+  engine.reconfigure(config);
   EXPECT_EQ(engine.match_partition_costs().size(), 2u);
 
-  // Like set_match_threads, the cost source cannot change under live WMEs...
+  // A matcher-rebuilding change needs a pristine engine: under live WMEs the
+  // cost source cannot change on a parallel matcher...
   engine.make_wme("item", {{"k", ops5::Value(0.0)}, {"v", ops5::Value(1.0)}});
-  EXPECT_THROW(engine.set_match_cost_source(ops5::MatchCostSource::Analyzer),
-               std::logic_error);
-  // ...but re-setting the current source is a no-op, not an error.
-  engine.set_match_cost_source(ops5::MatchCostSource::ConditionCount);
+  config.match_cost_source = ops5::MatchCostSource::Analyzer;
+  EXPECT_THROW(engine.reconfigure(config), std::logic_error);
+  // ...but re-applying the current configuration is a no-op, not an error.
+  engine.reconfigure(engine.config());
+  // The strategy is fixed for the engine's lifetime, pristine or not.
   engine.reset();
-  engine.set_match_cost_source(ops5::MatchCostSource::Analyzer);
+  ops5::EngineConfig wrong_strategy = engine.config();
+  wrong_strategy.strategy = ops5::Strategy::Mea;
+  EXPECT_THROW(engine.reconfigure(wrong_strategy), std::logic_error);
+  engine.reconfigure(config);
   EXPECT_EQ(engine.match_cost_source(), ops5::MatchCostSource::Analyzer);
 }
 
