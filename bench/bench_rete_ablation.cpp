@@ -1,7 +1,7 @@
-// Rete design ablation: the two network optimizations this implementation
-// shares with ParaOPS5 — node sharing between productions with common
-// prefixes, and hash-indexed join memories. Both are toggled off to show
-// their contribution on the LCC workload.
+// Rete design ablation: the three network optimizations this implementation
+// shares with ParaOPS5 and Doorenbos — node sharing between productions with
+// common prefixes, hash-indexed join memories, and left/right node unlinking.
+// Each is toggled off to show its contribution on the LCC workload.
 
 #include "bench/harness.hpp"
 
@@ -10,11 +10,13 @@ namespace psmsys::bench {
 namespace {
 
 util::WorkUnits run_with(const spam::Scene& scene, const std::vector<spam::Fragment>& best,
-                         bool sharing, bool indexed, rete::NetworkStats* stats_out) {
+                         bool sharing, bool indexed, bool unlinking,
+                         rete::NetworkStats* stats_out) {
   const spam::PhaseProgram phase = spam::build_lcc_program();
   ops5::EngineOptions options;
   options.rete.node_sharing = sharing;
   options.rete.indexed_joins = indexed;
+  options.rete.unlinking = unlinking;
   auto engine = phase.make_engine(scene, options);
   if (stats_out != nullptr) *stats_out = engine->network().stats();
 
@@ -35,34 +37,46 @@ util::WorkUnits run_with(const spam::Scene& scene, const std::vector<spam::Fragm
 }  // namespace
 
 PSMSYS_BENCH_CASE(rete_ablation, "rete",
-                  "Rete ablation: node sharing and hashed join memories") {
+                  "Rete ablation: node sharing, hashed join memories, node unlinking") {
   auto& os = ctx.out();
 
   const auto config = ctx.quick() ? spam::sf_config() : spam::dc_config();
   const auto scene = spam::generate_scene(config);
   const auto best = spam::best_fragments(spam::run_rtf(scene, 3).fragments);
 
-  util::Table table({"node sharing", "indexed joins", "match cost (wu)", "vs full",
-                     "alpha patterns", "join nodes"});
+  struct Config {
+    bool sharing, indexed, unlinking;
+  };
+  // The sharing x indexing matrix (unlinking on, the default), plus one
+  // unlinking-off row: its contribution is orthogonal to the other two, so a
+  // single ablation row against the full configuration shows its share.
+  const std::vector<Config> configs = {
+      {true, true, true},   {true, false, true}, {false, true, true},
+      {false, false, true}, {true, true, false},
+  };
+
+  util::Table table({"node sharing", "indexed joins", "unlinking", "match cost (wu)",
+                     "vs full", "alpha patterns", "join nodes"});
   util::WorkUnits full = 0;
-  for (const bool sharing : {true, false}) {
-    for (const bool indexed : {true, false}) {
-      rete::NetworkStats stats;
-      const util::WorkUnits cost = run_with(scene, best, sharing, indexed, &stats);
-      if (sharing && indexed) full = cost;
-      const double vs_full = static_cast<double>(cost) / static_cast<double>(full);
-      if (!sharing && !indexed) ctx.metric("both_off_vs_full", vs_full);
-      table.add_row({sharing ? "on" : "off", indexed ? "on" : "off", util::Table::fmt(cost),
-                     util::Table::fmt(vs_full, 2) + "x",
-                     util::Table::fmt(stats.alpha_patterns), util::Table::fmt(stats.join_nodes)});
-    }
+  for (const auto& [sharing, indexed, unlinking] : configs) {
+    rete::NetworkStats stats;
+    const util::WorkUnits cost = run_with(scene, best, sharing, indexed, unlinking, &stats);
+    if (sharing && indexed && unlinking) full = cost;
+    const double vs_full = static_cast<double>(cost) / static_cast<double>(full);
+    if (!sharing && !indexed) ctx.metric("both_off_vs_full", vs_full);
+    if (!unlinking) ctx.metric("no_unlinking_vs_full", vs_full);
+    table.add_row({sharing ? "on" : "off", indexed ? "on" : "off", unlinking ? "on" : "off",
+                   util::Table::fmt(cost), util::Table::fmt(vs_full, 2) + "x",
+                   util::Table::fmt(stats.alpha_patterns), util::Table::fmt(stats.join_nodes)});
   }
 
   table.print(os, "Full LCC (Level 4) run on " + config.name +
-                      " under four network configurations");
-  os << "\nBoth optimizations are part of what made ParaOPS5's C implementation\n"
+                      " under five network configurations");
+  os << "\nSharing and indexing are part of what made ParaOPS5's C implementation\n"
         "10-20x faster than the Lisp OPS5; indexing dominates on this workload\n"
-        "because LCC's joins are equality-selective (fragment ids, subjects).\n";
+        "because LCC's joins are equality-selective (fragment ids, subjects).\n"
+        "Unlinking (Doorenbos) trims the residual activations of quiescent\n"
+        "productions without changing any match result.\n";
   ctx.table("rete_ablation", table);
 }
 

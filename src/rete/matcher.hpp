@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "ops5/bindings.hpp"
@@ -103,6 +104,12 @@ class Matcher {
   [[nodiscard]] virtual const ops5::BindingAnalysis& bindings(const ops5::Production&) const {
     throw std::logic_error("matcher has no binding analysis");
   }
+
+  /// Structural self-check for differential tests: implementation-defined
+  /// descriptions of violated internal invariants, empty when consistent.
+  /// Matchers without internal match state (the naive oracle) inherit the
+  /// always-clean default.
+  [[nodiscard]] virtual std::vector<std::string> check_invariants() const { return {}; }
 };
 
 }  // namespace psmsys::rete

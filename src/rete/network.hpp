@@ -21,6 +21,7 @@
 #include <deque>
 #include <memory>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -87,6 +88,19 @@ struct NetworkOptions {
   /// whose key matches instead of scanning the whole opposite memory.
   /// Disable for the ablation bench.
   bool indexed_joins = true;
+  /// Doorenbos-style left/right node unlinking: a join whose beta-memory
+  /// input is empty detaches from its alpha memory's activation fan-out
+  /// (right unlinking), and a join whose alpha memory is empty detaches from
+  /// token propagation (left unlinking), so WM traffic through quiescent
+  /// productions costs ~nothing. Negative nodes only right-unlink — an empty
+  /// alpha memory means the absence test holds and tokens must still be
+  /// created. The hash indexes live on the memories (one per distinct key
+  /// slot) and are always maintained, so a link transition is a pure flag
+  /// flip and unlinking cannot perturb candidate order: match results,
+  /// firing logs, and conflict-set deltas are bit-identical either way.
+  /// Per-node activation counts and match-cost charges drop for unlinked
+  /// nodes, which is the measurable point. Disable for the ablation bench.
+  bool unlinking = true;
   /// Compile only the productions with these ids (sorted ascending); empty =
   /// all of them. The partition networks of rete::ParallelMatcher use this to
   /// split one frozen program into disjoint sub-networks.
@@ -136,6 +150,12 @@ class Network final : public Matcher {
 
   /// Binding analysis computed during compilation, exposed for RHS evaluation.
   [[nodiscard]] const ops5::BindingAnalysis& bindings(const ops5::Production& p) const override;
+
+  /// Structural self-check for the differential tests: every position
+  /// back-pointer, index/memory mirror, slot-map row, and (when unlinking is
+  /// on) link flag is validated against the authoritative lists. Returns
+  /// human-readable violation descriptions, empty when consistent.
+  [[nodiscard]] std::vector<std::string> check_invariants() const override;
 
   /// Compile-time network shape with per-node sharing (user) information.
   /// Deterministic for a fixed frozen program and options.

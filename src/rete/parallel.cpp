@@ -424,6 +424,18 @@ const ops5::BindingAnalysis& ParallelMatcher::bindings(const ops5::Production& p
   return impl_->partitions[it->second].network->bindings(p);
 }
 
+std::vector<std::string> ParallelMatcher::check_invariants() const {
+  std::vector<std::string> out;
+  std::size_t k = 0;
+  for (const auto& part : impl_->partitions) {
+    for (auto& v : part.network->check_invariants()) {
+      out.push_back("partition " + std::to_string(k) + ": " + std::move(v));
+    }
+    ++k;
+  }
+  return out;
+}
+
 std::size_t ParallelMatcher::threads() const noexcept { return impl_->partitions.size(); }
 
 std::size_t ParallelMatcher::partition_of(std::uint32_t production_id) const {

@@ -32,6 +32,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "ops5/production.hpp"
@@ -105,6 +106,10 @@ class ParallelMatcher final : public Matcher {
   [[nodiscard]] std::uint64_t live_tokens() const noexcept override;
 
   [[nodiscard]] const ops5::BindingAnalysis& bindings(const ops5::Production& p) const override;
+
+  /// Union of the partition networks' structural self-checks, each violation
+  /// prefixed with its partition index.
+  [[nodiscard]] std::vector<std::string> check_invariants() const override;
 
   /// Configured worker count (== partition count actually built).
   [[nodiscard]] std::size_t threads() const noexcept;

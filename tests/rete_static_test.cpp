@@ -6,8 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <fstream>
+#include <map>
 #include <memory>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -16,7 +19,10 @@
 #include "analysis/rete_static.hpp"
 #include "ops5/engine.hpp"
 #include "ops5/parser.hpp"
+#include "ops5/wme.hpp"
+#include "rete/network.hpp"
 #include "spam/programs.hpp"
+#include "util/counters.hpp"
 #include "util/rng.hpp"
 
 namespace psmsys::analysis {
@@ -382,6 +388,145 @@ TEST(ReteStaticEngine, PartitionCostsAccumulateMatchWork) {
 }
 
 // ---------------------------------------------------------------------------
+// Gauge survival across the hot-path rewrite: the activation and live-token
+// gauges the analyzer calibrates against must be unperturbed by node
+// unlinking, and unlinked-node activations must drop to zero only for
+// match-quiescent productions (cross-checked against the static verdicts
+// below).
+// ---------------------------------------------------------------------------
+
+/// Ordered firing log plus per-production activation totals.
+class GaugeListener final : public rete::MatchListener {
+ public:
+  explicit GaugeListener(const Program& program) : program_(program) {}
+
+  void on_activate(const ops5::Production& production,
+                   std::span<const ops5::Wme* const> wmes) override {
+    log_.push_back("+" + key_of(production, wmes));
+    ++activated_[production.id()];
+  }
+  void on_deactivate(const ops5::Production& production,
+                     std::span<const ops5::Wme* const> wmes) override {
+    log_.push_back("-" + key_of(production, wmes));
+  }
+
+  [[nodiscard]] const std::vector<std::string>& log() const noexcept { return log_; }
+  [[nodiscard]] const std::map<std::uint32_t, std::uint64_t>& activated() const noexcept {
+    return activated_;
+  }
+
+ private:
+  [[nodiscard]] std::string key_of(const ops5::Production& production,
+                                   std::span<const ops5::Wme* const> wmes) const {
+    std::string key = std::string(program_.symbols().name(production.name()));
+    for (const auto* w : wmes) key += ":" + std::to_string(w->timetag());
+    return key;
+  }
+
+  const Program& program_;
+  std::vector<std::string> log_;
+  std::map<std::uint32_t, std::uint64_t> activated_;
+};
+
+/// One join_program network driven over a fixed item trace chosen so both
+/// join orders occur (right activations into empty beta memories, left
+/// activations into empty alpha memories) — the events unlinking elides.
+struct UnlinkRun {
+  explicit UnlinkRun(const std::shared_ptr<const Program>& program, bool unlinking)
+      : listener(*program),
+        network(*program, listener, counters, {}, options_for(unlinking)) {
+    const auto cls = cls_of(*program, "item");
+    const auto& decl = program->wme_class(cls);
+    const auto k_slot = decl.slot_of(*program->symbols().find("k"));
+    const auto v_slot = decl.slot_of(*program->symbols().find("v"));
+    const auto item = [&](double k, double v, ops5::TimeTag tag) {
+      std::vector<ops5::Value> slots(decl.arity());
+      slots[k_slot] = ops5::Value(k);
+      slots[v_slot] = ops5::Value(v);
+      wmes.push_back(std::make_unique<ops5::Wme>(cls, decl.name(), std::move(slots), tag));
+    };
+    // k=1 before any k=0 (right activation of join01's second join while its
+    // beta memory is empty), k=0 before any k=2 (left activation of join02's
+    // second join while its alpha memory is empty), then completions, a
+    // big-production trigger, and a retraction unwinding real matches.
+    item(1, 1, 1);
+    item(0, 1, 2);
+    item(2, 1, 3);
+    item(0, 9, 4);
+    item(1, 3, 5);
+    for (const auto& w : wmes) network.add_wme(*w);
+    network.remove_wme(*wmes[1]);
+  }
+
+  [[nodiscard]] static rete::NetworkOptions options_for(bool unlinking) {
+    rete::NetworkOptions options;
+    options.unlinking = unlinking;
+    return options;
+  }
+
+  GaugeListener listener;
+  util::WorkCounters counters;
+  rete::Network network;
+  std::vector<std::unique_ptr<ops5::Wme>> wmes;
+};
+
+TEST(ReteStaticUnlinking, GaugesSurviveTheUnlinkingToggle) {
+  const auto program = join_program();
+  UnlinkRun on(program, true);
+  UnlinkRun off(program, false);
+
+  // Match results, firing logs, and the live-token gauges are bit-identical;
+  // only the activation charges differ.
+  EXPECT_FALSE(on.listener.log().empty());
+  EXPECT_EQ(on.listener.log(), off.listener.log());
+  EXPECT_GT(on.network.live_tokens(), 0u);
+  EXPECT_EQ(on.network.live_tokens(), off.network.live_tokens());
+  EXPECT_EQ(on.network.peak_live_tokens(), off.network.peak_live_tokens());
+  EXPECT_TRUE(on.network.check_invariants().empty());
+  EXPECT_TRUE(off.network.check_invariants().empty());
+
+  const rete::NodeActivations acts_on = on.network.node_activations();
+  const rete::NodeActivations acts_off = off.network.node_activations();
+  ASSERT_EQ(acts_on.alpha.size(), acts_off.alpha.size());
+  ASSERT_EQ(acts_on.join.size(), acts_off.join.size());
+  // Alpha activations are WM-driven and identical; join activations may only
+  // shrink under unlinking, and the crafted trace guarantees they do.
+  EXPECT_EQ(acts_on.alpha, acts_off.alpha);
+  std::uint64_t total_on = 0, total_off = 0;
+  for (std::size_t i = 0; i < acts_on.join.size(); ++i) {
+    EXPECT_LE(acts_on.join[i], acts_off.join[i]) << "join node " << i;
+    total_on += acts_on.join[i];
+    total_off += acts_off.join[i];
+  }
+  EXPECT_LT(total_on, total_off);
+
+  // Every production that reached the conflict set has a fully-activated
+  // path even under unlinking: elision only ever skips provable no-ops.
+  const rete::NetworkTopology topo = on.network.topology();
+  for (const auto& path : topo.productions) {
+    if (!on.listener.activated().count(path.production)) continue;
+    for (const auto node : path.nodes) {
+      EXPECT_GT(acts_on.join[node], 0u)
+          << "production " << path.production << " fired through silent node " << node;
+    }
+  }
+
+  // prune's second join sees k=0 traffic but its beta memory (done tokens)
+  // stays empty: unlinking elides exactly those activations, to zero.
+  const auto prods = program->productions();
+  for (const auto& path : topo.productions) {
+    if (program->symbols().name(prods[path.production].name()) != "prune") continue;
+    std::uint64_t prune_on = 0, prune_off = 0;
+    for (const auto node : path.nodes) {
+      prune_on += acts_on.join[node];
+      prune_off += acts_off.join[node];
+    }
+    EXPECT_EQ(prune_on, 0u);
+    EXPECT_GT(prune_off, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // AN008 (dead production) / AN009 (transitively unproducible class)
 // ---------------------------------------------------------------------------
 
@@ -484,6 +629,60 @@ TEST(Lint, An009SilentWithoutSeeds) {
 (p spin (orphan ^a <x>) --> (make orphan ^a (compute <x> + 1)))
 )");
   EXPECT_FALSE(has_code(lint_program(p), Code::UnproducibleClass));
+}
+
+// ---------------------------------------------------------------------------
+// Unlinking × static verdicts: zero measured activations identify *match*
+// quiescence (AN009's unproducible chains), never AN008's dataflow deadness
+// ---------------------------------------------------------------------------
+
+TEST(ReteStaticUnlinking, ZeroActivationPathsMatchStaticQuiescenceVerdicts) {
+  // dead-end is AN008-dead (its output class note reaches no declared
+  // output) but matches and fires like any other production; spin is AN009-
+  // quiescent (orphan is unreachable from the seeds), so under unlinking its
+  // entire node path must stay silent even while seed traffic flows past it.
+  const auto program = std::make_shared<const Program>(lint_parse(R"(
+(p advance (seed ^a <x>) --> (make mid ^a <x>))
+(p finish (mid ^a <x>) --> (make out ^a <x>))
+(p dead-end (seed ^a <x>) --> (make note ^a <x>))
+(p spin (orphan ^a <x>) (seed ^a <x>) --> (make orphan ^a 1))
+)"));
+  const auto diags = lint_program(*program, lint_opts(*program, {"seed"}, {"out"}));
+  ASSERT_TRUE(has_code(diags, Code::DeadProduction));
+  ASSERT_TRUE(has_code(diags, Code::UnproducibleClass));
+  const auto flagged = [&](Code code, std::string_view name) {
+    return std::any_of(diags.begin(), diags.end(), [&](const Diagnostic& d) {
+      return d.code == code && program->symbols().name(d.production) == name;
+    });
+  };
+  ASSERT_TRUE(flagged(Code::DeadProduction, "dead-end"));
+  ASSERT_TRUE(flagged(Code::UnproducibleClass, "spin"));
+
+  ops5::Engine engine(program, nullptr);
+  for (int i = 0; i < 8; ++i) {
+    engine.make_wme("seed", {{"a", ops5::Value(static_cast<double>(i))}});
+  }
+  const auto result = engine.run();
+  ASSERT_GT(result.firings, 0u);
+
+  const auto& net = dynamic_cast<const rete::Network&>(engine.network());
+  EXPECT_TRUE(net.check_invariants().empty());
+  const rete::NodeActivations acts = net.node_activations();
+  const rete::NetworkTopology topo = net.topology();
+  const auto prods = program->productions();
+  for (const auto& path : topo.productions) {
+    const auto name = program->symbols().name(prods[path.production].name());
+    std::uint64_t total = 0;
+    for (const auto node : path.nodes) total += acts.join[node];
+    if (name == "spin") {
+      // Match-quiescent: unlinking keeps every node on the path silent,
+      // including the seed-side join that real WM traffic flows past.
+      EXPECT_EQ(total, 0u) << name;
+    } else {
+      // AN008 deadness is a dataflow verdict; dead-end still matches.
+      EXPECT_GT(total, 0u) << name;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
