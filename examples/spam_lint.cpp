@@ -23,6 +23,12 @@
 //   spam_lint --verdict-out FILE            write the verdict JSON to FILE
 //   spam_lint --dump-phase NAME             print a built-in phase source (for
 //                                           deriving candidate packs in CI)
+//   spam_lint --specialize                  run the value-domain abstract
+//                                           interpreter: surface AN014-AN017 in
+//                                           lint output and add the proof-carrying
+//                                           "specialization" section to Rete reports
+//   spam_lint --list-rules                  print every lint rule with its default
+//                                           severity and one-line description
 //   spam_lint --strict                      treat warnings as failures
 //
 // Exit status: 0 = clean (gate: pass/warn), 1 = error-severity findings (or
@@ -42,9 +48,11 @@
 #include <vector>
 
 #include "analysis/admission.hpp"
+#include "analysis/diagnostics.hpp"
 #include "analysis/interference.hpp"
 #include "analysis/lint.hpp"
 #include "analysis/rete_static.hpp"
+#include "analysis/value_domain.hpp"
 #include "ops5/parser.hpp"
 #include "spam/decomposition.hpp"
 #include "spam/phases.hpp"
@@ -60,6 +68,8 @@ struct Options {
   bool strict = false;
   bool rete_report = false;
   bool costs = false;
+  bool specialize = false;
+  bool list_rules = false;
   std::string out_dir;  // empty = reports go to stdout
   std::vector<std::string> files;
   std::vector<std::string> cpp_files;
@@ -78,8 +88,8 @@ void usage(std::ostream& os) {
   os << "usage: spam_lint [--phases] [FILE...] [--cpp FILE] [--seeds a,b,c]\n"
         "                 [--outputs a,b,c] [--interference sf|dc|moff|all [--level N]]\n"
         "                 [--gate OLD NEW [--gate-dataset sf|dc|moff] [--verdict-out FILE]]\n"
-        "                 [--dump-phase rtf|lcc|fa|model]\n"
-        "                 [--rete-report] [--costs] [--out DIR] [--strict]\n";
+        "                 [--dump-phase rtf|lcc|fa|model] [--list-rules]\n"
+        "                 [--rete-report] [--costs] [--specialize] [--out DIR] [--strict]\n";
 }
 
 [[nodiscard]] std::vector<std::string> split_csv(const std::string& csv) {
@@ -108,6 +118,10 @@ void usage(std::ostream& os) {
       opt.rete_report = true;
     } else if (arg == "--costs") {
       opt.costs = true;
+    } else if (arg == "--specialize") {
+      opt.specialize = true;
+    } else if (arg == "--list-rules") {
+      opt.list_rules = true;
     } else if (arg == "--out") {
       const auto value = next();
       if (!value) return std::nullopt;
@@ -165,7 +179,8 @@ void usage(std::ostream& os) {
     }
   }
   if (!opt.phases && opt.files.empty() && opt.cpp_files.empty() &&
-      opt.interference.empty() && opt.gate_new.empty() && opt.dump_phase.empty()) {
+      opt.interference.empty() && opt.gate_new.empty() && opt.dump_phase.empty() &&
+      !opt.list_rules) {
     return std::nullopt;
   }
   return opt;
@@ -221,11 +236,27 @@ struct LintTally {
 }
 
 /// Runs the Rete static analyzer and emits the report per the CLI flags:
-/// the JSON report to --out DIR (or stdout), the cost table to stdout.
-/// Returns false when a report file cannot be written.
+/// the JSON report to --out DIR (or stdout), the cost table to stdout. With
+/// --specialize, the value-domain pass runs first (seeded from seeds/outputs)
+/// and the report gains its "specialization" section. Returns false when a
+/// report file cannot be written or a class name does not resolve.
 [[nodiscard]] bool emit_rete_analysis(const ops5::Program& program, const std::string& label,
+                                      const std::vector<std::string>& seeds,
+                                      const std::vector<std::string>& outputs,
                                       const Options& opt) {
-  analysis::ReteStaticReport report = analysis::analyze_rete(program);
+  analysis::ReteStaticOptions options;
+  if (opt.specialize) {
+    options.specialize = true;
+    if (!resolve_classes(program, label, seeds, "seed",
+                         options.value_domains.seed_classes)) {
+      return false;
+    }
+    if (!resolve_classes(program, label, outputs, "output",
+                         options.value_domains.output_classes)) {
+      return false;
+    }
+  }
+  analysis::ReteStaticReport report = analysis::analyze_rete(program, options);
   report.program = label;
 
   if (opt.costs) {
@@ -283,7 +314,19 @@ struct LintTally {
     return false;
   }
 
-  const auto diags = analysis::lint_program(program, options);
+  auto diags = analysis::lint_program(program, options);
+
+  // --specialize: the value-domain abstract interpreter contributes its
+  // AN014-AN017 findings to the same stream (lint_program itself stays
+  // single-production; the interpreter needs the whole-rule-base fixpoint).
+  if (opt.specialize) {
+    analysis::ValueDomainOptions vd;
+    vd.seed_classes = options.seed_classes;
+    vd.output_classes = options.output_classes;
+    const analysis::ValueDomainReport report = analysis::analyze_value_domains(program, vd);
+    diags.insert(diags.end(), report.diagnostics.begin(), report.diagnostics.end());
+  }
+
   for (const auto& d : diags) {
     std::cout << label << ": " << analysis::format_diagnostic(program, d) << '\n';
     if (d.severity == analysis::Severity::Error) {
@@ -296,7 +339,7 @@ struct LintTally {
             << diags.size() << " finding(s)\n";
 
   if (opt.rete_report || opt.costs) {
-    if (!emit_rete_analysis(program, label, opt)) return false;
+    if (!emit_rete_analysis(program, label, seeds, outputs, opt)) return false;
   }
   return true;
 }
@@ -341,7 +384,9 @@ struct LintTally {
   const auto best = spam::best_fragments(spam::run_rtf(scene, 3).fragments);
 
   std::size_t conflicts = 0;
-  const auto certify = [&](const std::string& label, const spam::Decomposition& d) {
+  const auto certify = [&](const std::string& label, const spam::Decomposition& d,
+                           const std::vector<std::string>& seeds,
+                           const std::vector<std::string>& outputs) {
     const analysis::InterferenceReport report = analysis::check_interference(d.spec);
     std::cout << config.name << ' ' << label << ": " << report.summary(*d.spec.program)
               << '\n';
@@ -351,15 +396,17 @@ struct LintTally {
       for (auto& c : tag) {
         if (c == ' ') c = '-';
       }
-      report_ok = emit_rete_analysis(*d.spec.program, tag, opt) && report_ok;
+      report_ok = emit_rete_analysis(*d.spec.program, tag, seeds, outputs, opt) && report_ok;
     }
   };
 
-  certify("rtf", spam::rtf_decomposition(scene, 3));
+  certify("rtf", spam::rtf_decomposition(scene, 3), {"region", "rtf-task"}, {"fragment"});
   const std::vector<int> levels =
       level > 0 ? std::vector<int>{level} : std::vector<int>{4, 3, 2};
   for (const int lv : levels) {
-    certify("lcc L" + std::to_string(lv), spam::lcc_decomposition(lv, scene, best));
+    certify("lcc L" + std::to_string(lv), spam::lcc_decomposition(lv, scene, best),
+            {"fragment", "constraint", "support", "lcc-task"},
+            {"context", "consistency", "relation"});
   }
   return conflicts;
 }
@@ -506,6 +553,16 @@ int main(int argc, char** argv) {
   if (!opt) {
     usage(std::cerr);
     return 2;
+  }
+
+  if (opt->list_rules) {
+    for (std::uint16_t i = 1; i <= analysis::kCodeCount; ++i) {
+      const auto code = static_cast<analysis::Code>(i);
+      std::cout << analysis::code_name(code) << ' '
+                << analysis::severity_name(analysis::default_severity(code)) << "  "
+                << analysis::code_description(code) << '\n';
+    }
+    return 0;
   }
 
   if (!opt->dump_phase.empty()) {

@@ -160,6 +160,49 @@ void add_finding(VerdictSection& s, Code code, Severity severity,
 }
 
 // ---------------------------------------------------------------------------
+// Section: value_domains (abstract interpretation + specialization proof)
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] VerdictSection value_domains_section(const PackInput& pack,
+                                                   const AdmissionOptions& options) {
+  VerdictSection s;
+  s.analyzer = "value_domains";
+  ValueDomainOptions vd = options.rete.value_domains;
+  vd.seed_classes = resolve_classes(*pack.program, pack.seed_classes);
+  vd.output_classes = resolve_classes(*pack.program, pack.output_classes);
+  const ValueDomainReport report = analyze_value_domains(*pack.program, vd);
+  for (const Diagnostic& d : report.diagnostics) {
+    VerdictFinding f;
+    f.code = code_name(d.code);
+    f.severity = std::string(severity_name(d.severity));
+    if (d.production != ops5::kNilSymbol) {
+      f.production = pack.program->symbols().name(d.production);
+    }
+    f.message = d.message;
+    s.findings.push_back(std::move(f));
+  }
+  // The specialization certificate must re-verify from the recorded domains
+  // alone; a plan whose own proof fails is never admissible.
+  const auto violations = verify_specialization(*pack.program, vd, report);
+  for (const auto& v : violations) {
+    add_finding(s, Code::CertificateInvalidation, Severity::Error, "",
+                "specialization certificate: " + v);
+  }
+  s.details.emplace_back("converged", obs::json::Value(report.converged));
+  s.details.emplace_back("iterations", obs::json::Value(report.iterations));
+  s.details.emplace_back(
+      "pruned_productions",
+      obs::json::Value(report.plan ? report.plan->pruned_productions.size() : 0));
+  s.details.emplace_back(
+      "dead_tests", obs::json::Value(report.plan ? report.plan->dead_tests.size() : 0));
+  s.details.emplace_back(
+      "fold_tests", obs::json::Value(report.plan ? report.plan->fold_tests.size() : 0));
+  s.details.emplace_back("certificate_verified", obs::json::Value(violations.empty()));
+  finalize_section(s, options);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
 // Section: interference (certificate recheck over the candidate)
 // ---------------------------------------------------------------------------
 
@@ -794,6 +837,7 @@ AdmissionVerdict AnalysisPipeline::admit(const PackInput* live,
   verdict.sections.push_back(lint_section(candidate, options_));
   const ReteStaticReport cand_rete = analyze_rete(*candidate.program, options_.rete);
   verdict.sections.push_back(rete_section(cand_rete, options_));
+  verdict.sections.push_back(value_domains_section(candidate, options_));
   if (live != nullptr) {
     const ReteStaticReport live_rete = analyze_rete(*live->program, options_.rete);
     verdict.sections.push_back(interference_section(*live, candidate, options_));

@@ -3,8 +3,10 @@
 // Static admission pipeline for versioned rule packs (ISSUE 7 tentpole).
 //
 // AnalysisPipeline bundles every analyzer in src/analysis — the linter
-// (AN001–AN009), the rete_static cost model, and the task-interference
-// checker — into one gate that judges a *candidate* rule pack, optionally
+// (AN001–AN009), the rete_static cost model, the value-domain abstract
+// interpreter (AN014–AN017 plus the specialization certificate re-check),
+// and the task-interference checker — into one gate that judges a
+// *candidate* rule pack, optionally
 // against the *live* pack it would replace, and emits a single
 // byte-deterministic, schema-versioned AdmissionVerdict
 // ("admission-verdict-v1": pass/warn/reject with per-analyzer sections).
@@ -99,7 +101,7 @@ struct VerdictFinding {
 };
 
 struct VerdictSection {
-  std::string analyzer;  ///< "lint" | "rete_static" | "interference" | "semantic_diff"
+  std::string analyzer;  ///< "lint" | "rete_static" | "value_domains" | "interference" | "semantic_diff"
   AdmissionDecision decision = AdmissionDecision::Pass;
   std::size_t errors = 0;    ///< exact count, even when findings are truncated
   std::size_t warnings = 0;

@@ -35,8 +35,52 @@ Severity default_severity(Code c) noexcept {
     case Code::NewInterferenceEdge: return Severity::Error;
     case Code::CertificateInvalidation: return Severity::Error;
     case Code::OutputSchemaChange: return Severity::Error;
+    case Code::AttributeTypeMismatch: return Severity::Error;
+    case Code::AlwaysFalseCondition: return Severity::Warning;
+    case Code::InfeasibleJoin: return Severity::Warning;
+    case Code::DeadWriteModify: return Severity::Warning;
   }
   return Severity::Warning;
+}
+
+std::string_view code_description(Code c) noexcept {
+  switch (c) {
+    case Code::UnboundRhsVariable:
+      return "RHS references a variable no positive CE binds";
+    case Code::UnusedBinding:
+      return "variable bound in a positive CE but never used";
+    case Code::UnreachableProduction:
+      return "positive CE class has no producer and is not seeded";
+    case Code::ContradictoryTests:
+      return "attribute tests within one CE can never all hold";
+    case Code::ModifyTargetsNegatedCe:
+      return "modify/remove index lands on a negated LHS element";
+    case Code::NonEqualityFirstUse:
+      return "variable's first occurrence uses a non-equality predicate";
+    case Code::DuplicateAttributeSet:
+      return "same attribute assigned twice in one make/modify";
+    case Code::DeadProduction:
+      return "nothing the production writes is consumed or a declared output";
+    case Code::UnproducibleClass:
+      return "positive CE class transitively unproducible from the seeds";
+    case Code::CostRegression:
+      return "static match cost or beta growth regressed past the bound";
+    case Code::NewInterferenceEdge:
+      return "candidate adds a task-interference conflict";
+    case Code::CertificateInvalidation:
+      return "live independence certificate no longer holds";
+    case Code::OutputSchemaChange:
+      return "result/output class removed or its layout changed";
+    case Code::AttributeTypeMismatch:
+      return "test constant's type can never occur in the attribute's domain";
+    case Code::AlwaysFalseCondition:
+      return "condition is value-disjoint with the inferred attribute domain";
+    case Code::InfeasibleJoin:
+      return "binding-variable domains are disjoint across condition elements";
+    case Code::DeadWriteModify:
+      return "modify writes values no condition on the class can ever match";
+  }
+  return "";
 }
 
 std::string format_diagnostic(const ops5::Program& program, const Diagnostic& d) {

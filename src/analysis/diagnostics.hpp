@@ -33,12 +33,25 @@ enum class Code : std::uint16_t {
   NewInterferenceEdge = 11,    ///< AN011: candidate adds a task-interference conflict
   CertificateInvalidation = 12,///< AN012: live independence certificate no longer holds
   OutputSchemaChange = 13,     ///< AN013: result/output class removed or its layout changed
+  // Value-domain rules (analysis/value_domain.hpp): findings proved against
+  // the whole-rule-base abstract interpretation of attribute value domains.
+  AttributeTypeMismatch = 14,  ///< AN014: test constant's type can never occur in the slot
+  AlwaysFalseCondition = 15,   ///< AN015: test is value-disjoint with the inferred domain
+  InfeasibleJoin = 16,         ///< AN016: binding-variable domains disjoint across CEs
+  DeadWriteModify = 17,        ///< AN017: modify writes values no CE of the class can match
 };
+
+/// Count of defined codes; codes are 1..kCodeCount with no gaps (append-only).
+inline constexpr std::uint16_t kCodeCount = 17;
 
 /// "AN001" etc.
 [[nodiscard]] std::string code_name(Code c);
 
 [[nodiscard]] Severity default_severity(Code c) noexcept;
+
+/// One-line rule description, the single source for `spam_lint --list-rules`
+/// and its pinning test: a new Code without a description fails both.
+[[nodiscard]] std::string_view code_description(Code c) noexcept;
 
 struct Diagnostic {
   Code code = Code::UnboundRhsVariable;

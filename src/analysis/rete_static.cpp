@@ -287,6 +287,9 @@ obs::json::Value ReteStaticReport::to_json() const {
     out.emplace_back("calibration_correlation",
                      Value(rounded(calibration_correlation())));
   }
+  if (specialization.has_value()) {
+    out.emplace_back("specialization", *specialization);
+  }
   return Value(std::move(out));
 }
 
@@ -353,11 +356,31 @@ ReteStaticReport analyze_rete(const Program& program, const ReteStaticOptions& o
   util::WorkCounters scratch;
   rete::NetworkOptions net = options.network;
   net.record_chunks = false;
+
+  // Value-domain specialization: derive the proof-carrying plan first, and
+  // compile the analyzed network with it only if the certificate re-verifies.
+  std::optional<obs::json::Value> specialization;
+  if (options.specialize) {
+    const ValueDomainReport vd = analyze_value_domains(program, options.value_domains);
+    const auto violations = verify_specialization(program, options.value_domains, vd);
+    const bool verified = violations.empty();
+    net.specialize = verified && vd.converged && !vd.plan->empty();
+    net.plan = vd.plan;
+    obs::json::Value spec = vd.to_json(program);
+    spec.set("verified", obs::json::Value(verified));
+    spec.set("applied", obs::json::Value(net.specialize));
+    obs::json::Array viol_json;
+    for (const auto& v : violations) viol_json.emplace_back(v);
+    spec.set("violations", obs::json::Value(std::move(viol_json)));
+    specialization = std::move(spec);
+  }
+
   const rete::Network network(program, listener, scratch, {}, net);
   const NetworkTopology topo = network.topology();
   const rete::NetworkStats stats = network.stats();
 
   ReteStaticReport report;
+  report.specialization = std::move(specialization);
   report.production_count = program.productions().size();
   report.alpha_nodes = stats.alpha_patterns;
   report.join_nodes = stats.join_nodes + stats.negative_nodes;

@@ -1,0 +1,204 @@
+#pragma once
+
+// Whole-rule-base value-domain abstract interpreter (ISSUE 10 tentpole).
+//
+// Infers, for every (WME class, attribute) pair, an over-approximation of the
+// values that slot can ever hold at runtime: a fixpoint over the RHS
+// make/modify actions of every fireable production, seeded from the classes
+// the control process injects (seed classes start at Top — anything can come
+// from outside; everything else starts at Bottom and only grows by being
+// written). The domain lattice is, per slot:
+//
+//     nil-bit  x  symbolic part (Bottom | const set | Any)
+//              x  numeric part  (Bottom | const set | interval | Any)
+//
+// Constants only enter from program literals, const sets overflow to the
+// interval hull (numbers) or Any (symbols) past `max_constants`, and every
+// join is monotone — so the ascending chains are finite and the fixpoint
+// terminates without widening.
+//
+// The analysis powers three consumers:
+//   - lint diagnostics AN014 (attribute type mismatch), AN015 (always-false
+//     condition), AN016 (infeasible join), AN017 (domain-narrowing modify
+//     no condition can re-match);
+//   - the proof-carrying rete::SpecializationPlan (NetworkOptions::specialize)
+//     pruning never-fireable productions, dropping never-satisfiable alpha
+//     tests from dispatch, and folding provably-true constant tests;
+//   - the "value_domains" section of the admission verdict (admission.hpp).
+//
+// Soundness contract: the domains over-approximate every WME the rule base
+// itself can create *plus* anything injected into a declared seed class.
+// Injecting WMEs of a non-seed class from outside voids the certificate —
+// the same contract LintOptions::seed_classes already states for AN003/AN009.
+// Every plan ships with a SpecializationCertificate; verify_specialization()
+// re-checks it from scratch (domains form a post-fixpoint, every pruned /
+// folded entry is justified by the recorded domain facts) without trusting
+// the fixpoint iteration that produced it.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "obs/json.hpp"
+#include "ops5/production.hpp"
+#include "rete/network.hpp"
+
+namespace psmsys::analysis {
+
+/// Abstract value of one (class, slot): which OPS5 scalars can appear there.
+class ValueDomain {
+ public:
+  enum class SymPart : std::uint8_t { None, Consts, Any };
+  enum class NumPart : std::uint8_t { None, Consts, Range, Any };
+
+  /// Closed numeric interval; `integral` = every member is a whole number.
+  struct Interval {
+    double lo = 0.0;
+    double hi = 0.0;
+    bool integral = true;
+  };
+
+  [[nodiscard]] static ValueDomain bottom() { return {}; }
+  [[nodiscard]] static ValueDomain top();
+  [[nodiscard]] static ValueDomain of(const ops5::Value& v);
+
+  [[nodiscard]] bool is_bottom() const noexcept {
+    return !nil_ && sym_ == SymPart::None && num_ == NumPart::None;
+  }
+  [[nodiscard]] bool is_top() const noexcept {
+    return nil_ && sym_ == SymPart::Any && num_ == NumPart::Any;
+  }
+  [[nodiscard]] bool may_be_nil() const noexcept { return nil_; }
+  [[nodiscard]] SymPart sym_part() const noexcept { return sym_; }
+  [[nodiscard]] NumPart num_part() const noexcept { return num_; }
+
+  /// Least upper bound; returns true when *this grew. Symbol const sets
+  /// overflow to Any and numeric const sets to their interval hull past
+  /// `max_constants`, keeping ascending chains finite.
+  bool join_with(const ValueDomain& other, std::size_t max_constants);
+
+  /// Could some member of the domain satisfy `pred` against `constant`?
+  /// Over-approximate (false => the test is statically impossible).
+  [[nodiscard]] bool may_satisfy(ops5::Predicate pred, const ops5::Value& constant) const;
+
+  /// Does every member of the domain satisfy `pred` against `constant`?
+  /// Under-approximate (true => the test is statically redundant). False for
+  /// Bottom: folding a test on an unreachable class proves nothing.
+  [[nodiscard]] bool must_satisfy(ops5::Predicate pred, const ops5::Value& constant) const;
+
+  /// Could the whole OPS5 disjunction `<< v1 v2 ... >>` ever pass?
+  [[nodiscard]] bool may_satisfy_disjunction(std::span<const ops5::Value> alts) const;
+
+  /// The domain restricted to values satisfying `pred` against `constant`
+  /// (used to narrow a binding variable's domain by its CE's constant tests).
+  [[nodiscard]] ValueDomain narrowed(ops5::Predicate pred, const ops5::Value& constant) const;
+
+  /// Do the two domains share at least one concrete value? Over-approximate;
+  /// false proves an equality join between them infeasible.
+  [[nodiscard]] bool intersects(const ValueDomain& other) const;
+
+  /// Does the domain contain any value of `constant`'s kind (nil / symbol /
+  /// number)? Distinguishes AN014 (type mismatch) from AN015 (value-disjoint).
+  [[nodiscard]] bool has_kind_of(const ops5::Value& constant) const noexcept;
+
+  /// Canonical human-readable rendering, e.g. "{nil, yes}" or
+  /// "num[1..4] | sym*"; deterministic for golden/JSON output.
+  [[nodiscard]] std::string render(const ops5::SymbolTable& symbols) const;
+
+  [[nodiscard]] bool operator==(const ValueDomain& o) const noexcept;
+
+ private:
+  bool nil_ = false;
+  SymPart sym_ = SymPart::None;
+  std::vector<ops5::Symbol> sym_consts_;  ///< sorted, unique (SymPart::Consts)
+  NumPart num_ = NumPart::None;
+  std::vector<double> num_consts_;        ///< sorted, unique (NumPart::Consts)
+  Interval range_;                        ///< NumPart::Range
+
+  [[nodiscard]] bool contains(const ops5::Value& v) const;
+  [[nodiscard]] bool num_nonempty() const noexcept { return num_ != NumPart::None; }
+  [[nodiscard]] double num_min() const;
+  [[nodiscard]] double num_max() const;
+  [[nodiscard]] bool num_bounded() const noexcept { return num_ == NumPart::Consts || num_ == NumPart::Range; }
+};
+
+struct ValueDomainOptions {
+  /// Classes the control process may inject from outside the rule base; they
+  /// start at Top. Unset = every class is externally seedable, which makes
+  /// the analysis vacuous (all Top) but sound.
+  std::optional<std::vector<ops5::ClassIndex>> seed_classes;
+  /// Classes the control process extracts after quiescence. Unset disables
+  /// AN017 — a write nobody in the rule base reads may still be the output.
+  std::optional<std::vector<ops5::ClassIndex>> output_classes;
+  /// Const-set size cap before overflow to interval hull / Any.
+  std::size_t max_constants = 8;
+  /// Fixpoint round cap (backstop only; the lattice is finite). If hit, the
+  /// report is marked unconverged and carries no diagnostics and no plan.
+  std::size_t max_iterations = 64;
+};
+
+/// Machine-checkable justification for every transformation in the plan.
+/// Each entry names the transformation, the domain facts it relies on, and a
+/// rendered explanation; verify_specialization() re-derives each claim from
+/// the recorded per-class domains alone.
+struct SpecializationCertificate {
+  struct DomainFact {
+    ops5::ClassIndex cls = 0;
+    ops5::SlotIndex slot = 0;
+    std::string class_name;
+    std::string attr;
+    std::string domain;  ///< ValueDomain::render of the fact relied upon
+  };
+  struct Entry {
+    std::string kind;        ///< "prune-production" | "dead-test" | "fold-test"
+    std::string production;  ///< prune entries only
+    std::uint32_t production_id = 0;
+    rete::SpecializationPlan::TestKey test;  ///< dead/fold entries only
+    std::string detail;      ///< human-readable justification
+    std::vector<DomainFact> facts;
+  };
+  std::vector<Entry> entries;
+};
+
+struct ValueDomainReport {
+  /// Inferred domains, indexed [class][slot] over the program's classes.
+  std::vector<std::vector<ValueDomain>> domains;
+  /// Per-class: can any WME of the class ever exist (seeded or written by a
+  /// fireable production)?
+  std::vector<std::uint8_t> reachable;
+  /// AN014–AN017, ordered by production then check order.
+  std::vector<Diagnostic> diagnostics;
+  /// The network specialization this analysis proves sound. Never null;
+  /// empty when nothing is provable.
+  std::shared_ptr<const rete::SpecializationPlan> plan;
+  SpecializationCertificate certificate;
+  bool converged = true;
+  std::size_t iterations = 0;
+
+  [[nodiscard]] const ValueDomain& domain(ops5::ClassIndex cls, ops5::SlotIndex slot) const {
+    return domains.at(cls).at(slot);
+  }
+
+  /// Deterministic JSON: pruned productions, dead/fold tests, certificate
+  /// entries with their domain facts, and convergence metadata.
+  [[nodiscard]] obs::json::Value to_json(const ops5::Program& program) const;
+};
+
+/// Run the fixpoint and derive diagnostics + specialization plan +
+/// certificate. The program must be frozen.
+[[nodiscard]] ValueDomainReport analyze_value_domains(const ops5::Program& program,
+                                                      const ValueDomainOptions& options = {});
+
+/// Re-check a report's certificate from scratch: (1) the recorded domains are
+/// a post-fixpoint of the transfer function under `options` (sound without
+/// trusting the iteration), and (2) every plan entry (pruned production, dead
+/// test, fold test) is justified by those domains and appears in the
+/// certificate. Returns human-readable violations; empty = proof checks out.
+[[nodiscard]] std::vector<std::string> verify_specialization(
+    const ops5::Program& program, const ValueDomainOptions& options,
+    const ValueDomainReport& report);
+
+}  // namespace psmsys::analysis

@@ -64,27 +64,6 @@ void Engine::reconfigure(const EngineConfig& config) {
   }
 }
 
-// Deprecated shims: one construction-time EngineConfig is the real surface.
-// Suppress the self-referential deprecation warnings on their definitions.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-void Engine::set_match_threads(std::size_t threads) {
-  EngineConfig config = options_;
-  config.match_threads = threads;
-  reconfigure(config);
-}
-
-void Engine::set_match_cost_source(MatchCostSource source) {
-  EngineConfig config = options_;
-  config.match_cost_source = source;
-  reconfigure(config);
-}
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
-
 Engine::~Engine() = default;
 
 // ---------------------------------------------------------------------------

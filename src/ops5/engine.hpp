@@ -37,9 +37,8 @@ enum class MatchCostSource : std::uint8_t {
 
 /// Construction-time engine configuration. This is the ONE place an engine
 /// is configured: every knob is read at construction (or via reconfigure()
-/// on a still-pristine engine); the historical post-construction mutators
-/// set_match_threads/set_match_cost_source are deprecated shims over
-/// reconfigure(). `EngineOptions` remains as an alias for older call sites.
+/// on a still-pristine engine). `EngineOptions` remains as an alias for
+/// older call sites.
 struct EngineConfig {
   Strategy strategy = Strategy::Lex;
   /// Safety valve against runaway rule bases.
@@ -219,17 +218,6 @@ class Engine final : private rete::MatchListener {
   /// engine's lifetime and must match the current one.
   void reconfigure(const EngineConfig& config);
 
-  /// Deprecated shim over reconfigure(): prefer configuring match_threads at
-  /// construction via EngineConfig.
-  [[deprecated("configure match_threads at construction via EngineConfig, or "
-               "use reconfigure()")]]
-  void set_match_threads(std::size_t threads);
-
-  /// Deprecated shim over reconfigure(): prefer configuring the cost source
-  /// at construction via EngineConfig.
-  [[deprecated("configure match_cost_source at construction via EngineConfig, "
-               "or use reconfigure()")]]
-  void set_match_cost_source(MatchCostSource source);
   [[nodiscard]] MatchCostSource match_cost_source() const noexcept {
     return options_.match_cost_source;
   }

@@ -75,9 +75,10 @@ TEST(Admission, CandidateOnlyCheckHasNoCrossVersionSections) {
 
   EXPECT_EQ(verdict.live, "");
   EXPECT_EQ(verdict.candidate, "demo@1");  // from the (pack ...) metadata
-  ASSERT_EQ(verdict.sections.size(), 2u);
+  ASSERT_EQ(verdict.sections.size(), 3u);
   EXPECT_EQ(verdict.sections[0].analyzer, "lint");
   EXPECT_EQ(verdict.sections[1].analyzer, "rete_static");
+  EXPECT_EQ(verdict.sections[2].analyzer, "value_domains");
   EXPECT_TRUE(verdict.accepted());
   EXPECT_TRUE(obs::validate_admission_verdict(verdict.to_json()).empty());
 }
@@ -89,8 +90,8 @@ TEST(Admission, IdenticalPacksPassEverySection) {
   const AnalysisPipeline pipeline;
   const AdmissionVerdict verdict = pipeline.admit(&live, candidate);
 
-  // lint, rete_static, interference (certificate: "none"), semantic_diff.
-  ASSERT_EQ(verdict.sections.size(), 4u);
+  // lint, rete_static, value_domains, interference ("none"), semantic_diff.
+  ASSERT_EQ(verdict.sections.size(), 5u);
   EXPECT_EQ(verdict.decision, AdmissionDecision::Pass);
   const auto& diff = section(verdict, "semantic_diff");
   EXPECT_EQ(diff.errors, 0u);

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <iterator>
 #include <memory>
 
 #include "analysis/footprint.hpp"
@@ -45,6 +46,48 @@ constexpr const char* kDecls = R"(
 [[nodiscard]] SlotIndex slot_of(const Program& p, std::string_view cls, std::string_view attr) {
   const ClassIndex c = cls_of(p, cls);
   return p.wme_class(c).slot_of(*p.symbols().find(attr));
+}
+
+// ---------------------------------------------------------------------------
+// Rule registry: the table behind `spam_lint --list-rules`, pinned verbatim.
+// A new rule (or a reworded/resevered one) must update this test — the list
+// is part of the CLI surface and of the DESIGN.md/README documentation.
+// ---------------------------------------------------------------------------
+
+TEST(Diagnostics, RuleRegistryIsPinned) {
+  struct Row {
+    const char* code;
+    Severity severity;
+    const char* description;
+  };
+  const Row expected[] = {
+      {"AN001", Severity::Error, "RHS references a variable no positive CE binds"},
+      {"AN002", Severity::Warning, "variable bound in a positive CE but never used"},
+      {"AN003", Severity::Warning, "positive CE class has no producer and is not seeded"},
+      {"AN004", Severity::Error, "attribute tests within one CE can never all hold"},
+      {"AN005", Severity::Warning, "modify/remove index lands on a negated LHS element"},
+      {"AN006", Severity::Error, "variable's first occurrence uses a non-equality predicate"},
+      {"AN007", Severity::Warning, "same attribute assigned twice in one make/modify"},
+      {"AN008", Severity::Warning,
+       "nothing the production writes is consumed or a declared output"},
+      {"AN009", Severity::Warning, "positive CE class transitively unproducible from the seeds"},
+      {"AN010", Severity::Warning, "static match cost or beta growth regressed past the bound"},
+      {"AN011", Severity::Error, "candidate adds a task-interference conflict"},
+      {"AN012", Severity::Error, "live independence certificate no longer holds"},
+      {"AN013", Severity::Error, "result/output class removed or its layout changed"},
+      {"AN014", Severity::Error, "test constant's type can never occur in the attribute's domain"},
+      {"AN015", Severity::Warning, "condition is value-disjoint with the inferred attribute domain"},
+      {"AN016", Severity::Warning, "binding-variable domains are disjoint across condition elements"},
+      {"AN017", Severity::Warning, "modify writes values no condition on the class can ever match"},
+  };
+  ASSERT_EQ(std::size(expected), static_cast<std::size_t>(analysis::kCodeCount));
+  for (std::uint16_t i = 1; i <= analysis::kCodeCount; ++i) {
+    const auto code = static_cast<analysis::Code>(i);
+    const Row& row = expected[i - 1];
+    EXPECT_EQ(analysis::code_name(code), row.code);
+    EXPECT_EQ(analysis::default_severity(code), row.severity) << row.code;
+    EXPECT_EQ(analysis::code_description(code), row.description) << row.code;
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -300,6 +300,64 @@ TEST(ReteStaticCalibration, JsonAppendsTableOnlyAfterCalibrate) {
   EXPECT_EQ(doc.dump(2), report.to_json().dump(2));
 }
 
+// Degenerate inputs must stay well-defined: the shares and the Pearson
+// correlation guard their zero denominators, and the JSON rendering must
+// never leak a NaN (which would not even parse back).
+TEST(ReteStaticCalibration, AllZeroActivationsYieldZeroSharesNotNan) {
+  const auto program = join_program();
+  ReteStaticReport report = analyze_rete(*program);
+
+  // Compile the same network the analyzer saw, but drive no traffic at all.
+  struct Drop final : rete::MatchListener {
+    void on_activate(const ops5::Production&, std::span<const ops5::Wme* const>) override {}
+    void on_deactivate(const ops5::Production&, std::span<const ops5::Wme* const>) override {}
+  } listener;
+  util::WorkCounters counters;
+  rete::Network net(*program, listener, counters);
+  const std::vector<std::uint64_t> zero_alpha(report.alpha_nodes, 0);
+  const std::vector<std::uint64_t> zero_join(report.join_nodes, 0);
+  report.calibrate(net.topology(), zero_alpha, zero_join);
+
+  ASSERT_EQ(report.calibration.size(), report.production_count);
+  for (const auto& row : report.calibration) {
+    EXPECT_EQ(row.measured, 0.0);
+    EXPECT_EQ(row.measured_share, 0.0);  // guarded division, not 0/0
+    EXPECT_GE(row.static_share, 0.0);
+  }
+  EXPECT_EQ(report.calibration_correlation(), 0.0);  // zero variance side
+
+  const std::string text = report.to_json().dump(2);
+  EXPECT_EQ(text.find("nan"), std::string::npos);
+  EXPECT_EQ(text.find("inf"), std::string::npos);
+}
+
+TEST(ReteStaticCalibration, SingleProductionNetworkHasZeroCorrelation) {
+  const auto program = std::make_shared<const Program>(parse_program(R"(
+(literalize item k v)
+(p only (item ^k 0) --> (make item ^k 1))
+)"));
+  ReteStaticReport report = analyze_rete(*program);
+  ASSERT_EQ(report.production_count, 1u);
+
+  ops5::Engine engine(program, nullptr);
+  engine.make_wme("item", {{"k", ops5::Value(0.0)}});
+  (void)engine.run();
+  const auto& net = dynamic_cast<const rete::Network&>(engine.network());
+  const rete::NodeActivations acts = net.node_activations();
+  report.calibrate(net.topology(), acts.alpha, acts.join);
+
+  ASSERT_EQ(report.calibration.size(), 1u);
+  // One row: both shares are the whole distribution, and Pearson over a
+  // single point is undefined — pinned to 0, not NaN.
+  EXPECT_DOUBLE_EQ(report.calibration[0].static_share, 1.0);
+  EXPECT_DOUBLE_EQ(report.calibration[0].measured_share, 1.0);
+  EXPECT_EQ(report.calibration_correlation(), 0.0);
+
+  const std::string text = report.to_json().dump(2);
+  EXPECT_EQ(text.find("nan"), std::string::npos);
+  EXPECT_EQ(text.find("inf"), std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // Engine integration: analyzer-driven LPT partitioning
 // ---------------------------------------------------------------------------

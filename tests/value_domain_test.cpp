@@ -1,0 +1,424 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/value_domain.hpp"
+#include "ops5/parser.hpp"
+#include "rete/network.hpp"
+#include "util/counters.hpp"
+
+namespace psmsys::analysis {
+namespace {
+
+using ops5::ClassIndex;
+using ops5::Predicate;
+using ops5::Program;
+using ops5::SlotIndex;
+using ops5::Value;
+using ops5::parse_program;
+
+constexpr const char* kDecls = R"(
+(literalize task id state)
+(literalize sensor id mode level)
+(literalize flag state note)
+(literalize ghost g)
+(literalize out v)
+)";
+
+[[nodiscard]] Program parse(const std::string& body) {
+  return parse_program(std::string(kDecls) + body);
+}
+
+[[nodiscard]] ClassIndex cls_of(const Program& p, std::string_view name) {
+  return *p.class_index(*p.symbols().find(name));
+}
+
+[[nodiscard]] SlotIndex slot_of(const Program& p, std::string_view cls, std::string_view attr) {
+  return p.wme_class(cls_of(p, cls)).slot_of(*p.symbols().find(attr));
+}
+
+[[nodiscard]] ValueDomainOptions seeded(const Program& p,
+                                        std::vector<std::string_view> seeds,
+                                        std::vector<std::string_view> outputs = {"out"}) {
+  ValueDomainOptions opt;
+  opt.seed_classes.emplace();
+  for (auto s : seeds) opt.seed_classes->push_back(cls_of(p, s));
+  opt.output_classes.emplace();
+  for (auto s : outputs) opt.output_classes->push_back(cls_of(p, s));
+  return opt;
+}
+
+[[nodiscard]] bool has_code(const std::vector<Diagnostic>& diags, Code code) {
+  return std::any_of(diags.begin(), diags.end(),
+                     [code](const Diagnostic& d) { return d.code == code; });
+}
+
+// A rule base exercising every inference source: seeded classes, constant
+// writes, variable copies, and an external call.
+constexpr const char* kBase = R"(
+(p seed-sensor
+   (task ^id <i> ^state go)
+   -->
+   (make sensor ^id <i> ^mode active ^level 1))
+(p mk-flag
+   (task ^state go)
+   -->
+   (make flag ^state pending))
+(p consume-flag
+   (flag ^state pending)
+   -->
+   (make out ^v 2))
+)";
+
+// ---------------------------------------------------------------------------
+// Lattice unit tests
+// ---------------------------------------------------------------------------
+
+TEST(ValueDomainLattice, OfAndContains) {
+  const ValueDomain nil = ValueDomain::of(Value());
+  EXPECT_TRUE(nil.may_be_nil());
+  EXPECT_TRUE(nil.may_satisfy(Predicate::Eq, Value()));
+  EXPECT_FALSE(nil.may_satisfy(Predicate::Eq, Value(1)));
+
+  const ValueDomain one = ValueDomain::of(Value(1));
+  EXPECT_TRUE(one.may_satisfy(Predicate::Eq, Value(1)));
+  EXPECT_TRUE(one.must_satisfy(Predicate::Eq, Value(1)));
+  EXPECT_FALSE(one.may_satisfy(Predicate::Ne, Value(1)));
+  EXPECT_TRUE(one.may_satisfy(Predicate::Lt, Value(2)));
+  EXPECT_TRUE(one.must_satisfy(Predicate::Lt, Value(2)));
+  EXPECT_FALSE(one.may_satisfy(Predicate::Gt, Value(2)));
+}
+
+TEST(ValueDomainLattice, JoinGrowsMonotonically) {
+  ValueDomain d = ValueDomain::bottom();
+  EXPECT_TRUE(d.is_bottom());
+  EXPECT_TRUE(d.join_with(ValueDomain::of(Value(1)), 8));
+  EXPECT_TRUE(d.join_with(ValueDomain::of(Value(4)), 8));
+  EXPECT_FALSE(d.join_with(ValueDomain::of(Value(1)), 8));  // no growth
+  EXPECT_TRUE(d.may_satisfy(Predicate::Eq, Value(4)));
+  EXPECT_FALSE(d.may_satisfy(Predicate::Eq, Value(3)));
+  EXPECT_TRUE(d.must_satisfy(Predicate::Ge, Value(1)));
+  EXPECT_TRUE(d.join_with(ValueDomain::top(), 8));
+  EXPECT_TRUE(d.is_top());
+  EXPECT_FALSE(d.join_with(ValueDomain::of(Value(9)), 8));  // Top absorbs
+}
+
+TEST(ValueDomainLattice, ConstOverflowToRangeHull) {
+  ValueDomain d = ValueDomain::bottom();
+  for (int i = 1; i <= 5; ++i) d.join_with(ValueDomain::of(Value(i)), 3);
+  // Past max_constants the numeric part becomes the integral interval hull.
+  EXPECT_EQ(d.num_part(), ValueDomain::NumPart::Range);
+  EXPECT_TRUE(d.may_satisfy(Predicate::Eq, Value(3)));
+  EXPECT_FALSE(d.may_satisfy(Predicate::Eq, Value(6)));
+  EXPECT_FALSE(d.may_satisfy(Predicate::Eq, Value(2.5)));  // integral hull
+  EXPECT_TRUE(d.must_satisfy(Predicate::Le, Value(5)));
+}
+
+TEST(ValueDomainLattice, NarrowAndIntersect) {
+  ValueDomain d = ValueDomain::bottom();
+  for (int i = 1; i <= 4; ++i) d.join_with(ValueDomain::of(Value(i)), 8);
+  const ValueDomain gt2 = d.narrowed(Predicate::Gt, Value(2));
+  EXPECT_FALSE(gt2.may_satisfy(Predicate::Eq, Value(2)));
+  EXPECT_TRUE(gt2.may_satisfy(Predicate::Eq, Value(3)));
+
+  ValueDomain lo = ValueDomain::bottom();
+  lo.join_with(ValueDomain::of(Value(1)), 8);
+  lo.join_with(ValueDomain::of(Value(2)), 8);
+  EXPECT_TRUE(lo.intersects(d));
+  EXPECT_FALSE(lo.intersects(gt2));
+}
+
+// ---------------------------------------------------------------------------
+// Fixpoint inference
+// ---------------------------------------------------------------------------
+
+TEST(ValueDomainAnalysis, InfersWrittenDomainsFromSeeds) {
+  const Program p = parse(kBase);
+  const auto report = analyze_value_domains(p, seeded(p, {"task"}));
+  ASSERT_TRUE(report.converged);
+  const auto& symbols = p.symbols();
+
+  // task is seeded: everything possible.
+  EXPECT_TRUE(report.domain(cls_of(p, "task"), slot_of(p, "task", "id")).is_top());
+  // sensor.id copies task.id (Top); mode and level come from literals.
+  EXPECT_TRUE(report.domain(cls_of(p, "sensor"), slot_of(p, "sensor", "id")).is_top());
+  EXPECT_EQ(report.domain(cls_of(p, "sensor"), slot_of(p, "sensor", "mode")).render(symbols),
+            "sym{active}");
+  EXPECT_EQ(report.domain(cls_of(p, "sensor"), slot_of(p, "sensor", "level")).render(symbols),
+            "num{1}");
+  // flag.note is never set by the make: it holds nil.
+  EXPECT_EQ(report.domain(cls_of(p, "flag"), slot_of(p, "flag", "note")).render(symbols),
+            "nil");
+  // ghost is never written and not seeded.
+  EXPECT_FALSE(report.reachable[cls_of(p, "ghost")]);
+  EXPECT_TRUE(report.domain(cls_of(p, "ghost"), slot_of(p, "ghost", "g")).is_bottom());
+  // Clean base: no value-domain findings, nothing pruned or dead. The one
+  // provable specialization is a fold: flag.state is the singleton {pending},
+  // so consume-flag's `^state pending` test always passes.
+  EXPECT_TRUE(report.diagnostics.empty());
+  ASSERT_NE(report.plan, nullptr);
+  EXPECT_TRUE(report.plan->pruned_productions.empty());
+  EXPECT_TRUE(report.plan->dead_tests.empty());
+  ASSERT_EQ(report.plan->fold_tests.size(), 1u);
+  EXPECT_EQ(report.plan->fold_tests.front().cls, cls_of(p, "flag"));
+}
+
+TEST(ValueDomainAnalysis, UnseededAnalysisIsVacuousButSound) {
+  const Program p = parse(kBase);
+  const auto report = analyze_value_domains(p);  // no seeds declared
+  ASSERT_TRUE(report.converged);
+  EXPECT_TRUE(report.domain(cls_of(p, "ghost"), slot_of(p, "ghost", "g")).is_top());
+  EXPECT_TRUE(report.diagnostics.empty());
+  EXPECT_TRUE(report.plan->empty());
+}
+
+// ---------------------------------------------------------------------------
+// AN014-AN017: positive trigger + negative control each
+// ---------------------------------------------------------------------------
+
+TEST(ValueDomainAnalysis, An014AttributeTypeMismatch) {
+  const Program p = parse(std::string(kBase) + R"(
+(p bad14 (sensor ^mode 3) --> (make out ^v 1))
+)");
+  const auto report = analyze_value_domains(p, seeded(p, {"task"}));
+  ASSERT_TRUE(has_code(report.diagnostics, Code::AttributeTypeMismatch));
+  const auto& d = *std::find_if(report.diagnostics.begin(), report.diagnostics.end(),
+                                [](const Diagnostic& x) { return x.code == Code::AttributeTypeMismatch; });
+  EXPECT_EQ(d.severity, Severity::Error);
+  EXPECT_EQ(p.symbols().name(d.production), "bad14");
+  EXPECT_NE(d.message.find("sensor.mode"), std::string::npos);
+  // The impossible positive CE also prunes the production.
+  EXPECT_TRUE(report.plan->prunes(p.find_production(*p.symbols().find("bad14"))->id()));
+}
+
+TEST(ValueDomainAnalysis, An015AlwaysFalseCondition) {
+  const Program p = parse(std::string(kBase) + R"(
+(p bad15 (sensor ^level 2) --> (make out ^v 1))
+)");
+  const auto report = analyze_value_domains(p, seeded(p, {"task"}));
+  ASSERT_TRUE(has_code(report.diagnostics, Code::AlwaysFalseCondition));
+  EXPECT_FALSE(has_code(report.diagnostics, Code::AttributeTypeMismatch));  // same kind, wrong value
+}
+
+TEST(ValueDomainAnalysis, An016InfeasibleJoin) {
+  const Program p = parse(std::string(kBase) + R"(
+(p bad16 (sensor ^mode <m>) (flag ^state <m>) --> (make out ^v 1))
+)");
+  const auto report = analyze_value_domains(p, seeded(p, {"task"}));
+  ASSERT_TRUE(has_code(report.diagnostics, Code::InfeasibleJoin));
+  EXPECT_TRUE(report.plan->prunes(p.find_production(*p.symbols().find("bad16"))->id()));
+}
+
+TEST(ValueDomainAnalysis, An016NegativeControlOverlappingJoin) {
+  const Program p = parse(std::string(kBase) + R"(
+(p ok16 (sensor ^id <i>) (task ^id <i>) --> (make out ^v <i>))
+)");
+  const auto report = analyze_value_domains(p, seeded(p, {"task"}));
+  EXPECT_FALSE(has_code(report.diagnostics, Code::InfeasibleJoin));
+  EXPECT_FALSE(report.plan->prunes(p.find_production(*p.symbols().find("ok16"))->id()));
+}
+
+TEST(ValueDomainAnalysis, An017DeadWriteModify) {
+  const Program p = parse(std::string(kBase) + R"(
+(p bad17 (flag ^state pending) --> (modify 1 ^state retired))
+)");
+  const auto report = analyze_value_domains(p, seeded(p, {"task"}));
+  ASSERT_TRUE(has_code(report.diagnostics, Code::DeadWriteModify));
+}
+
+TEST(ValueDomainAnalysis, An017NegativeControlRefractionIdiom) {
+  // Writing a value some condition still matches (or a slot no condition
+  // tests) is the normal way to retire a WME: no finding.
+  const Program p = parse(std::string(kBase) + R"(
+(p retire (flag ^state pending) --> (modify 1 ^note done))
+)");
+  const auto report = analyze_value_domains(p, seeded(p, {"task"}));
+  EXPECT_FALSE(has_code(report.diagnostics, Code::DeadWriteModify));
+}
+
+TEST(ValueDomainAnalysis, An017SkipsOutputClasses) {
+  const Program p = parse(std::string(kBase) + R"(
+(p bad17 (flag ^state pending) --> (modify 1 ^state retired))
+)");
+  const auto report = analyze_value_domains(p, seeded(p, {"task"}, {"out", "flag"}));
+  EXPECT_FALSE(has_code(report.diagnostics, Code::DeadWriteModify));
+}
+
+TEST(ValueDomainAnalysis, BottomDomainsSuppressConditionFindings) {
+  // Conditions on an unreachable class are AN003/AN009 territory; the
+  // value-domain pass stays quiet and prunes instead.
+  const Program p = parse(std::string(kBase) + R"(
+(p never (ghost ^g 1) --> (make out ^v 3))
+)");
+  const auto report = analyze_value_domains(p, seeded(p, {"task"}));
+  EXPECT_FALSE(has_code(report.diagnostics, Code::AlwaysFalseCondition));
+  EXPECT_FALSE(has_code(report.diagnostics, Code::AttributeTypeMismatch));
+  EXPECT_TRUE(report.plan->prunes(p.find_production(*p.symbols().find("never"))->id()));
+}
+
+// ---------------------------------------------------------------------------
+// Specialization plan + certificate
+// ---------------------------------------------------------------------------
+
+TEST(ValueDomainPlan, DeadTestFromNegatedCe) {
+  const Program p = parse(std::string(kBase) + R"(
+(p neg-dead (task ^state go) -(sensor ^mode off) --> (make out ^v 4))
+)");
+  const auto report = analyze_value_domains(p, seeded(p, {"task"}));
+  ASSERT_TRUE(report.converged);
+  ASSERT_EQ(report.plan->dead_tests.size(), 1u);
+  const auto& key = report.plan->dead_tests.front();
+  EXPECT_EQ(key.cls, cls_of(p, "sensor"));
+  EXPECT_EQ(key.slot, slot_of(p, "sensor", "mode"));
+  // neg-dead itself stays compiled: the absence test simply always holds.
+  EXPECT_FALSE(report.plan->prunes(p.find_production(*p.symbols().find("neg-dead"))->id()));
+  EXPECT_TRUE(verify_specialization(p, seeded(p, {"task"}), report).empty());
+}
+
+TEST(ValueDomainPlan, FoldTestForGuaranteedConstant) {
+  const Program p = parse(std::string(kBase) + R"(
+(p fold (sensor ^mode active ^id <i>) --> (make out ^v <i>))
+)");
+  const auto report = analyze_value_domains(p, seeded(p, {"task"}));
+  // kBase's flag.state fold plus the sensor.mode fold under test.
+  ASSERT_EQ(report.plan->fold_tests.size(), 2u);
+  EXPECT_TRUE(std::any_of(report.plan->fold_tests.begin(), report.plan->fold_tests.end(),
+                          [&](const auto& k) {
+                            return k.cls == cls_of(p, "sensor") &&
+                                   k.slot == slot_of(p, "sensor", "mode");
+                          }));
+  EXPECT_TRUE(verify_specialization(p, seeded(p, {"task"}), report).empty());
+}
+
+TEST(ValueDomainPlan, CertificateCoversEveryPlanItem) {
+  const Program p = parse(std::string(kBase) + R"(
+(p never (ghost ^g 1) --> (make out ^v 3))
+(p neg-dead (task ^state go) -(sensor ^mode off) --> (make out ^v 4))
+(p fold (sensor ^mode active ^id <i>) --> (make out ^v <i>))
+)");
+  const auto opt = seeded(p, {"task"});
+  const auto report = analyze_value_domains(p, opt);
+  EXPECT_EQ(report.certificate.entries.size(),
+            report.plan->pruned_productions.size() + report.plan->dead_tests.size() +
+                report.plan->fold_tests.size());
+  EXPECT_TRUE(verify_specialization(p, opt, report).empty());
+}
+
+TEST(ValueDomainPlan, VerifyRejectsTamperedReport) {
+  const Program p = parse(std::string(kBase) + R"(
+(p never (ghost ^g 1) --> (make out ^v 3))
+)");
+  const auto opt = seeded(p, {"task"});
+  auto report = analyze_value_domains(p, opt);
+  ASSERT_FALSE(report.plan->pruned_productions.empty());
+
+  // Tamper 1: claim a fold the domains cannot justify.
+  {
+    auto bad = report;
+    auto plan = std::make_shared<rete::SpecializationPlan>(*bad.plan);
+    rete::SpecializationPlan::TestKey fake;
+    fake.cls = cls_of(p, "task");
+    fake.slot = slot_of(p, "task", "state");
+    fake.pred = Predicate::Eq;
+    fake.value = Value(*p.symbols().find("go"));
+    plan->fold_tests.push_back(fake);
+    bad.plan = plan;
+    EXPECT_FALSE(verify_specialization(p, opt, bad).empty());
+  }
+  // Tamper 2: shrink a seeded domain below Top (external WMEs would escape).
+  {
+    auto bad = report;
+    bad.domains[cls_of(p, "task")][slot_of(p, "task", "state")] = ValueDomain::of(Value(1));
+    EXPECT_FALSE(verify_specialization(p, opt, bad).empty());
+  }
+  // Tamper 3: strip the certificate while keeping the plan.
+  {
+    auto bad = report;
+    bad.certificate.entries.clear();
+    EXPECT_FALSE(verify_specialization(p, opt, bad).empty());
+  }
+}
+
+TEST(ValueDomainPlan, ReportJsonShape) {
+  const Program p = parse(std::string(kBase) + R"(
+(p never (ghost ^g 1) --> (make out ^v 3))
+)");
+  const auto report = analyze_value_domains(p, seeded(p, {"task"}));
+  const auto j = report.to_json(p);
+  ASSERT_TRUE(j.is_object());
+  EXPECT_TRUE(j.find("converged")->as_bool());
+  ASSERT_NE(j.find("pruned_productions"), nullptr);
+  EXPECT_EQ(j.find("pruned_productions")->as_array().size(), 1u);
+  EXPECT_EQ(j.find("pruned_productions")->as_array()[0].as_string(), "never");
+  ASSERT_NE(j.find("certificate"), nullptr);
+  // One prune entry ("never") plus kBase's flag.state fold entry.
+  EXPECT_EQ(j.find("certificate")->as_array().size(), 2u);
+  // Byte-determinism across repeated runs.
+  EXPECT_EQ(j.dump(), analyze_value_domains(p, seeded(p, {"task"})).to_json(p).dump());
+}
+
+// ---------------------------------------------------------------------------
+// Network consumption: specialized compile prunes without changing matches
+// ---------------------------------------------------------------------------
+
+class CountingListener final : public rete::MatchListener {
+ public:
+  void on_activate(const ops5::Production& production, std::span<const ops5::Wme* const>) override {
+    log_.push_back("+" + std::to_string(production.id()));
+  }
+  void on_deactivate(const ops5::Production& production, std::span<const ops5::Wme* const>) override {
+    log_.push_back("-" + std::to_string(production.id()));
+  }
+  [[nodiscard]] const std::vector<std::string>& log() const noexcept { return log_; }
+
+ private:
+  std::vector<std::string> log_;
+};
+
+TEST(ValueDomainPlan, SpecializedNetworkMatchesIdentically) {
+  const Program p = parse(std::string(kBase) + R"(
+(p never (ghost ^g 1) --> (make out ^v 3))
+(p neg-dead (task ^state go) -(sensor ^mode off) --> (make out ^v 4))
+(p fold (sensor ^mode active ^id <i>) --> (make out ^v <i>))
+)");
+  const auto report = analyze_value_domains(p, seeded(p, {"task"}));
+  ASSERT_FALSE(report.plan->empty());
+
+  auto drive = [&](bool specialize) {
+    CountingListener listener;
+    util::WorkCounters counters;
+    rete::NetworkOptions opt;
+    opt.specialize = specialize;
+    opt.plan = report.plan;
+    rete::Network net(p, listener, counters, {}, opt);
+    std::vector<std::unique_ptr<ops5::Wme>> wmes;
+    auto add = [&](std::string_view cls_name, std::vector<Value> slots) {
+      const ClassIndex c = cls_of(p, cls_name);
+      const auto& decl = p.wme_class(c);
+      slots.resize(decl.arity());
+      wmes.push_back(std::make_unique<ops5::Wme>(c, decl.name(), std::move(slots),
+                                                 wmes.size() + 1));
+      net.add_wme(*wmes.back());
+    };
+    const Value go(*p.symbols().find("go"));
+    const Value active(*p.symbols().find("active"));
+    add("task", {Value(1), go});
+    add("sensor", {Value(1), active, Value(1)});
+    add("task", {Value(2), go});
+    net.remove_wme(*wmes[0]);
+    EXPECT_TRUE(net.check_invariants().empty());
+    return std::make_pair(listener.log(), counters.match_cost);
+  };
+
+  const auto [plain_log, plain_cost] = drive(false);
+  const auto [spec_log, spec_cost] = drive(true);
+  EXPECT_EQ(plain_log, spec_log);   // byte-identical activation stream
+  EXPECT_LT(spec_cost, plain_cost); // strictly less match work
+  EXPECT_FALSE(plain_log.empty());
+}
+
+}  // namespace
+}  // namespace psmsys::analysis
